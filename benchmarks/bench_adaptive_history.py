@@ -1,0 +1,15 @@
+"""Bench `adaptive-history`: §V-D — threshold history N=10 vs N=50.
+
+Paper: N=10 regenerates every ~1.7 blocks; N=50 every ~1.9 blocks with
+coverage 0.79 / success 0.76 — near Sliding Window quality at roughly
+half the rule-set generations.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_adaptive_history(benchmark):
+    result = run_and_report(benchmark, "adaptive-history")
+    gens_n10 = int(result.extras["generations_n10"])
+    gens_n50 = int(result.extras["generations_n50"])
+    assert gens_n50 <= gens_n10 + 2  # longer history never regenerates much more

@@ -1,0 +1,12 @@
+"""Bench `adoption`: §III-B — incremental deployment.
+
+Paper: "all nodes in the network do not need to support this routing
+method in order for one node to use it, although the benefits increase as
+the number of nodes using this routing technique increases."
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_adoption_sweep(benchmark):
+    run_and_report(benchmark, "adoption")

@@ -1,0 +1,17 @@
+"""Bench `category-rules`: §VI — query-string dimension in antecedents.
+
+Paper: "Adding dimensions such as the query strings during rule
+generation ... could also aid in increasing the quality of the rule
+sets."  At top-1 forwarding, (host, category) rules recover the success
+that host-only rules sacrifice on a neighbor's minority interests.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_category_rules(benchmark):
+    result = run_and_report(benchmark, "category-rules")
+    gain = next(
+        row for row in result.rows if row.label.startswith("success gain")
+    )
+    assert gain.measured > 0.02

@@ -1,0 +1,13 @@
+"""Bench `churn-sensitivity`: association routing under peer turnover.
+
+Robustness ablation for the dynamic-network setting the paper targets:
+online per-reply rule learning keeps tables fresh, so fallback share and
+hit rate stay flat under churn, and the traffic advantage over flooding
+survives heavy turnover.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_churn_sensitivity(benchmark):
+    run_and_report(benchmark, "churn-sensitivity")

@@ -1,0 +1,18 @@
+"""Bench `confidence-ablation`: §VI extension — confidence-based pruning.
+
+Paper: "The addition of confidence-based pruning ... could be one way of
+reducing the size of rule sets while retaining high coverage and
+success."
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_confidence_pruning(benchmark):
+    result = run_and_report(benchmark, "confidence-ablation")
+    sizes = result.extras["sizes"]
+    successes = result.extras["successes"]
+    # Sizes strictly shrink at the aggressive end.
+    assert sizes[0.5] < sizes[0.0] * 0.5
+    # Mild pruning retains success.
+    assert successes[0.1] >= successes[0.0] - 0.05

@@ -1,0 +1,20 @@
+"""Bench `fig1`: Sliding Window coverage & success over time.
+
+Paper Fig. 1: average coverage > 0.80, average success ≈ 0.79.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig1_sliding_window(benchmark):
+    result = run_and_report(benchmark, "fig1")
+    coverage = np.asarray(result.series["coverage"])
+    success = np.asarray(result.series["success"])
+    # Fig. 1's visual claim: both series hover in a stable band, no decay.
+    assert coverage.std() < 0.08
+    assert success.std() < 0.08
+    first_half = success[: len(success) // 2].mean()
+    second_half = success[len(success) // 2 :].mean()
+    assert abs(first_half - second_half) < 0.08  # stationary over time

@@ -1,0 +1,14 @@
+"""Bench `fig2`: Sliding Window coverage across block sizes.
+
+Paper Fig. 2: coverage over time for different block sizes is very
+similar — "only a small number of query-reply pairs are needed".
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig2_block_sizes(benchmark):
+    result = run_and_report(benchmark, "fig2")
+    coverages = result.extras["coverages"]
+    assert len(coverages) == 4
+    assert max(coverages.values()) - min(coverages.values()) < 0.15

@@ -1,0 +1,17 @@
+"""Bench `fig3`: Lazy Sliding Window over time (regen every 10 blocks).
+
+Paper Fig. 3: values start high after each regeneration and taper;
+average coverage = average success = 0.59.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig3_lazy_sliding_window(benchmark):
+    result = run_and_report(benchmark, "fig3")
+    # Sawtooth shape: the first trial after regeneration beats the last
+    # trial of the previous span.
+    success = result.series["success"]
+    laziness = 10
+    for start in range(laziness, len(success) - 1, laziness):
+        assert success[start] > success[start - 1]

@@ -1,0 +1,12 @@
+"""Bench `hybrid`: §VI — shortcuts with rules as the pre-flood last chance.
+
+Paper: "association rules could be used to route queries that have not
+been successfully replied to when using the shortcuts.  This would serve
+as one last chance to avoid flooding."
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_hybrid_shortcuts_rules(benchmark):
+    run_and_report(benchmark, "hybrid")

@@ -1,0 +1,13 @@
+"""Bench `latency`: §VI — results arrive more quickly under load.
+
+Paper: "results to queries may be received more quickly, and the networks
+can support more simultaneous queries."  The discrete-event network
+(uplink queueing) shows the crossover: flooding is faster when idle but
+saturates at a far lower query rate than association routing.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_latency_under_load(benchmark):
+    run_and_report(benchmark, "latency")

@@ -1,0 +1,77 @@
+"""Infrastructure micro-benchmarks: mining and rule-engine throughput.
+
+Not a paper artifact — these benches guard the performance of the hot
+paths (the guides' "no optimization without measuring"): Apriori vs
+FP-Growth on market-basket data, the vectorized vs reference
+GENERATE-RULESET, the vectorized RULESET-TEST, and raw trace generation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.evaluation import ruleset_test, ruleset_test_reference
+from repro.core.generation import generate_ruleset
+from repro.mining.apriori import apriori
+from repro.mining.fpgrowth import fpgrowth
+from repro.mining.transactions import TransactionDataset
+from repro.trace.blocks import PairBlock
+from repro.workload.tracegen import MonitorTraceConfig, MonitorTraceGenerator
+
+
+@pytest.fixture(scope="module")
+def basket_dataset():
+    rng = np.random.default_rng(0)
+    transactions = [
+        set(rng.choice(60, size=rng.integers(2, 8), replace=False).tolist())
+        for _ in range(2000)
+    ]
+    return TransactionDataset(transactions)
+
+
+@pytest.fixture(scope="module")
+def trace_block():
+    cfg = MonitorTraceConfig()
+    gen = MonitorTraceGenerator(cfg, seed=5)
+    arrays = gen.generate_pair_arrays(10_000)
+    return PairBlock(sources=arrays.source, repliers=arrays.replier)
+
+
+def test_apriori_throughput(benchmark, basket_dataset):
+    result = benchmark(apriori, basket_dataset, min_support_count=40)
+    assert result
+
+
+def test_fpgrowth_throughput(benchmark, basket_dataset):
+    result = benchmark(fpgrowth, basket_dataset, min_support_count=40)
+    assert result
+
+
+def test_generate_ruleset_numpy(benchmark, trace_block):
+    rs = benchmark(generate_ruleset, trace_block, implementation="numpy")
+    assert len(rs) > 0
+
+
+def test_generate_ruleset_python_reference(benchmark, trace_block):
+    rs = benchmark(generate_ruleset, trace_block, implementation="python")
+    assert len(rs) > 0
+
+
+def test_ruleset_test_numpy(benchmark, trace_block):
+    rs = generate_ruleset(trace_block)
+    result = benchmark(ruleset_test, rs, trace_block)
+    assert result.n_total == len(trace_block)
+
+
+def test_ruleset_test_python_reference(benchmark, trace_block):
+    rs = generate_ruleset(trace_block)
+    result = benchmark(ruleset_test_reference, rs, trace_block)
+    assert result.n_total == len(trace_block)
+
+
+def test_trace_generation_throughput(benchmark):
+    def generate():
+        gen = MonitorTraceGenerator(MonitorTraceConfig(), seed=6)
+        return gen.generate_pair_arrays(20_000)
+
+    arrays = benchmark.pedantic(generate, rounds=3, iterations=1)
+    assert len(arrays) == 20_000

@@ -1,0 +1,16 @@
+"""Bench `prune-ablation`: §III-B.1 — support-prune threshold trade-off.
+
+Paper: low thresholds give large rule sets, high thresholds concise ones;
+Sliding Window coverage stays similar for moderate thresholds.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_prune_ablation(benchmark):
+    result = run_and_report(benchmark, "prune-ablation")
+    coverages = result.extras["coverages"]
+    # Monotone non-increasing in the threshold.
+    thresholds = sorted(coverages)
+    values = [coverages[t] for t in thresholds]
+    assert all(a >= b - 0.02 for a, b in zip(values, values[1:]))

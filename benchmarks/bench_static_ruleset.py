@@ -1,0 +1,17 @@
+"""Bench `static`: §V-A — Static Ruleset degrades and never recovers.
+
+Paper: success ≈ 0 by ~trial 16; coverage lingers near 0.4 before
+decaying; 365-trial averages coverage 0.18, success < 0.02.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_static_ruleset(benchmark):
+    result = run_and_report(benchmark, "static")
+    # The series itself is the figure-equivalent: success must collapse
+    # and stay collapsed while coverage retains a long tail.
+    success = result.series["success"]
+    coverage = result.series["coverage"]
+    assert max(success[20:], default=0.0) < 0.15
+    assert coverage[-1] > 0.05

@@ -1,0 +1,13 @@
+"""Bench `superpeer`: §II — the two-tier super-peer baseline (ref [14]).
+
+Paper: super-peers index their leaves' content and flood among
+themselves; "Although this approach has the benefit of reducing the
+number of hops required for queries, it can still suffer from the effects
+of flooding on larger systems."
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_superpeer_baseline(benchmark):
+    run_and_report(benchmark, "superpeer")

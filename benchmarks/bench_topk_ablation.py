@@ -1,0 +1,17 @@
+"""Bench `topk-ablation`: §III-B.1 — forwarding to the top-k consequents.
+
+Paper: "future queries can either be sent to a random subset of
+neighbors as with k-random walks, or sent to the k neighbors with the
+highest support."  The sweep quantifies how much success each extra
+consequent buys.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_topk_ablation(benchmark):
+    result = run_and_report(benchmark, "topk-ablation")
+    successes = result.extras["successes"]
+    # k=1 must sacrifice meaningful success (the category-rules experiment
+    # exists because of this gap).
+    assert successes["1"] < successes["all"] - 0.1

@@ -1,0 +1,13 @@
+"""Bench `topology-adaptation`: §VI — rule-driven overlay rewiring.
+
+Paper: a node asks its neighbors where they would forward its queries and
+links directly to that third node, "requiring one less hop in the path to
+its target."
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_topology_adaptation(benchmark):
+    result = run_and_report(benchmark, "topology-adaptation")
+    assert int(result.extras["links_added"]) > 0

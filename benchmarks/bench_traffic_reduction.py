@@ -1,0 +1,17 @@
+"""Bench `traffic`: the paper's motivating claim, end-to-end.
+
+§I/§VI: selectively forwarding queries via association rules leads to a
+dramatic reduction in flooded query messages while results keep arriving.
+Compares flooding, expanding ring, k-random walks, interest shortcuts,
+routing indices and association routing on identical overlays/workloads.
+"""
+
+from benchmarks.conftest import register_report, run_and_report
+
+
+def test_traffic_reduction(benchmark):
+    result = run_and_report(benchmark, "traffic")
+    register_report(
+        "per-strategy stats:\n"
+        + "\n".join(f"  {k}: {v}" for k, v in result.extras.items())
+    )

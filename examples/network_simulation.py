@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Online overlay simulation: association routing vs every baseline.
+
+The paper's motivation is live traffic reduction; its related-work
+section surveys flooding, expanding-ring search [5], k-random walks [6],
+interest-based shortcuts [7] and routing indices [10].  This script runs
+the same query workload through each of them — plus association-rule
+routing — on identical overlays and prints the message/quality trade-off.
+
+Run:  python examples/network_simulation.py [n_nodes]
+"""
+
+import sys
+import time
+
+from repro.experiments.traffic import run_strategy_traffic
+
+
+def main() -> None:
+    n_nodes = int(sys.argv[1]) if len(sys.argv) > 1 else 600
+    strategies = [
+        "flooding",
+        "expanding-ring",
+        "k-random-walk",
+        "shortcuts",
+        "routing-indices",
+        "association",
+    ]
+
+    print(f"overlay: {n_nodes} peers, random-regular degree 6, TTL 7, light churn\n")
+    print(
+        f"{'strategy':<16} {'msgs/query':>11} {'hit rate':>9} "
+        f"{'hops':>6} {'vs flooding':>12} {'time':>7}"
+    )
+    print("-" * 68)
+    flooding_messages = None
+    for name in strategies:
+        t0 = time.time()
+        stats = run_strategy_traffic(name, seed=11, n_nodes=n_nodes)
+        if name == "flooding":
+            flooding_messages = stats.messages_per_query
+        ratio = (
+            f"{flooding_messages / stats.messages_per_query:>10.1f}x"
+            if flooding_messages and stats.messages_per_query
+            else "        1.0x"
+        )
+        hops = stats.mean_first_hit_hops
+        print(
+            f"{name:<16} {stats.messages_per_query:>11.1f} "
+            f"{stats.success_rate:>9.3f} {hops:>6.2f} {ratio:>12} "
+            f"{time.time() - t0:>6.1f}s"
+        )
+
+    print(
+        "\nReading guide: association routing should cut flooding traffic by"
+        " >1.5x at an equal hit rate (the paper's central claim); walks and"
+        " routing indices are cheaper still but miss more or take longer."
+    )
+
+
+if __name__ == "__main__":
+    main()

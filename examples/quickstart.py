@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Quickstart: mine routing rules from a synthetic Gnutella trace.
+
+Generates a calibrated monitor-node trace (the stand-in for the paper's
+7-day capture), runs all four rule-set maintenance strategies from the
+paper plus the streaming extension, and prints their coverage/success —
+reproducing the paper's headline comparison in under a minute.
+
+Run:  python examples/quickstart.py [n_blocks]
+"""
+
+import sys
+import time
+
+from repro import (
+    AdaptiveSlidingWindow,
+    LazySlidingWindow,
+    MonitorTraceConfig,
+    MonitorTraceGenerator,
+    SlidingWindow,
+    StaticRuleset,
+    StreamingRules,
+    blocks_from_arrays,
+)
+
+
+def main() -> None:
+    n_blocks = int(sys.argv[1]) if len(sys.argv) > 1 else 40
+    config = MonitorTraceConfig()  # calibrated defaults (DESIGN.md §7)
+
+    print(f"Generating {n_blocks} blocks x {config.block_size} query-reply pairs ...")
+    t0 = time.time()
+    generator = MonitorTraceGenerator(config, seed=20060814)
+    arrays = generator.generate_pair_arrays(n_blocks * config.block_size)
+    blocks = blocks_from_arrays(
+        arrays.source, arrays.replier, block_size=config.block_size
+    )
+    print(f"  {len(arrays):,} pairs in {time.time() - t0:.1f}s\n")
+
+    strategies = [
+        StaticRuleset(),
+        LazySlidingWindow(laziness=10),
+        AdaptiveSlidingWindow(history=10, initial_threshold=0.7),
+        SlidingWindow(),
+        StreamingRules(min_support_count=5),
+    ]
+
+    print(f"{'strategy':<12} {'coverage':>9} {'success':>9} {'generations':>12} {'blocks/gen':>11}")
+    print("-" * 58)
+    for strategy in strategies:
+        run = strategy.run(blocks)
+        bpg = run.blocks_per_generation
+        bpg_text = f"{bpg:.2f}" if bpg != float("inf") else "continuous"
+        print(
+            f"{run.strategy_name:<12} {run.average_coverage:>9.3f} "
+            f"{run.average_success:>9.3f} {run.n_generations:>12d} {bpg_text:>11}"
+        )
+
+    print(
+        "\nPaper reference points: Sliding 0.80/0.79 | Lazy 0.59/0.59 | "
+        "Adaptive 0.78/~0.77 @ ~1.7 blocks/gen | Static decays to ~0 success."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,180 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Show every registered experiment with its paper reference.
+``run <experiment-id> [...]``
+    Regenerate one or more paper artifacts and print their
+    paper-vs-measured tables (plus ASCII charts for figure experiments).
+``all``
+    Run the complete registry in order.
+``trace``
+    Print the descriptive profile of a freshly generated trace prefix.
+
+Use ``--seed`` to vary the seed and ``--full`` for the paper's full
+365-block horizon (equivalent to ``REPRO_FULL_SCALE=1``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Adaptively Routing P2P Queries Using "
+            "Association Analysis' (ICPP 2006)."
+        ),
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="override the experiment seed"
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run at the paper's full scale (365 blocks; slow)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered experiments")
+    run = sub.add_parser("run", help="run one or more experiments")
+    run.add_argument("experiment_ids", nargs="+", metavar="EXPERIMENT")
+    run.add_argument(
+        "--no-chart", action="store_true", help="suppress ASCII series charts"
+    )
+    run.add_argument(
+        "--seeds",
+        type=int,
+        default=0,
+        metavar="N",
+        help="aggregate over N seeds instead of one run (mean ± std per row)",
+    )
+    run.add_argument(
+        "--csv",
+        metavar="DIR",
+        default=None,
+        help="also export each experiment's series as DIR/<id>.csv",
+    )
+    all_cmd = sub.add_parser("all", help="run every registered experiment")
+    all_cmd.add_argument(
+        "--markdown",
+        metavar="PATH",
+        default=None,
+        help="also write a markdown reproduction report to PATH",
+    )
+    trace = sub.add_parser("trace", help="profile a generated trace prefix")
+    trace.add_argument("--blocks", type=int, default=5, help="blocks to profile")
+    return parser
+
+
+def _print_result(result, *, chart: bool = True, stream=None) -> None:
+    stream = stream or sys.stdout
+    print(result.report(), file=stream)
+    if chart and result.series:
+        from repro.metrics.ascii_chart import line_chart
+
+        plottable = {
+            name: values
+            for name, values in result.series.items()
+            if name in ("coverage", "success") and values
+        }
+        if plottable:
+            print(file=stream)
+            print(line_chart(plottable, height=10), file=stream)
+    print(file=stream)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.full:
+        os.environ["REPRO_FULL_SCALE"] = "1"
+
+    from repro.experiments import EXPERIMENTS, run_experiment
+
+    if args.command == "list":
+        width = max(len(k) for k in EXPERIMENTS)
+        for experiment_id, (title, _fn) in EXPERIMENTS.items():
+            print(f"{experiment_id.ljust(width)}  {title}")
+        return 0
+
+    if args.command in ("run", "all"):
+        ids = list(EXPERIMENTS) if args.command == "all" else args.experiment_ids
+        chart = not getattr(args, "no_chart", False)
+        failures = 0
+        results = []
+        for experiment_id in ids:
+            if experiment_id not in EXPERIMENTS:
+                known = ", ".join(EXPERIMENTS)
+                print(f"unknown experiment {experiment_id!r}; known: {known}")
+                return 2
+            t0 = time.time()
+            n_seeds = getattr(args, "seeds", 0)
+            if n_seeds and n_seeds > 1:
+                from repro.experiments.multi import run_seed_sweep
+
+                base = args.seed if args.seed is not None else 20060814
+                sweep = run_seed_sweep(
+                    experiment_id, seeds=range(base, base + n_seeds)
+                )
+                print(sweep.report())
+                status = "OK" if sweep.all_in_band else "OUT OF BAND"
+                print(f"[{experiment_id}] {status} in {time.time() - t0:.1f}s\n")
+                if not sweep.all_in_band:
+                    failures += 1
+                continue
+            kwargs = {} if args.seed is None else {"seed": args.seed}
+            result = run_experiment(experiment_id, **kwargs)
+            results.append(result)
+            csv_dir = getattr(args, "csv", None)
+            if csv_dir and result.series:
+                os.makedirs(csv_dir, exist_ok=True)
+                csv_path = os.path.join(csv_dir, f"{experiment_id}.csv")
+                result.save_series(csv_path)
+                print(f"series written to {csv_path}")
+            _print_result(result, chart=chart)
+            status = "OK" if result.all_within_band else "OUT OF BAND"
+            print(f"[{experiment_id}] {status} in {time.time() - t0:.1f}s\n")
+            if not result.all_within_band:
+                failures += 1
+        markdown_path = getattr(args, "markdown", None)
+        if markdown_path:
+            from repro.experiments.report import build_markdown_report
+
+            with open(markdown_path, "w", encoding="utf-8") as fh:
+                fh.write(build_markdown_report(results))
+            print(f"markdown report written to {markdown_path}")
+        return 1 if failures else 0
+
+    if args.command == "trace":
+        from repro.trace.analysis import coverage_ceiling, profile_block, source_turnover
+        from repro.trace.blocks import blocks_from_arrays
+        from repro.workload.tracegen import MonitorTraceConfig, MonitorTraceGenerator
+
+        config = MonitorTraceConfig()
+        seed = args.seed if args.seed is not None else 20060814
+        generator = MonitorTraceGenerator(config, seed=seed)
+        arrays = generator.generate_pair_arrays(args.blocks * config.block_size)
+        blocks = blocks_from_arrays(
+            arrays.source, arrays.replier, block_size=config.block_size
+        )
+        for block in blocks:
+            print(f"block {block.index}: {profile_block(block)}")
+        for lag in range(1, min(len(blocks), 4)):
+            turnover = source_turnover(blocks[0], blocks[lag])
+            print(f"volume from sources unseen in block 0, lag {lag}: {turnover:.3f}")
+        print(f"in-block coverage ceiling (threshold 10): {coverage_ceiling(blocks[0]):.3f}")
+        return 0
+
+    return 2  # pragma: no cover - argparse enforces the command set
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

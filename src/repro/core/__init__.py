@@ -1,0 +1,73 @@
+"""The paper's contribution: association-rule query routing.
+
+Rules here are the specialization described in §III-B.1 of the paper:
+``{host1} -> {host2}`` where *host1* is a neighbor the monitor node receives
+queries from and *host2* is the neighbor that was the next hop on a path
+that previously produced hits for host1's queries.  Both sides are single
+items, which makes generation (pair counting + support pruning) and testing
+cheap enough to run per block.
+
+* :mod:`~repro.core.rules` — :class:`Rule` and :class:`RuleSet`;
+* :mod:`~repro.core.generation` — GENERATE-RULESET (numpy fast path and a
+  pure-Python reference, tested equal), with optional top-k truncation and
+  confidence pruning (the §VI extension);
+* :mod:`~repro.core.evaluation` — RULESET-TEST computing the paper's
+  coverage (alpha) and success (rho) measures;
+* :mod:`~repro.core.thresholds` — rolling-mean thresholds for the adaptive
+  strategy;
+* :mod:`~repro.core.strategies` — STATIC-RULESET, SLIDING-WINDOW,
+  LAZY-SLIDING-WINDOW, ADAPTIVE-SLIDING-WINDOW drivers;
+* :mod:`~repro.core.streaming` — the future-work strategy that updates
+  rules immediately as pairs arrive;
+* :mod:`~repro.core.runner` — trace -> strategy -> :class:`StrategyRun`.
+"""
+
+from repro.core.category_rules import (
+    CategorizedBlock,
+    CategoryRuleSet,
+    category_ruleset_test,
+    generate_category_ruleset,
+)
+from repro.core.evaluation import (
+    RulesetTestResult,
+    ruleset_test,
+    ruleset_test_random_subset,
+)
+from repro.core.generation import generate_ruleset
+from repro.core.io import read_ruleset, write_ruleset
+from repro.core.rules import Rule, RuleSet
+from repro.core.runner import StrategyRun, TrialResult, run_strategy
+from repro.core.strategies import (
+    AdaptiveSlidingWindow,
+    LazySlidingWindow,
+    RulesetStrategy,
+    SlidingWindow,
+    StaticRuleset,
+)
+from repro.core.streaming import StreamingRules
+from repro.core.thresholds import RollingThreshold
+
+__all__ = [
+    "AdaptiveSlidingWindow",
+    "CategorizedBlock",
+    "CategoryRuleSet",
+    "LazySlidingWindow",
+    "RollingThreshold",
+    "Rule",
+    "RuleSet",
+    "RulesetStrategy",
+    "RulesetTestResult",
+    "SlidingWindow",
+    "StaticRuleset",
+    "StrategyRun",
+    "StreamingRules",
+    "TrialResult",
+    "category_ruleset_test",
+    "generate_category_ruleset",
+    "generate_ruleset",
+    "read_ruleset",
+    "ruleset_test",
+    "ruleset_test_random_subset",
+    "run_strategy",
+    "write_ruleset",
+]

@@ -1,0 +1,123 @@
+"""Routing rules and rule sets.
+
+A :class:`RuleSet` maps each antecedent (query-source neighbor) to its
+consequents (reply-source neighbors) ordered by descending support count —
+the table the paper's simulator kept with "the host from which one or more
+queries were received, a node that returned a reply message ... and the
+number of times that that node sent reply messages".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+import numpy as np
+
+__all__ = ["Rule", "RuleSet"]
+
+
+@dataclass(frozen=True, slots=True)
+class Rule:
+    """One routing rule {antecedent} -> {consequent} with its support count."""
+
+    antecedent: int
+    consequent: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError("a rule's support count must be >= 1")
+
+    def __str__(self) -> str:  # pragma: no cover - display convenience
+        return f"{{{self.antecedent}}} -> {{{self.consequent}}} (n={self.count})"
+
+
+class RuleSet:
+    """An immutable set of routing rules indexed by antecedent."""
+
+    def __init__(self, rules: Iterable[Rule]) -> None:
+        by_ante: dict[int, list[Rule]] = {}
+        for rule in rules:
+            by_ante.setdefault(rule.antecedent, []).append(rule)
+        for ante, lst in by_ante.items():
+            lst.sort(key=lambda r: (-r.count, r.consequent))
+            seen = {r.consequent for r in lst}
+            if len(seen) != len(lst):
+                raise ValueError(
+                    f"duplicate consequent for antecedent {ante} in rule set"
+                )
+        self._by_ante = by_ante
+        self._n_rules = sum(len(lst) for lst in by_ante.values())
+        # Flat arrays for the vectorized RULESET-TEST fast path.
+        self._ante_array = np.fromiter(by_ante.keys(), dtype=np.int64, count=len(by_ante))
+        keys = [
+            (r.antecedent << 32) | r.consequent
+            for lst in by_ante.values()
+            for r in lst
+        ]
+        self._pair_keys = np.asarray(sorted(keys), dtype=np.int64)
+
+    # -- construction -------------------------------------------------------
+    @classmethod
+    def from_counts(cls, counts: Mapping[tuple[int, int], int]) -> "RuleSet":
+        """Build from a {(antecedent, consequent): count} mapping."""
+        return cls(Rule(a, c, n) for (a, c), n in counts.items())
+
+    @classmethod
+    def empty(cls) -> "RuleSet":
+        return cls(())
+
+    # -- queries --------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of rules (antecedent–consequent pairs)."""
+        return self._n_rules
+
+    def __iter__(self) -> Iterator[Rule]:
+        for lst in self._by_ante.values():
+            yield from lst
+
+    @property
+    def n_antecedents(self) -> int:
+        return len(self._by_ante)
+
+    def antecedents(self) -> frozenset[int]:
+        return frozenset(self._by_ante)
+
+    def covers(self, source: int) -> bool:
+        """Whether any rule's antecedent matches ``source``."""
+        return source in self._by_ante
+
+    def consequents_for(self, source: int, k: int | None = None) -> list[int]:
+        """The consequents for ``source``, highest support first.
+
+        ``k`` limits to the top-k neighbors (the paper's "sent to the k
+        neighbors with the highest support"); ``None`` returns all.
+        """
+        rules = self._by_ante.get(source, ())
+        if k is not None:
+            if k < 1:
+                raise ValueError("k must be >= 1")
+            rules = rules[:k]
+        return [r.consequent for r in rules]
+
+    def rules_for(self, source: int) -> list[Rule]:
+        return list(self._by_ante.get(source, ()))
+
+    def matches(self, source: int, replier: int) -> bool:
+        """Whether {source} -> {replier} is a rule in this set."""
+        return any(r.consequent == replier for r in self._by_ante.get(source, ()))
+
+    # -- vectorized views (consumed by repro.core.evaluation) ---------------
+    @property
+    def antecedent_array(self) -> np.ndarray:
+        """Sorted is not guaranteed; int64 array of antecedents."""
+        return self._ante_array
+
+    @property
+    def pair_key_array(self) -> np.ndarray:
+        """Sorted int64 array of (antecedent << 32) | consequent keys."""
+        return self._pair_keys
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"RuleSet(rules={len(self)}, antecedents={self.n_antecedents})"

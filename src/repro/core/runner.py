@@ -1,0 +1,103 @@
+"""Strategy run records.
+
+A strategy consumes the trace's block sequence and produces a
+:class:`StrategyRun`: one :class:`TrialResult` per tested block plus
+aggregate statistics.  The aggregates mirror how the paper reports results
+("the average coverage was 0.80", "new rule sets were generated every 1.7
+blocks").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.evaluation import RulesetTestResult
+from repro.trace.blocks import PairBlock
+from repro.utils.stats import SeriesSummary, summarize_series
+
+__all__ = ["TrialResult", "StrategyRun", "run_strategy"]
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """Outcome of testing one block.
+
+    ``fresh_ruleset`` is True when the rule set used for this trial was
+    generated immediately before it (i.e. the trial exercised up-to-date
+    rules).  ``ruleset_size`` is the number of rules in force.
+    """
+
+    block_index: int
+    result: RulesetTestResult
+    fresh_ruleset: bool
+    ruleset_size: int
+
+    @property
+    def coverage(self) -> float:
+        return self.result.coverage
+
+    @property
+    def success(self) -> float:
+        return self.result.success
+
+
+@dataclass(frozen=True)
+class StrategyRun:
+    """A full strategy execution over a trace."""
+
+    strategy_name: str
+    trials: tuple[TrialResult, ...]
+    n_generations: int
+
+    @property
+    def n_trials(self) -> int:
+        return len(self.trials)
+
+    @property
+    def coverage_series(self) -> list[float]:
+        return [t.coverage for t in self.trials]
+
+    @property
+    def success_series(self) -> list[float]:
+        return [t.success for t in self.trials]
+
+    @property
+    def average_coverage(self) -> float:
+        series = self.coverage_series
+        return sum(series) / len(series) if series else float("nan")
+
+    @property
+    def average_success(self) -> float:
+        series = self.success_series
+        return sum(series) / len(series) if series else float("nan")
+
+    @property
+    def blocks_per_generation(self) -> float:
+        """Mean number of tested blocks per rule-set generation.
+
+        The paper's "new rule sets were generated every 1.7 blocks" metric;
+        ``inf`` if the strategy never generated a rule set.
+        """
+        if self.n_generations == 0:
+            return float("inf")
+        return self.n_trials / self.n_generations
+
+    def coverage_summary(self) -> SeriesSummary:
+        return summarize_series(self.coverage_series)
+
+    def success_summary(self) -> SeriesSummary:
+        return summarize_series(self.success_series)
+
+    def __str__(self) -> str:  # pragma: no cover - display convenience
+        return (
+            f"{self.strategy_name}: trials={self.n_trials} "
+            f"avg_coverage={self.average_coverage:.3f} "
+            f"avg_success={self.average_success:.3f} "
+            f"generations={self.n_generations}"
+        )
+
+
+def run_strategy(strategy, blocks: Sequence[PairBlock]) -> StrategyRun:
+    """Execute ``strategy`` over ``blocks`` (thin convenience wrapper)."""
+    return strategy.run(blocks)

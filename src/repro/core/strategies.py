@@ -1,0 +1,217 @@
+"""The paper's four rule-set maintenance strategies.
+
+Each class mirrors the pseudocode of §III-B (STATIC-RULESET,
+SLIDING-WINDOW, LAZY-SLIDING-WINDOW, ADAPTIVE-SLIDING-WINDOW): a rule set
+is generated from one block and tested against subsequent blocks; the
+strategies differ only in *when* they regenerate.  All of them share the
+generation parameters (support-prune threshold, optional top-k /
+confidence pruning) through the common base class.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+from repro.core.evaluation import ruleset_test
+from repro.core.generation import generate_ruleset
+from repro.core.rules import RuleSet
+from repro.core.runner import StrategyRun, TrialResult
+from repro.core.thresholds import RollingThreshold
+from repro.trace.blocks import PairBlock
+
+__all__ = [
+    "RulesetStrategy",
+    "StaticRuleset",
+    "SlidingWindow",
+    "LazySlidingWindow",
+    "AdaptiveSlidingWindow",
+]
+
+
+class RulesetStrategy(abc.ABC):
+    """Base class: shared generation parameters and the run() contract."""
+
+    name: str = "abstract"
+
+    def __init__(
+        self,
+        *,
+        min_support_count: int = 10,
+        top_k: int | None = None,
+        min_confidence: float = 0.0,
+    ) -> None:
+        self.min_support_count = int(min_support_count)
+        self.top_k = top_k
+        self.min_confidence = float(min_confidence)
+        if self.min_support_count < 1:
+            raise ValueError("min_support_count must be >= 1")
+
+    def _generate(self, block: PairBlock) -> RuleSet:
+        return generate_ruleset(
+            block,
+            min_support_count=self.min_support_count,
+            top_k=self.top_k,
+            min_confidence=self.min_confidence,
+        )
+
+    @abc.abstractmethod
+    def run(self, blocks: Sequence[PairBlock]) -> StrategyRun:
+        """Process the block sequence and return the per-trial results.
+
+        Every strategy trains on at least the first block, so the first
+        *tested* block is ``blocks[1]`` and a run needs >= 2 blocks.
+        """
+
+    def _require_blocks(self, blocks: Sequence[PairBlock]) -> None:
+        if len(blocks) < 2:
+            raise ValueError(
+                f"{self.name} needs at least 2 blocks (1 train + 1 test), "
+                f"got {len(blocks)}"
+            )
+
+
+class StaticRuleset(RulesetStrategy):
+    """STATIC-RULESET: one rule set from the first block, used forever."""
+
+    name = "static"
+
+    def run(self, blocks: Sequence[PairBlock]) -> StrategyRun:
+        self._require_blocks(blocks)
+        ruleset = self._generate(blocks[0])
+        trials = []
+        for i, block in enumerate(blocks[1:], start=1):
+            trials.append(
+                TrialResult(
+                    block_index=block.index,
+                    result=ruleset_test(ruleset, block),
+                    fresh_ruleset=(i == 1),
+                    ruleset_size=len(ruleset),
+                )
+            )
+        return StrategyRun(self.name, tuple(trials), n_generations=1)
+
+
+class SlidingWindow(RulesetStrategy):
+    """SLIDING-WINDOW: regenerate from block b-1 before testing block b."""
+
+    name = "sliding"
+
+    def run(self, blocks: Sequence[PairBlock]) -> StrategyRun:
+        self._require_blocks(blocks)
+        trials = []
+        n_generations = 0
+        for b in range(1, len(blocks)):
+            ruleset = self._generate(blocks[b - 1])
+            n_generations += 1
+            trials.append(
+                TrialResult(
+                    block_index=blocks[b].index,
+                    result=ruleset_test(ruleset, blocks[b]),
+                    fresh_ruleset=True,
+                    ruleset_size=len(ruleset),
+                )
+            )
+        return StrategyRun(self.name, tuple(trials), n_generations=n_generations)
+
+
+class LazySlidingWindow(RulesetStrategy):
+    """LAZY-SLIDING-WINDOW: regenerate only every ``laziness`` blocks.
+
+    The rule set generated from block ``b`` is used for the next
+    ``laziness`` trials (paper default: 10), then replaced with one built
+    from the most recent block.
+    """
+
+    name = "lazy"
+
+    def __init__(self, *, laziness: int = 10, **kwargs) -> None:
+        super().__init__(**kwargs)
+        if laziness < 1:
+            raise ValueError("laziness must be >= 1")
+        self.laziness = int(laziness)
+
+    def run(self, blocks: Sequence[PairBlock]) -> StrategyRun:
+        self._require_blocks(blocks)
+        ruleset = self._generate(blocks[0])
+        n_generations = 1
+        trials = []
+        trials_since_generation = 0
+        for b in range(1, len(blocks)):
+            fresh = trials_since_generation == 0
+            trials.append(
+                TrialResult(
+                    block_index=blocks[b].index,
+                    result=ruleset_test(ruleset, blocks[b]),
+                    fresh_ruleset=fresh,
+                    ruleset_size=len(ruleset),
+                )
+            )
+            trials_since_generation += 1
+            if trials_since_generation >= self.laziness and b + 1 < len(blocks):
+                ruleset = self._generate(blocks[b])
+                n_generations += 1
+                trials_since_generation = 0
+        return StrategyRun(self.name, tuple(trials), n_generations=n_generations)
+
+
+class AdaptiveSlidingWindow(RulesetStrategy):
+    """ADAPTIVE-SLIDING-WINDOW: regenerate when quality drops below thresholds.
+
+    Coverage and success thresholds are rolling means of the previous
+    ``history`` measured values (paper: 10 and 50), starting from
+    ``initial_threshold`` (paper: 0.7).  After testing a block, if either
+    measured value fell below its threshold, a new rule set is generated
+    from that block — exactly the pseudocode's
+    ``if results[coverage] < ct ... then R <- GENERATE-RULESET(b)``.
+    """
+
+    name = "adaptive"
+
+    def __init__(
+        self,
+        *,
+        history: int = 10,
+        initial_threshold: float = 0.7,
+        slack: float = 1.0,
+        **kwargs,
+    ) -> None:
+        super().__init__(**kwargs)
+        self.history = int(history)
+        self.initial_threshold = float(initial_threshold)
+        self.slack = float(slack)
+        if self.history < 1:
+            raise ValueError("history must be >= 1")
+
+    def run(self, blocks: Sequence[PairBlock]) -> StrategyRun:
+        self._require_blocks(blocks)
+        coverage_threshold = RollingThreshold(
+            self.history, initial=self.initial_threshold, slack=self.slack
+        )
+        success_threshold = RollingThreshold(
+            self.history, initial=self.initial_threshold, slack=self.slack
+        )
+        ruleset = self._generate(blocks[0])
+        n_generations = 1
+        fresh = True
+        trials = []
+        for b in range(1, len(blocks)):
+            ct = coverage_threshold.current()
+            st = success_threshold.current()
+            result = ruleset_test(ruleset, blocks[b])
+            trials.append(
+                TrialResult(
+                    block_index=blocks[b].index,
+                    result=result,
+                    fresh_ruleset=fresh,
+                    ruleset_size=len(ruleset),
+                )
+            )
+            coverage_threshold.observe(result.coverage)
+            success_threshold.observe(result.success)
+            fresh = False
+            if (result.coverage < ct or result.success < st) and b + 1 < len(blocks):
+                ruleset = self._generate(blocks[b])
+                n_generations += 1
+                fresh = True
+        return StrategyRun(self.name, tuple(trials), n_generations=n_generations)

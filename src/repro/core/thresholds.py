@@ -1,0 +1,55 @@
+"""Rolling thresholds for the Adaptive Sliding Window strategy.
+
+§III-B.6: "these thresholds are constantly updated so that threshold values
+remain reasonable for all states of the network.  One simple method would be
+to use the mean of the previous N values."  The paper's experiments start
+from a threshold of 0.7 and compute means over the previous 10 (Fig. 4) or
+50 values.
+"""
+
+from __future__ import annotations
+
+from repro.utils.stats import RollingMean
+
+__all__ = ["RollingThreshold"]
+
+
+class RollingThreshold:
+    """Threshold = ``slack`` x mean of the previous ``window`` observations.
+
+    Parameters
+    ----------
+    window:
+        How many previous values the mean covers (paper: 10 or 50).
+    initial:
+        Threshold reported before any history exists (paper: 0.7).
+    slack:
+        Multiplier applied to the rolling mean; values slightly below 1.0
+        stop a strategy from regenerating on every routine fluctuation.
+    """
+
+    def __init__(self, window: int = 10, initial: float = 0.7, slack: float = 1.0) -> None:
+        if not 0.0 <= initial <= 1.0:
+            raise ValueError("initial must be in [0, 1]")
+        if not 0.0 < slack <= 1.0:
+            raise ValueError("slack must be in (0, 1]")
+        self._mean = RollingMean(window, default=initial)
+        self.slack = float(slack)
+        self.initial = float(initial)
+
+    @property
+    def window(self) -> int:
+        return self._mean.window
+
+    def current(self) -> float:
+        """Threshold to compare the *next* observation against."""
+        return self.slack * self._mean.value()
+
+    def observe(self, value: float) -> None:
+        """Record a measured coverage/success value into the history."""
+        if not 0.0 <= value <= 1.0:
+            raise ValueError("observations must be in [0, 1]")
+        self._mean.push(value)
+
+    def history_length(self) -> int:
+        return len(self._mean)

@@ -1,0 +1,59 @@
+"""Experiment scale control.
+
+The paper's trace yields 365 blocks of 10,000 pairs.  Regenerating every
+figure at that scale takes minutes; the default scale uses 40-60 blocks,
+which is enough for every qualitative and most quantitative claims (the
+figures' series are per-block, so a prefix of the full series).  Setting
+``REPRO_FULL_SCALE=1`` switches to the paper's full lengths.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = ["ExperimentScale", "current_scale", "DEFAULT_SEED"]
+
+#: seed used by all registered experiments (override per-call if needed).
+DEFAULT_SEED = 20060814  # ICPP 2006 conference date
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Block counts used by the trace-driven experiments."""
+
+    name: str
+    n_blocks: int  # fig1/fig3/fig4/lazy/adaptive runs
+    n_blocks_static: int  # static needs the long horizon
+    n_pairs_blocksweep: int  # fig2 sweeps block size over one fixed trace
+    overlay_nodes: int
+    overlay_queries: int
+    overlay_warmup: int
+
+
+DEFAULT_SCALE = ExperimentScale(
+    name="default",
+    n_blocks=40,
+    n_blocks_static=60,
+    n_pairs_blocksweep=400_000,
+    overlay_nodes=600,
+    overlay_queries=400,
+    overlay_warmup=1500,
+)
+
+FULL_SCALE = ExperimentScale(
+    name="full",
+    n_blocks=365,
+    n_blocks_static=365,
+    n_pairs_blocksweep=2_000_000,
+    overlay_nodes=2000,
+    overlay_queries=2000,
+    overlay_warmup=8000,
+)
+
+
+def current_scale() -> ExperimentScale:
+    """The active scale (``REPRO_FULL_SCALE=1`` selects the full runs)."""
+    if os.environ.get("REPRO_FULL_SCALE", "").strip() in ("1", "true", "yes"):
+        return FULL_SCALE
+    return DEFAULT_SCALE

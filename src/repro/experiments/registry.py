@@ -1,0 +1,68 @@
+"""Experiment registry and lookup."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments.figures import (
+    run_adaptive_history,
+    run_confidence_ablation,
+    run_fig1_sliding,
+    run_fig2_block_sizes,
+    run_fig3_lazy,
+    run_fig4_adaptive,
+    run_prune_ablation,
+    run_static,
+    run_streaming,
+)
+from repro.experiments.ablations import run_churn_sensitivity, run_topk_ablation
+from repro.experiments.adoption import run_adoption_sweep
+from repro.experiments.latency import run_latency_under_load
+from repro.experiments.extensions import (
+    run_category_rules,
+    run_hybrid,
+    run_superpeer,
+    run_topology_adaptation,
+)
+from repro.experiments.results import ExperimentResult
+from repro.experiments.traffic import run_traffic_comparison
+
+__all__ = ["EXPERIMENTS", "get_experiment", "run_experiment"]
+
+#: experiment id -> (title, runner)
+EXPERIMENTS: dict[str, tuple[str, Callable[..., ExperimentResult]]] = {
+    "static": ("Static Ruleset over time (§V-A)", run_static),
+    "fig1": ("Sliding Window over time (Fig. 1)", run_fig1_sliding),
+    "fig2": ("Sliding Window block-size sweep (Fig. 2)", run_fig2_block_sizes),
+    "fig3": ("Lazy Sliding Window over time (Fig. 3)", run_fig3_lazy),
+    "fig4": ("Adaptive Sliding Window over time (Fig. 4)", run_fig4_adaptive),
+    "adaptive-history": ("Adaptive history N=10 vs N=50 (§V-D)", run_adaptive_history),
+    "streaming": ("Streaming rule maintenance (§VI)", run_streaming),
+    "traffic": ("Online traffic reduction (§I/§VI claim)", run_traffic_comparison),
+    "prune-ablation": ("Support-prune threshold ablation (§III-B.1)", run_prune_ablation),
+    "confidence-ablation": ("Confidence pruning extension (§VI)", run_confidence_ablation),
+    "category-rules": ("Query-string dimension in antecedents (§VI)", run_category_rules),
+    "topology-adaptation": ("Rule-driven overlay rewiring (§VI)", run_topology_adaptation),
+    "hybrid": ("Shortcuts + rules hybrid (§VI)", run_hybrid),
+    "superpeer": ("Super-peer two-tier baseline (§II)", run_superpeer),
+    "topk-ablation": ("Top-k consequent forwarding ablation (§III-B.1)", run_topk_ablation),
+    "churn-sensitivity": ("Association routing under churn (robustness)", run_churn_sensitivity),
+    "adoption": ("Incremental deployment sweep (§III-B)", run_adoption_sweep),
+    "latency": ("Latency under load (§VI claim)", run_latency_under_load),
+}
+
+
+def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
+    """Look up a runner by id (raises KeyError with the known ids)."""
+    try:
+        return EXPERIMENTS[experiment_id][1]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
+    """Run a registered experiment by id."""
+    return get_experiment(experiment_id)(**kwargs)

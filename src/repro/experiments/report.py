@@ -1,0 +1,59 @@
+"""Markdown report generation for experiment results.
+
+``python -m repro all --markdown report.md`` regenerates every paper
+artifact and writes an EXPERIMENTS.md-style document from the live
+results, so the shipped record can always be rebuilt from scratch.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.experiments.results import ExperimentResult
+from repro.metrics.ascii_chart import sparkline
+
+__all__ = ["result_to_markdown", "build_markdown_report"]
+
+
+def result_to_markdown(result: ExperimentResult) -> str:
+    """One experiment as a markdown section."""
+    lines = [f"## `{result.experiment_id}` — {result.title}", ""]
+    lines.append("| metric | paper | measured | band | status |")
+    lines.append("|---|---|---|---|---|")
+    for row in result.rows:
+        paper = (
+            f"{row.paper:.3f}" if isinstance(row.paper, float) else str(row.paper)
+        )
+        if row.band is None:
+            band = "—"
+            status = "—"
+        else:
+            band = f"[{row.band[0]:.2f}, {row.band[1]:.2f}]"
+            status = "OK" if row.within_band else "**MISS**"
+        lines.append(
+            f"| {row.label} | {paper} | {row.measured:.3f} | {band} | {status} |"
+        )
+    for name in ("coverage", "success"):
+        series = result.series.get(name)
+        if series:
+            lines.append("")
+            lines.append(f"`{name}` over blocks: `{sparkline(series)}`")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def build_markdown_report(
+    results: Iterable[ExperimentResult], *, title: str = "Reproduction report"
+) -> str:
+    """Assemble a full markdown report from experiment results."""
+    results = list(results)
+    lines = [f"# {title}", ""]
+    n_ok = sum(1 for r in results if r.all_within_band)
+    lines.append(
+        f"{len(results)} experiments; {n_ok} fully within their acceptance "
+        f"bands."
+    )
+    lines.append("")
+    for result in results:
+        lines.append(result_to_markdown(result))
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""Paper-vs-measured comparison reporting.
+
+Every benchmark prints its results through these helpers so the
+paper-reported value, the measured value, and whether the measurement
+falls inside the accepted band line up in one table (mirrored into
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ComparisonRow", "format_table"]
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One reproduced quantity."""
+
+    label: str
+    paper: float | str
+    measured: float
+    band: tuple[float, float] | None = None  # acceptance interval
+
+    @property
+    def within_band(self) -> bool | None:
+        if self.band is None:
+            return None
+        lo, hi = self.band
+        return lo <= self.measured <= hi
+
+    def cells(self) -> tuple[str, str, str, str]:
+        paper = (
+            f"{self.paper:.3f}" if isinstance(self.paper, float) else str(self.paper)
+        )
+        measured = f"{self.measured:.3f}"
+        if self.band is None:
+            verdict = "-"
+        else:
+            verdict = "OK" if self.within_band else "MISS"
+        band = f"[{self.band[0]:.2f}, {self.band[1]:.2f}]" if self.band else "-"
+        return (self.label, paper, measured, f"{band} {verdict}")
+
+
+def format_table(title: str, rows: list[ComparisonRow]) -> str:
+    """Render comparison rows as an aligned text table."""
+    header = ("metric", "paper", "measured", "band")
+    body = [row.cells() for row in rows]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+        for i in range(4)
+    ]
+    lines = [title, "-" * len(title)]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(header)))
+    for cells in body:
+        lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(cells)))
+    return "\n".join(lines)

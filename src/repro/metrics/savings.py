@@ -1,0 +1,94 @@
+"""Analytic flood-reduction model.
+
+Bridges the paper's two halves: its *measurements* are coverage/success
+of rule sets on a trace, but its *claim* is network traffic reduction.
+Under the deployment model of §III-B (rule-route when covered, flood as
+fallback when the rule route misses), a query avoids flooding exactly
+when it is covered AND its rule route succeeds — probability
+``coverage * success``.  Expected per-query message cost is then
+
+    E[msgs] = C*S * rule_cost + C*(1-S) * (rule_cost + flood_cost)
+              + (1-C) * flood_cost
+
+where ``rule_cost`` is the cheap targeted-forwarding cost (about
+``top_k * path_length`` messages) and ``flood_cost`` the full flood's.
+The model lets trace-driven results (Figures 1-4) be read as traffic
+numbers, and its predictions agree with the online simulator's measured
+ratios to within tens of percent (see the traffic experiment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive, check_probability
+
+__all__ = ["FloodReductionEstimate", "estimate_flood_reduction"]
+
+
+@dataclass(frozen=True)
+class FloodReductionEstimate:
+    """Predicted traffic under rule routing with flooding fallback."""
+
+    coverage: float
+    success: float
+    rule_cost: float
+    flood_cost: float
+
+    @property
+    def resolved_fraction(self) -> float:
+        """Queries that never flood (covered and correctly routed)."""
+        return self.coverage * self.success
+
+    @property
+    def expected_messages(self) -> float:
+        c, s = self.coverage, self.success
+        resolved = c * s * self.rule_cost
+        covered_miss = c * (1.0 - s) * (self.rule_cost + self.flood_cost)
+        uncovered = (1.0 - c) * self.flood_cost
+        return resolved + covered_miss + uncovered
+
+    @property
+    def reduction_factor(self) -> float:
+        """How many times cheaper than always-flooding (>1 is a win)."""
+        expected = self.expected_messages
+        return self.flood_cost / expected if expected > 0 else float("inf")
+
+    def __str__(self) -> str:  # pragma: no cover - display convenience
+        return (
+            f"resolved={self.resolved_fraction:.2f} "
+            f"E[msgs]={self.expected_messages:.1f} "
+            f"reduction={self.reduction_factor:.2f}x"
+        )
+
+
+def estimate_flood_reduction(
+    *,
+    coverage: float,
+    success: float,
+    rule_cost: float = 6.0,
+    flood_cost: float = 2000.0,
+) -> FloodReductionEstimate:
+    """Build a :class:`FloodReductionEstimate` from rule-set quality.
+
+    Parameters
+    ----------
+    coverage, success:
+        The paper's alpha and rho for the rule maintenance strategy in
+        force (e.g. Sliding Window's 0.80 / 0.79).
+    rule_cost:
+        Messages for one targeted rule route (top_k consequents followed
+        over the few hops to the provider; ~6 for top-2 over 3 hops).
+    flood_cost:
+        Messages for one TTL-limited flood of the same overlay.
+    """
+    check_probability("coverage", coverage)
+    check_probability("success", success)
+    check_positive("rule_cost", rule_cost)
+    check_positive("flood_cost", flood_cost)
+    return FloodReductionEstimate(
+        coverage=coverage,
+        success=success,
+        rule_cost=float(rule_cost),
+        flood_cost=float(flood_cost),
+    )

@@ -1,0 +1,58 @@
+"""Time-series helpers for coverage/success curves."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["moving_average", "decay_halfway_point", "sawtooth_depth"]
+
+
+def moving_average(values, window: int) -> np.ndarray:
+    """Centered-ish moving average (trailing window) of a series.
+
+    The first ``window - 1`` outputs average over the shorter available
+    prefix, so the result has the same length as the input.
+    """
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return arr
+    out = np.empty_like(arr)
+    csum = np.cumsum(arr)
+    for i in range(arr.size):
+        lo = max(0, i - window + 1)
+        total = csum[i] - (csum[lo - 1] if lo > 0 else 0.0)
+        out[i] = total / (i - lo + 1)
+    return out
+
+
+def decay_halfway_point(values) -> int | None:
+    """First index where a series falls to half its initial value.
+
+    Used to characterize how quickly Static Ruleset degrades (the paper
+    describes its success reaching ~0 around the 16th trial).  Returns
+    ``None`` if the series never falls that far, or is empty/zero-led.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0 or arr[0] <= 0.0:
+        return None
+    target = arr[0] / 2.0
+    below = np.nonzero(arr <= target)[0]
+    return int(below[0]) if below.size else None
+
+
+def sawtooth_depth(values, period: int) -> float:
+    """Mean peak-to-trough drop within consecutive ``period``-length spans.
+
+    Characterizes Lazy Sliding Window's sawtooth (paper Fig. 3): how much
+    quality is lost between a regeneration and the end of its lazy span.
+    """
+    if period < 1:
+        raise ValueError("period must be >= 1")
+    arr = np.asarray(list(values), dtype=float)
+    drops = []
+    for start in range(0, arr.size - period + 1, period):
+        span = arr[start : start + period]
+        drops.append(float(span[0] - span[-1]))
+    return float(np.mean(drops)) if drops else float("nan")

@@ -1,0 +1,74 @@
+"""Traffic accounting for the online overlay simulator.
+
+The motivation of the paper is reducing the number of query messages
+flooded through the network while still finding content.  These counters
+capture exactly that trade-off per routing strategy: messages sent,
+duplicate deliveries, hit rate, and hop counts of first hits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.stats import RunningStats
+
+__all__ = ["QueryOutcome", "TrafficStats"]
+
+
+@dataclass(frozen=True)
+class QueryOutcome:
+    """Result of one query issued in the overlay simulator."""
+
+    query_id: int
+    messages: int  # query messages transmitted on behalf of this query
+    hits: int  # number of distinct providers found
+    first_hit_hops: int | None  # hops to the first hit (None if no hit)
+    duplicates: int  # deliveries suppressed as duplicates
+
+    @property
+    def succeeded(self) -> bool:
+        return self.hits > 0
+
+
+@dataclass
+class TrafficStats:
+    """Aggregate traffic statistics over many queries."""
+
+    n_queries: int = 0
+    n_succeeded: int = 0
+    total_messages: int = 0
+    total_duplicates: int = 0
+    total_hits: int = 0
+    hop_stats: RunningStats = field(default_factory=RunningStats)
+    message_stats: RunningStats = field(default_factory=RunningStats)
+
+    def record(self, outcome: QueryOutcome) -> None:
+        self.n_queries += 1
+        self.total_messages += outcome.messages
+        self.total_duplicates += outcome.duplicates
+        self.total_hits += outcome.hits
+        self.message_stats.push(outcome.messages)
+        if outcome.succeeded:
+            self.n_succeeded += 1
+            if outcome.first_hit_hops is not None:
+                self.hop_stats.push(outcome.first_hit_hops)
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of queries that found at least one provider."""
+        return self.n_succeeded / self.n_queries if self.n_queries else 0.0
+
+    @property
+    def messages_per_query(self) -> float:
+        return self.total_messages / self.n_queries if self.n_queries else 0.0
+
+    @property
+    def mean_first_hit_hops(self) -> float:
+        return self.hop_stats.mean
+
+    def __str__(self) -> str:  # pragma: no cover - display convenience
+        return (
+            f"queries={self.n_queries} success={self.success_rate:.3f} "
+            f"msgs/query={self.messages_per_query:.1f} "
+            f"hops={self.mean_first_hit_hops:.2f}"
+        )

@@ -1,0 +1,125 @@
+"""Apriori frequent-itemset mining (Agrawal et al., the paper's ref [15]).
+
+Level-wise search: frequent k-itemsets are joined to form (k+1)-candidates,
+candidates with an infrequent subset are pruned (the *apriori property* —
+support is anti-monotone), and a single pass over the transactions counts
+the survivors.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from itertools import combinations
+
+from repro.mining.transactions import TransactionDataset
+
+__all__ = ["apriori"]
+
+
+def _candidate_join(frequent: list[frozenset[int]], k: int) -> set[frozenset[int]]:
+    """Join frequent (k-1)-itemsets sharing a (k-2)-prefix into k-candidates."""
+    candidates: set[frozenset[int]] = set()
+    # Sort by the canonical tuple so prefix-sharing pairs are adjacent-ish;
+    # correctness does not depend on order, only the dedup via the set does.
+    as_tuples = sorted(tuple(sorted(s)) for s in frequent)
+    n = len(as_tuples)
+    for i in range(n):
+        for j in range(i + 1, n):
+            a, b = as_tuples[i], as_tuples[j]
+            if a[: k - 2] != b[: k - 2]:
+                # With sorted tuples, once prefixes diverge for j they
+                # diverge for all later j as well.
+                break
+            candidates.add(frozenset(a) | frozenset(b))
+    return candidates
+
+
+def _prune_candidates(
+    candidates: set[frozenset[int]], frequent_prev: set[frozenset[int]]
+) -> list[frozenset[int]]:
+    """Drop candidates with an infrequent (k-1)-subset."""
+    kept = []
+    for cand in candidates:
+        if all(cand - {item} in frequent_prev for item in cand):
+            kept.append(cand)
+    return kept
+
+
+def apriori(
+    dataset: TransactionDataset,
+    *,
+    min_support_count: int = 1,
+    max_size: int | None = None,
+) -> dict[frozenset[int], int]:
+    """Mine all itemsets with support count >= ``min_support_count``.
+
+    Parameters
+    ----------
+    dataset:
+        The transactions to mine.
+    min_support_count:
+        Absolute support threshold (>= 1).  The paper's routing application
+        prunes (source, replier) pairs seen fewer than 10 times; that is a
+        ``min_support_count=10`` mine over 2-item transactions.
+    max_size:
+        Optional cap on itemset cardinality (``None`` = unbounded).
+
+    Returns
+    -------
+    dict
+        Mapping from frequent itemset (``frozenset`` of internal item ids)
+        to its exact support count.
+    """
+    if min_support_count < 1:
+        raise ValueError("min_support_count must be >= 1")
+    if max_size is not None and max_size < 1:
+        raise ValueError("max_size must be >= 1 or None")
+
+    result: dict[frozenset[int], int] = {}
+
+    # Level 1 from the dataset's precomputed item counts.
+    frequent = [
+        frozenset((item,))
+        for item, count in dataset.item_counts().items()
+        if count >= min_support_count
+    ]
+    for itemset in frequent:
+        (item,) = itemset
+        result[itemset] = dataset.item_count(item)
+
+    k = 2
+    while frequent and (max_size is None or k <= max_size):
+        candidates = _candidate_join(frequent, k)
+        candidates = _prune_candidates(candidates, set(frequent))
+        if not candidates:
+            break
+        counts: Counter[frozenset[int]] = Counter()
+        # Count by enumerating each transaction's k-subsets when that is
+        # cheaper than testing every candidate, otherwise test candidates.
+        candidate_set = set(candidates)
+        for tx in dataset.transactions:
+            if len(tx) < k:
+                continue
+            if _n_choose_k(len(tx), k) <= len(candidate_set):
+                for combo in combinations(sorted(tx), k):
+                    fs = frozenset(combo)
+                    if fs in candidate_set:
+                        counts[fs] += 1
+            else:
+                for cand in candidate_set:
+                    if cand <= tx:
+                        counts[cand] += 1
+        frequent = [c for c, n in counts.items() if n >= min_support_count]
+        for itemset in frequent:
+            result[itemset] = counts[itemset]
+        k += 1
+    return result
+
+
+def _n_choose_k(n: int, k: int) -> int:
+    if k > n:
+        return 0
+    num = 1
+    for i in range(k):
+        num = num * (n - i) // (i + 1)
+    return num

@@ -1,0 +1,167 @@
+"""FP-Growth frequent-itemset mining (Han et al.).
+
+Builds an FP-tree — a prefix tree of transactions with items ordered by
+descending frequency — and mines it recursively via conditional pattern
+bases, avoiding Apriori's candidate generation.  The test suite asserts
+that :func:`fpgrowth` and :func:`repro.mining.apriori.apriori` return
+identical (itemset -> count) mappings on random datasets.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.mining.transactions import TransactionDataset
+
+__all__ = ["fpgrowth"]
+
+
+class _FPNode:
+    __slots__ = ("item", "count", "parent", "children", "link")
+
+    def __init__(self, item: int | None, parent: "_FPNode | None") -> None:
+        self.item = item
+        self.count = 0
+        self.parent = parent
+        self.children: dict[int, _FPNode] = {}
+        self.link: _FPNode | None = None
+
+
+class _FPTree:
+    """Prefix tree plus per-item header links for sideways traversal."""
+
+    def __init__(self) -> None:
+        self.root = _FPNode(None, None)
+        self.header: dict[int, _FPNode] = {}
+        self._tails: dict[int, _FPNode] = {}
+
+    def insert(self, items: list[int], count: int) -> None:
+        node = self.root
+        for item in items:
+            child = node.children.get(item)
+            if child is None:
+                child = _FPNode(item, node)
+                node.children[item] = child
+                if item in self._tails:
+                    self._tails[item].link = child
+                else:
+                    self.header[item] = child
+                self._tails[item] = child
+            child.count += count
+            node = child
+
+    def prefix_paths(self, item: int) -> list[tuple[list[int], int]]:
+        """All (path-to-root items, count) pairs for occurrences of ``item``."""
+        paths = []
+        node = self.header.get(item)
+        while node is not None:
+            path: list[int] = []
+            parent = node.parent
+            while parent is not None and parent.item is not None:
+                path.append(parent.item)
+                parent = parent.parent
+            if path:
+                path.reverse()
+            paths.append((path, node.count))
+            node = node.link
+        return paths
+
+    def single_path(self) -> list[tuple[int, int]] | None:
+        """If the tree is a single chain, return its (item, count) list."""
+        items = []
+        node = self.root
+        while node.children:
+            if len(node.children) > 1:
+                return None
+            (node,) = node.children.values()
+            items.append((node.item, node.count))
+        return items
+
+
+def _build_tree(
+    weighted_transactions: list[tuple[list[int], int]],
+    min_support_count: int,
+) -> tuple[_FPTree, dict[int, int]]:
+    counts: Counter[int] = Counter()
+    for items, count in weighted_transactions:
+        for item in items:
+            counts[item] += count
+    frequent = {i: c for i, c in counts.items() if c >= min_support_count}
+    tree = _FPTree()
+    # Stable, frequency-descending order (ties broken by item id) keeps the
+    # tree compact and the recursion deterministic.
+    order = {item: (-c, item) for item, c in frequent.items()}
+    for items, count in weighted_transactions:
+        kept = sorted((i for i in items if i in frequent), key=order.__getitem__)
+        if kept:
+            tree.insert(kept, count)
+    return tree, frequent
+
+
+def _mine(
+    tree: _FPTree,
+    frequent: dict[int, int],
+    suffix: frozenset[int],
+    min_support_count: int,
+    out: dict[frozenset[int], int],
+    max_size: int | None,
+) -> None:
+    if max_size is not None and len(suffix) >= max_size:
+        return
+    chain = tree.single_path()
+    if chain is not None:
+        # Every combination of chain items joined with the suffix is
+        # frequent with the minimum count along the chosen prefix.
+        _emit_chain_combinations(chain, suffix, out, max_size)
+        return
+    # Recurse item by item, least-frequent first (bottom of the order).
+    for item in sorted(frequent, key=lambda i: (frequent[i], -i)):
+        new_suffix = suffix | {item}
+        out[new_suffix] = frequent[item]
+        cond = tree.prefix_paths(item)
+        cond_tree, cond_frequent = _build_tree(cond, min_support_count)
+        if cond_frequent:
+            _mine(cond_tree, cond_frequent, new_suffix, min_support_count, out, max_size)
+
+
+def _emit_chain_combinations(
+    chain: list[tuple[int, int]],
+    suffix: frozenset[int],
+    out: dict[frozenset[int], int],
+    max_size: int | None,
+) -> None:
+    n = len(chain)
+    budget = None if max_size is None else max_size - len(suffix)
+    for mask in range(1, 1 << n):
+        if budget is not None and mask.bit_count() > budget:
+            continue
+        items = set(suffix)
+        count = None
+        for bit in range(n):
+            if mask & (1 << bit):
+                item, c = chain[bit]
+                items.add(item)
+                count = c if count is None else min(count, c)
+        out[frozenset(items)] = count
+
+
+def fpgrowth(
+    dataset: TransactionDataset,
+    *,
+    min_support_count: int = 1,
+    max_size: int | None = None,
+) -> dict[frozenset[int], int]:
+    """Mine all itemsets with support count >= ``min_support_count``.
+
+    Same contract as :func:`repro.mining.apriori.apriori`; the two are
+    interchangeable and property-tested for equality.
+    """
+    if min_support_count < 1:
+        raise ValueError("min_support_count must be >= 1")
+    if max_size is not None and max_size < 1:
+        raise ValueError("max_size must be >= 1 or None")
+    weighted = [(sorted(tx), 1) for tx in dataset.transactions]
+    tree, frequent = _build_tree(weighted, min_support_count)
+    out: dict[frozenset[int], int] = {}
+    _mine(tree, frequent, frozenset(), min_support_count, out, max_size)
+    return out

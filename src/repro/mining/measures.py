@@ -1,0 +1,96 @@
+"""Interestingness measures for association rules.
+
+Support and confidence are the two measures the paper discusses (Section
+III-A); lift, leverage and conviction are the standard complements any
+association-analysis library ships, and the confidence-based pruning
+extension (paper Section VI) uses confidence directly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["RuleMeasures", "compute_measures"]
+
+
+@dataclass(frozen=True)
+class RuleMeasures:
+    """All measures for one rule ``antecedent -> consequent``.
+
+    Attributes
+    ----------
+    support:
+        Fraction of transactions containing antecedent ∪ consequent.
+    confidence:
+        P(consequent | antecedent) estimated from counts.
+    lift:
+        confidence / P(consequent); 1.0 means independence.
+    leverage:
+        support − P(antecedent)·P(consequent).
+    conviction:
+        (1 − P(consequent)) / (1 − confidence); ``inf`` for exact rules.
+    """
+
+    support: float
+    confidence: float
+    lift: float
+    leverage: float
+    conviction: float
+
+
+def compute_measures(
+    *,
+    n_transactions: int,
+    antecedent_count: int,
+    consequent_count: int,
+    union_count: int,
+) -> RuleMeasures:
+    """Compute all measures from raw counts.
+
+    Parameters
+    ----------
+    n_transactions:
+        Total number of transactions (> 0).
+    antecedent_count / consequent_count:
+        Support counts of the antecedent and consequent itemsets alone.
+    union_count:
+        Support count of antecedent ∪ consequent.
+
+    Raises
+    ------
+    ValueError
+        If the counts are inconsistent (e.g. union exceeds either side).
+    """
+    if n_transactions <= 0:
+        raise ValueError("n_transactions must be positive")
+    if antecedent_count <= 0:
+        raise ValueError("antecedent_count must be positive for a rule")
+    if union_count < 0 or consequent_count < 0:
+        raise ValueError("counts must be non-negative")
+    if union_count > antecedent_count or union_count > consequent_count:
+        raise ValueError("union support cannot exceed either side's support")
+    if max(antecedent_count, consequent_count) > n_transactions:
+        raise ValueError("itemset support cannot exceed n_transactions")
+    if union_count < antecedent_count + consequent_count - n_transactions:
+        raise ValueError(
+            "inconsistent counts: union support violates inclusion-exclusion"
+        )
+
+    support = union_count / n_transactions
+    confidence = union_count / antecedent_count
+    p_ante = antecedent_count / n_transactions
+    p_cons = consequent_count / n_transactions
+    lift = confidence / p_cons if p_cons > 0 else math.inf
+    leverage = support - p_ante * p_cons
+    if confidence >= 1.0:
+        conviction = math.inf
+    else:
+        conviction = (1.0 - p_cons) / (1.0 - confidence)
+    return RuleMeasures(
+        support=support,
+        confidence=confidence,
+        lift=lift,
+        leverage=leverage,
+        conviction=conviction,
+    )

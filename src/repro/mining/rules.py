@@ -1,0 +1,121 @@
+"""Association-rule extraction from frequent itemsets.
+
+Given the frequent itemsets produced by :func:`~repro.mining.apriori.apriori`
+or :func:`~repro.mining.fpgrowth.fpgrowth`, enumerate rules
+``antecedent -> consequent`` (both non-empty, disjoint, union frequent) and
+keep those passing the support and confidence thresholds — the pruning
+process described in Section III-A of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.mining.measures import RuleMeasures, compute_measures
+from repro.mining.transactions import TransactionDataset
+
+__all__ = ["AssociationRule", "generate_rules"]
+
+
+@dataclass(frozen=True)
+class AssociationRule:
+    """One mined rule with its measures.
+
+    ``antecedent`` and ``consequent`` hold *original* items (decoded from
+    internal ids) so callers never see the encoding.
+    """
+
+    antecedent: frozenset
+    consequent: frozenset
+    measures: RuleMeasures
+
+    @property
+    def support(self) -> float:
+        return self.measures.support
+
+    @property
+    def confidence(self) -> float:
+        return self.measures.confidence
+
+    def __str__(self) -> str:  # pragma: no cover - display convenience
+        ante = "{" + ", ".join(map(str, sorted(self.antecedent, key=str))) + "}"
+        cons = "{" + ", ".join(map(str, sorted(self.consequent, key=str))) + "}"
+        return (
+            f"{ante} -> {cons} "
+            f"(supp={self.support:.3f}, conf={self.confidence:.3f})"
+        )
+
+
+def generate_rules(
+    dataset: TransactionDataset,
+    frequent_itemsets: dict[frozenset[int], int],
+    *,
+    min_confidence: float = 0.0,
+    min_support: float = 0.0,
+) -> list[AssociationRule]:
+    """Enumerate rules from ``frequent_itemsets`` passing both thresholds.
+
+    Parameters
+    ----------
+    dataset:
+        The dataset the itemsets were mined from (provides total transaction
+        count and id decoding).
+    frequent_itemsets:
+        Mapping itemset -> support count, as returned by the miners.  Every
+        subset of a listed itemset must itself be listed (true for both
+        miners by the anti-monotone property).
+    min_confidence, min_support:
+        Fractional thresholds in [0, 1].
+
+    Returns
+    -------
+    list of :class:`AssociationRule`, sorted by descending confidence then
+    descending support (a deterministic, useful default ordering).
+    """
+    if not 0.0 <= min_confidence <= 1.0:
+        raise ValueError("min_confidence must be in [0, 1]")
+    if not 0.0 <= min_support <= 1.0:
+        raise ValueError("min_support must be in [0, 1]")
+    n = len(dataset)
+    if n == 0:
+        return []
+
+    rules: list[AssociationRule] = []
+    for itemset, union_count in frequent_itemsets.items():
+        if len(itemset) < 2:
+            continue
+        if union_count / n < min_support:
+            continue
+        items = sorted(itemset)
+        for r in range(1, len(items)):
+            for ante_tuple in combinations(items, r):
+                antecedent = frozenset(ante_tuple)
+                consequent = itemset - antecedent
+                ante_count = frequent_itemsets.get(antecedent)
+                cons_count = frequent_itemsets.get(consequent)
+                if ante_count is None or cons_count is None:
+                    # Subset missing can only happen if the caller passed a
+                    # filtered mapping; fall back to an exact scan.
+                    ante_count = dataset.support_count(antecedent)
+                    cons_count = dataset.support_count(consequent)
+                if ante_count == 0:
+                    continue
+                confidence = union_count / ante_count
+                if confidence < min_confidence:
+                    continue
+                measures = compute_measures(
+                    n_transactions=n,
+                    antecedent_count=ante_count,
+                    consequent_count=cons_count,
+                    union_count=union_count,
+                )
+                rules.append(
+                    AssociationRule(
+                        antecedent=dataset.decode_itemset(antecedent),
+                        consequent=dataset.decode_itemset(consequent),
+                        measures=measures,
+                    )
+                )
+    rules.sort(key=lambda rule: (-rule.confidence, -rule.support, str(rule)))
+    return rules

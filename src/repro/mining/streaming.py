@@ -1,0 +1,133 @@
+"""Streaming frequency estimation (Manku–Motwani lossy counting).
+
+The paper's future-work section describes an algorithm that updates routing
+rules *immediately* as query and reply messages arrive, citing the
+data-stream literature (their ref [18]).  :class:`LossyCounter` implements
+the classic lossy-counting sketch: it maintains approximate counts of items
+in a stream using bounded memory, guaranteeing that
+
+* every item whose true count exceeds ``epsilon * N`` is retained, and
+* each retained estimate undercounts the truth by at most ``epsilon * N``,
+
+where ``N`` is the stream length so far.  :class:`StreamingPairCounter`
+specializes it to (query-source, reply-source) pairs for the streaming
+routing strategy.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Iterable
+
+from repro.utils.validation import check_fraction
+
+__all__ = ["LossyCounter", "StreamingPairCounter"]
+
+
+class LossyCounter:
+    """Approximate stream frequency counts with the lossy-counting bound."""
+
+    def __init__(self, epsilon: float = 0.001) -> None:
+        self.epsilon = check_fraction("epsilon", epsilon)
+        self.bucket_width = math.ceil(1.0 / self.epsilon)
+        self.n_seen = 0
+        self._current_bucket = 1
+        # item -> (count, max undercount Delta at insertion time)
+        self._entries: dict[Hashable, tuple[int, int]] = {}
+
+    def push(self, item: Hashable) -> None:
+        """Observe one stream element."""
+        self.n_seen += 1
+        entry = self._entries.get(item)
+        if entry is None:
+            self._entries[item] = (1, self._current_bucket - 1)
+        else:
+            count, delta = entry
+            self._entries[item] = (count + 1, delta)
+        if self.n_seen % self.bucket_width == 0:
+            self._compress()
+            self._current_bucket += 1
+
+    def extend(self, items: Iterable[Hashable]) -> None:
+        for item in items:
+            self.push(item)
+
+    def _compress(self) -> None:
+        bucket = self._current_bucket
+        doomed = [
+            item
+            for item, (count, delta) in self._entries.items()
+            if count + delta <= bucket
+        ]
+        for item in doomed:
+            del self._entries[item]
+
+    def estimate(self, item: Hashable) -> int:
+        """Lower-bound estimate of the item's true count (0 if evicted)."""
+        entry = self._entries.get(item)
+        return entry[0] if entry else 0
+
+    def items_over(self, threshold: float) -> dict[Hashable, int]:
+        """Items whose *true* count may exceed ``threshold * n_seen``.
+
+        Standard lossy-counting output rule: report entries with
+        ``count >= (threshold - epsilon) * N``.  Guaranteed to include every
+        item with true frequency >= ``threshold`` (no false negatives).
+        """
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError("threshold must be in [0, 1]")
+        floor = (threshold - self.epsilon) * self.n_seen
+        return {
+            item: count
+            for item, (count, _delta) in self._entries.items()
+            if count >= floor
+        }
+
+    def __len__(self) -> int:
+        """Number of tracked entries (bounded by O(log(eps*N)/eps))."""
+        return len(self._entries)
+
+
+class StreamingPairCounter:
+    """Lossy counts over (source, replier) pairs, plus per-source views.
+
+    The streaming routing strategy asks, for each query-source neighbor,
+    which reply-source neighbors currently co-occur with it most often;
+    this class answers that from the sketch without a second pass.
+    """
+
+    def __init__(self, epsilon: float = 0.001) -> None:
+        self._counter = LossyCounter(epsilon)
+
+    @property
+    def n_seen(self) -> int:
+        return self._counter.n_seen
+
+    def push(self, source: Hashable, replier: Hashable) -> None:
+        self._counter.push((source, replier))
+
+    def estimate(self, source: Hashable, replier: Hashable) -> int:
+        return self._counter.estimate((source, replier))
+
+    def top_repliers(self, source: Hashable, k: int = 1) -> list[tuple[Hashable, int]]:
+        """The k repliers with the largest estimated counts for ``source``."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        matches = [
+            (pair[1], count)
+            for pair, (count, _delta) in self._counter._entries.items()
+            if pair[0] == source
+        ]
+        matches.sort(key=lambda rc: (-rc[1], str(rc[0])))
+        return matches[:k]
+
+    def pairs_over_count(self, min_count: int) -> dict[tuple, int]:
+        """All tracked pairs with estimated count >= ``min_count``."""
+        return {
+            pair: count
+            for pair, (count, _delta) in self._counter._entries.items()
+            if count >= min_count
+        }
+
+    def __len__(self) -> int:
+        return len(self._counter)

@@ -1,0 +1,91 @@
+"""Transaction datasets for frequent-itemset mining.
+
+A *transaction* is a set of items (a market basket; in the routing
+application, the pair {query-source, reply-source} observed for one
+query–reply event).  :class:`TransactionDataset` normalizes arbitrary
+hashable items into dense integer ids so the miners can work on small
+``frozenset[int]`` objects, and provides per-item support counts used for
+the miners' first pass.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Hashable, Iterable, Sequence
+
+__all__ = ["TransactionDataset"]
+
+
+class TransactionDataset:
+    """An immutable collection of transactions over an item vocabulary."""
+
+    def __init__(self, transactions: Iterable[Iterable[Hashable]]) -> None:
+        self._item_to_id: dict[Hashable, int] = {}
+        self._id_to_item: list[Hashable] = []
+        encoded: list[frozenset[int]] = []
+        for raw in transactions:
+            tx = frozenset(self._encode_item(item) for item in raw)
+            if tx:
+                encoded.append(tx)
+        self._transactions: tuple[frozenset[int], ...] = tuple(encoded)
+        counts: Counter[int] = Counter()
+        for tx in self._transactions:
+            counts.update(tx)
+        self._item_counts = counts
+
+    def _encode_item(self, item: Hashable) -> int:
+        iid = self._item_to_id.get(item)
+        if iid is None:
+            iid = len(self._id_to_item)
+            self._item_to_id[item] = iid
+            self._id_to_item.append(item)
+        return iid
+
+    # -- vocabulary --------------------------------------------------------
+    @property
+    def n_items(self) -> int:
+        return len(self._id_to_item)
+
+    def item(self, item_id: int) -> Hashable:
+        """Original item for an internal id."""
+        return self._id_to_item[item_id]
+
+    def item_id(self, item: Hashable) -> int:
+        """Internal id for an original item (KeyError if unseen)."""
+        return self._item_to_id[item]
+
+    def decode_itemset(self, itemset: frozenset[int]) -> frozenset:
+        """Map an internal itemset back to original items."""
+        return frozenset(self._id_to_item[i] for i in itemset)
+
+    # -- transactions ------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._transactions)
+
+    @property
+    def transactions(self) -> Sequence[frozenset[int]]:
+        return self._transactions
+
+    def item_count(self, item_id: int) -> int:
+        """Number of transactions containing ``item_id``."""
+        return self._item_counts.get(item_id, 0)
+
+    def item_counts(self) -> Counter:
+        return Counter(self._item_counts)
+
+    def support_count(self, itemset: Iterable[int]) -> int:
+        """Exact support count of an itemset by a full scan (reference path).
+
+        Linear in the dataset; the miners avoid calling this in their inner
+        loops, but tests use it as ground truth.
+        """
+        items = frozenset(itemset)
+        if not items:
+            return len(self._transactions)
+        return sum(1 for tx in self._transactions if items <= tx)
+
+    def support(self, itemset: Iterable[int]) -> float:
+        """Fractional support of an itemset (0 when the dataset is empty)."""
+        if not self._transactions:
+            return 0.0
+        return self.support_count(itemset) / len(self._transactions)

@@ -1,0 +1,69 @@
+"""Discrete unstructured-overlay simulator.
+
+The paper's own evaluation is trace-driven, but its motivation — and its
+§VI claims — are about live networks: selectively forwarding queries
+should dramatically reduce flooded messages while still locating content.
+This subpackage provides the overlay substrate to test that end-to-end:
+
+* :mod:`~repro.network.topology` — from-scratch topology generators
+  (random regular, Erdős–Rényi with connectivity repair,
+  Barabási–Albert power-law) over a compact adjacency-list
+  :class:`~repro.network.topology.Topology`;
+* :mod:`~repro.network.node` — per-peer state: shared library, interest
+  profile, and the node's routing policy instance;
+* :mod:`~repro.network.messages` — Gnutella-style ``Query`` descriptors;
+* :mod:`~repro.network.engine` — hop-synchronous query propagation with
+  per-node GUID duplicate suppression, TTL handling, hit detection and
+  reverse-path reply feedback (the signal association routing learns
+  from);
+* :mod:`~repro.network.overlay` — assembles topology + content + policies
+  into a runnable network, with optional churn between queries.
+"""
+
+from repro.network.discrete_event import (
+    DiscreteEventConfig,
+    DiscreteEventNetwork,
+    LatencyReport,
+)
+from repro.network.dynamic import DynamicTopology
+from repro.network.engine import QueryEngine
+from repro.network.messages import Query
+from repro.network.node import PeerNode
+from repro.network.overlay import Overlay, OverlayConfig
+from repro.network.servent import (
+    MonitorServent,
+    RuleRoutedServent,
+    Servent,
+    SharedFile,
+)
+from repro.network.superpeer import SuperPeerConfig, SuperPeerNetwork
+from repro.network.wirenet import WireNetwork
+from repro.network.topology import (
+    Topology,
+    barabasi_albert,
+    erdos_renyi,
+    random_regular,
+)
+
+__all__ = [
+    "DiscreteEventConfig",
+    "DiscreteEventNetwork",
+    "DynamicTopology",
+    "LatencyReport",
+    "MonitorServent",
+    "Overlay",
+    "OverlayConfig",
+    "PeerNode",
+    "Query",
+    "QueryEngine",
+    "RuleRoutedServent",
+    "Servent",
+    "SharedFile",
+    "SuperPeerConfig",
+    "SuperPeerNetwork",
+    "Topology",
+    "WireNetwork",
+    "barabasi_albert",
+    "erdos_renyi",
+    "random_regular",
+]

@@ -1,0 +1,132 @@
+"""Mutable overlay topology (substrate for §VI topology adaptation).
+
+The base :class:`~repro.network.topology.Topology` is immutable — right
+for trace-driven work, wrong for the paper's future-work idea of
+*re-arranging the overlay* using mined rules.  :class:`DynamicTopology`
+exposes the same read interface plus edge addition/removal with a
+per-node degree cap (real peers have connection budgets).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+__all__ = ["DynamicTopology"]
+
+
+class DynamicTopology:
+    """An undirected graph supporting edge rewiring under a degree cap."""
+
+    def __init__(
+        self,
+        n_nodes: int,
+        edges: Iterable[tuple[int, int]],
+        *,
+        max_degree: int | None = None,
+    ) -> None:
+        if n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        if max_degree is not None and max_degree < 1:
+            raise ValueError("max_degree must be >= 1 or None")
+        self.max_degree = max_degree
+        self._adj: list[set[int]] = [set() for _ in range(n_nodes)]
+        self.n_edges = 0
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    @classmethod
+    def from_topology(cls, topology, *, max_degree: int | None = None) -> "DynamicTopology":
+        """Thaw an immutable :class:`Topology` into a dynamic one."""
+        return cls(topology.n_nodes, topology.edges(), max_degree=max_degree)
+
+    # -- read interface (mirrors Topology) -------------------------------
+    @property
+    def n_nodes(self) -> int:
+        return len(self._adj)
+
+    def neighbors(self, node: int) -> tuple[int, ...]:
+        return tuple(sorted(self._adj[node]))
+
+    def degree(self, node: int) -> int:
+        return len(self._adj[node])
+
+    def degrees(self) -> list[int]:
+        return [len(nbrs) for nbrs in self._adj]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return v in self._adj[u]
+
+    def edges(self) -> list[tuple[int, int]]:
+        out = []
+        for u, nbrs in enumerate(self._adj):
+            for v in nbrs:
+                if u < v:
+                    out.append((u, v))
+        return out
+
+    def component_of(self, start: int) -> set[int]:
+        seen = {start}
+        queue = deque([start])
+        while queue:
+            u = queue.popleft()
+            for v in self._adj[u]:
+                if v not in seen:
+                    seen.add(v)
+                    queue.append(v)
+        return seen
+
+    def is_connected(self) -> bool:
+        return len(self.component_of(0)) == self.n_nodes
+
+    def shortest_path_length(self, src: int, dst: int) -> int | None:
+        if src == dst:
+            return 0
+        dist = {src: 0}
+        queue = deque([src])
+        while queue:
+            u = queue.popleft()
+            for v in self._adj[u]:
+                if v not in dist:
+                    dist[v] = dist[u] + 1
+                    if v == dst:
+                        return dist[v]
+                    queue.append(v)
+        return None
+
+    # -- mutation ----------------------------------------------------------
+    def can_add_edge(self, u: int, v: int) -> bool:
+        """Whether (u, v) can be added under the degree cap."""
+        if u == v or self.has_edge(u, v):
+            return False
+        if self.max_degree is not None:
+            if len(self._adj[u]) >= self.max_degree:
+                return False
+            if len(self._adj[v]) >= self.max_degree:
+                return False
+        return True
+
+    def add_edge(self, u: int, v: int) -> None:
+        if not (0 <= u < self.n_nodes and 0 <= v < self.n_nodes):
+            raise ValueError(f"edge ({u}, {v}) out of range")
+        if u == v:
+            raise ValueError(f"self-loop at node {u}")
+        if self.has_edge(u, v):
+            return
+        if not self.can_add_edge(u, v):
+            raise ValueError(
+                f"degree cap {self.max_degree} forbids edge ({u}, {v})"
+            )
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+        self.n_edges += 1
+
+    def remove_edge(self, u: int, v: int) -> None:
+        if not self.has_edge(u, v):
+            raise ValueError(f"no edge ({u}, {v})")
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+        self.n_edges -= 1
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"DynamicTopology(n={self.n_nodes}, edges={self.n_edges})"

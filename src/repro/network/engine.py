@@ -1,0 +1,208 @@
+"""Hop-synchronous query propagation.
+
+The engine implements the Gnutella mechanics every routing policy builds
+on: per-node duplicate suppression by GUID, TTL decrement per hop, hit
+detection against node libraries, and reverse-path reply delivery.  The
+reply pass is what feeds learning policies — for each hit, every node on
+the forward path observes which *downstream* neighbor the reply came back
+through and which *upstream* neighbor originally handed it the query,
+exactly the (antecedent, consequent) events the paper mines.
+
+Traffic accounting counts **query transmissions** (one per edge
+traversal); reply messages are proportional to hits in every scheme and
+are therefore not part of the comparison, as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.metrics.traffic import QueryOutcome
+from repro.network.messages import Query
+from repro.utils.rng import as_generator
+
+__all__ = ["QueryEngine"]
+
+SelectFn = Callable[[int, int | None, Query], Sequence[int]]
+
+
+class QueryEngine:
+    """Propagation primitives over one overlay."""
+
+    def __init__(self, overlay) -> None:
+        self.overlay = overlay
+
+    # ------------------------------------------------------------------
+    def broadcast(
+        self,
+        query: Query,
+        select: SelectFn,
+        *,
+        feedback: bool = True,
+    ) -> QueryOutcome:
+        """Propagate ``query`` breadth-first using ``select`` at each node.
+
+        ``select(node, upstream, query)`` returns the neighbors to forward
+        to (the engine removes the upstream and already-counted duplicate
+        deliveries are suppressed per standard Gnutella behaviour).  For
+        the origin, ``upstream`` is ``None``.
+        """
+        overlay = self.overlay
+        origin = query.origin
+        parent: dict[int, int | None] = {origin: None}
+        hops: dict[int, int] = {origin: 0}
+        messages = 0
+        duplicates = 0
+        providers: list[int] = []
+        first_hit_hops: int | None = None
+
+        if overlay.node(origin).shares(query.file_id):
+            # Local library satisfies the query with zero traffic.
+            return QueryOutcome(
+                query_id=query.guid,
+                messages=0,
+                hits=1,
+                first_hit_hops=0,
+                duplicates=0,
+            )
+
+        frontier: list[int] = [origin]
+        while frontier:
+            next_frontier: list[int] = []
+            for node in frontier:
+                depth = hops[node]
+                if depth >= query.ttl:
+                    continue
+                upstream = parent[node]
+                targets = select(node, upstream, query)
+                for target in targets:
+                    if target == upstream:
+                        continue
+                    messages += 1
+                    if target in parent:
+                        duplicates += 1
+                        continue
+                    parent[target] = node
+                    hops[target] = depth + 1
+                    if overlay.node(target).shares(query.file_id):
+                        providers.append(target)
+                        if first_hit_hops is None:
+                            first_hit_hops = depth + 1
+                    next_frontier.append(target)
+            frontier = next_frontier
+
+        if feedback and providers:
+            self._deliver_replies(query, providers, parent)
+        return QueryOutcome(
+            query_id=query.guid,
+            messages=messages,
+            hits=len(providers),
+            first_hit_hops=first_hit_hops,
+            duplicates=duplicates,
+        )
+
+    def _deliver_replies(
+        self, query: Query, providers: list[int], parent: dict[int, int | None]
+    ) -> None:
+        """Walk each hit's reverse path, notifying learning policies.
+
+        At node ``w`` on the path, the reply arrived through ``downstream``
+        (the next hop toward the provider) in response to a query received
+        from ``upstream`` (or from the local user at the origin, modelled
+        as the node's own id — the antecedent for locally issued queries).
+        """
+        overlay = self.overlay
+        for provider in providers:
+            node = provider
+            while True:
+                up = parent[node]
+                if up is None:
+                    break
+                downstream = node
+                w = up
+                upstream_of_w = parent[w] if parent[w] is not None else w
+                policy = overlay.node(w).policy
+                if policy is not None and hasattr(policy, "on_reply"):
+                    policy.on_reply(
+                        node_id=w,
+                        upstream=upstream_of_w,
+                        downstream=downstream,
+                        query=query,
+                        provider=provider,
+                    )
+                node = w
+
+    # ------------------------------------------------------------------
+    def walk(
+        self,
+        query: Query,
+        *,
+        n_walkers: int,
+        rng=None,
+        stop_on_hit: bool = True,
+    ) -> QueryOutcome:
+        """k-random-walk propagation [6].
+
+        ``n_walkers`` walkers leave the origin; each step forwards the
+        query to one uniformly random neighbor (avoiding an immediate
+        bounce-back when possible) and costs one message.  A walker
+        terminates after ``query.ttl`` steps or upon landing on a
+        provider (when ``stop_on_hit``).
+        """
+        if n_walkers < 1:
+            raise ValueError("n_walkers must be >= 1")
+        rng = as_generator(rng)
+        overlay = self.overlay
+        origin = query.origin
+
+        if overlay.node(origin).shares(query.file_id):
+            return QueryOutcome(query.guid, 0, 1, 0, 0)
+
+        messages = 0
+        duplicates = 0
+        visited: set[int] = {origin}
+        providers: set[int] = set()
+        first_hit_hops: int | None = None
+
+        for _ in range(n_walkers):
+            node = origin
+            prev: int | None = None
+            for step in range(query.ttl):
+                neighbors = overlay.topology.neighbors(node)
+                if not neighbors:
+                    break
+                choices = [v for v in neighbors if v != prev] or list(neighbors)
+                target = choices[int(rng.integers(0, len(choices)))]
+                messages += 1
+                if target in visited:
+                    duplicates += 1
+                else:
+                    visited.add(target)
+                prev, node = node, target
+                if overlay.node(node).shares(query.file_id):
+                    providers.add(node)
+                    if first_hit_hops is None:
+                        first_hit_hops = step + 1
+                    if stop_on_hit:
+                        break
+        return QueryOutcome(
+            query_id=query.guid,
+            messages=messages,
+            hits=len(providers),
+            first_hit_hops=first_hit_hops,
+            duplicates=duplicates,
+        )
+
+    # ------------------------------------------------------------------
+    def probe(self, query: Query, targets: Sequence[int]) -> tuple[list[int], int]:
+        """Directly ask specific nodes (shortcut checks).
+
+        Each probe costs one message; returns (hit nodes, messages).
+        """
+        hits = []
+        messages = 0
+        for target in targets:
+            messages += 1
+            if self.overlay.node(target).shares(query.file_id):
+                hits.append(target)
+        return hits, messages

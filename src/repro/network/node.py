@@ -1,0 +1,29 @@
+"""Per-peer state in the overlay simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workload.interests import InterestProfile
+
+__all__ = ["PeerNode"]
+
+
+@dataclass
+class PeerNode:
+    """A peer: its shared files, interests, and routing policy.
+
+    ``library`` holds file ids the peer shares (drawn from its interest
+    categories — interest-based locality).  ``policy`` is this node's
+    routing-policy instance; policies that learn (association routing,
+    shortcuts, routing indices) keep their tables on the instance.
+    """
+
+    node_id: int
+    profile: InterestProfile
+    library: frozenset[int] = frozenset()
+    policy: object | None = None
+    generation: int = 0  # bumped when churn replaces this peer's identity
+
+    def shares(self, file_id: int) -> bool:
+        return file_id in self.library

@@ -1,0 +1,287 @@
+"""A Gnutella servent state machine over the wire protocol.
+
+:class:`Servent` consumes and produces *bytes* (framed by
+:mod:`repro.network.protocol`) and implements the Gnutella 0.4 forwarding
+rules the paper's deployment story assumes:
+
+* **Ping** — answer with a Pong describing the local library, then
+  forward the aged Ping to every other connection;
+* **Query** — remember which connection it arrived on (GUID route),
+  answer with a QueryHit for every matching local file, then forward the
+  aged Query to every other connection; duplicate GUIDs are dropped;
+* **Pong / QueryHit** — routed *backwards* through the connection the
+  corresponding Ping/Query arrived on, never flooded — which is why no
+  hop learns the requester's address (the paper's anonymity point).
+
+:class:`MonitorServent` is the paper's §IV "modified node": a servent
+that additionally logs every Query and QueryHit it sees as
+:class:`~repro.trace.records.QueryRecord` / ``ReplyRecord`` — the exact
+capture methodology, reproduced at the wire level.  An integration test
+drives generated traffic through a monitor servent and feeds its capture
+into the dedup/join/rules pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.protocol import (
+    PAYLOAD_PING,
+    PAYLOAD_PONG,
+    PAYLOAD_QUERY,
+    PAYLOAD_QUERY_HIT,
+    PingMessage,
+    PongMessage,
+    QueryHitMessage,
+    QueryMessage,
+    ReplyRoutingTable,
+    decode_message,
+    encode_message,
+)
+from repro.trace.records import QueryRecord, ReplyRecord, render_ip
+from repro.utils.timeline import SimClock
+
+__all__ = ["SharedFile", "Servent", "MonitorServent", "RuleRoutedServent"]
+
+#: sentinel connection id for locally originated descriptors.
+LOCAL = -1
+
+
+@dataclass(frozen=True)
+class SharedFile:
+    """One file in a servent's library."""
+
+    index: int
+    name: str
+    size: int
+
+    def matches(self, search: str) -> bool:
+        """Conjunctive keyword match against the file name (Gnutella style)."""
+        name = self.name.lower()
+        return all(term in name for term in search.lower().split())
+
+
+class Servent:
+    """One Gnutella node: connections, library, forwarding rules."""
+
+    def __init__(
+        self,
+        servent_guid: int,
+        *,
+        library: list[SharedFile] | None = None,
+        ip: str | None = None,
+        port: int = 6346,
+        max_ttl: int = 7,
+    ) -> None:
+        if not 0 <= servent_guid < (1 << 128):
+            raise ValueError("servent_guid must fit in 128 bits")
+        self.servent_guid = servent_guid
+        self.library = list(library or [])
+        self.ip = ip or render_ip(servent_guid % (1 << 31))
+        self.port = port
+        self.max_ttl = max_ttl
+        self.connections: set[int] = set()
+        self.query_routes = ReplyRoutingTable()
+        self.ping_routes = ReplyRoutingTable()
+        self._next_guid = (servent_guid << 32) + 1
+        #: QueryHits that answered locally issued queries.
+        self.results: list[QueryHitMessage] = []
+
+    # -- connection management -------------------------------------------
+    def connect(self, conn_id: int) -> None:
+        if conn_id < 0:
+            raise ValueError("connection ids must be non-negative")
+        self.connections.add(conn_id)
+
+    def disconnect(self, conn_id: int) -> None:
+        self.connections.discard(conn_id)
+
+    # -- local actions ------------------------------------------------------
+    def _fresh_guid(self) -> int:
+        guid = self._next_guid
+        self._next_guid += 1
+        return guid % (1 << 128)
+
+    def issue_query(self, search: str) -> tuple[int, list[tuple[int, bytes]]]:
+        """Originate a Query; returns (guid, outgoing frames)."""
+        guid = self._fresh_guid()
+        self.query_routes.record(guid, LOCAL)
+        frame = encode_message(
+            guid, self.max_ttl, 0, QueryMessage(min_speed=0, search=search)
+        )
+        return guid, [(conn, frame) for conn in sorted(self.connections)]
+
+    def issue_ping(self) -> tuple[int, list[tuple[int, bytes]]]:
+        """Originate a Ping; returns (guid, outgoing frames)."""
+        guid = self._fresh_guid()
+        self.ping_routes.record(guid, LOCAL)
+        frame = encode_message(guid, self.max_ttl, 0, PingMessage())
+        return guid, [(conn, frame) for conn in sorted(self.connections)]
+
+    # -- message handling -----------------------------------------------------
+    def handle_frame(self, conn_id: int, data: bytes) -> list[tuple[int, bytes]]:
+        """Process one incoming frame; returns outgoing (conn, frame) pairs."""
+        if conn_id not in self.connections:
+            raise ValueError(f"no such connection {conn_id}")
+        header, payload = decode_message(data)
+        if header.payload_type == PAYLOAD_PING:
+            return self._on_ping(conn_id, header)
+        if header.payload_type == PAYLOAD_QUERY:
+            return self._on_query(conn_id, header, payload)
+        if header.payload_type == PAYLOAD_PONG:
+            return self._route_back(self.ping_routes, conn_id, header, payload)
+        return self._route_back(self.query_routes, conn_id, header, payload)
+
+    def _on_ping(self, conn_id: int, header) -> list[tuple[int, bytes]]:
+        out: list[tuple[int, bytes]] = []
+        if not self.ping_routes.record(header.guid, conn_id):
+            return out  # duplicate: drop
+        pong = PongMessage(
+            port=self.port,
+            ip=self.ip,
+            n_files=len(self.library),
+            n_kilobytes=sum(f.size for f in self.library) // 1024,
+        )
+        out.append(
+            (conn_id, encode_message(header.guid, self.max_ttl, 0, pong))
+        )
+        out.extend(self._forward(conn_id, header, PingMessage()))
+        return out
+
+    def _on_query(self, conn_id: int, header, query: QueryMessage) -> list[tuple[int, bytes]]:
+        out: list[tuple[int, bytes]] = []
+        if not self.query_routes.record(header.guid, conn_id):
+            return out  # duplicate GUID: drop (keeps the original route)
+        for shared in self.library:
+            if shared.matches(query.search):
+                hit = QueryHitMessage(
+                    port=self.port,
+                    ip=self.ip,
+                    speed=1000,
+                    file_index=shared.index,
+                    file_size=shared.size,
+                    file_name=shared.name,
+                    servent_guid=self.servent_guid,
+                )
+                out.append(
+                    (conn_id, encode_message(header.guid, self.max_ttl, 0, hit))
+                )
+        out.extend(self._forward(conn_id, header, query))
+        return out
+
+    def _forward(self, from_conn: int, header, payload) -> list[tuple[int, bytes]]:
+        if header.ttl <= 1:
+            return []
+        aged = header.aged()
+        frame = encode_message(aged.guid, aged.ttl, aged.hops, payload)
+        return [
+            (conn, frame)
+            for conn in sorted(self.connections)
+            if conn != from_conn
+        ]
+
+    def _route_back(self, routes: ReplyRoutingTable, conn_id: int, header, payload):
+        upstream = routes.route_for(header.guid)
+        if upstream is None:
+            return []  # no route state (expired or never seen): drop
+        if upstream == LOCAL:
+            if header.payload_type == PAYLOAD_QUERY_HIT:
+                self.results.append(payload)
+            return []
+        if header.ttl <= 0:
+            return []
+        return [
+            (
+                upstream,
+                encode_message(header.guid, max(header.ttl - 1, 0), header.hops + 1, payload),
+            )
+        ]
+
+
+class RuleRoutedServent(Servent):
+    """A servent running the paper's association-rule forwarding.
+
+    Drop-in compatible with vanilla servents on the wire — "it can be
+    deployed in nodes in current systems without requiring that all nodes
+    support this method" (§I).  It learns rules from the QueryHits it
+    routes backwards (each one pairs the Query's upstream connection with
+    the connection the hit returned through) and, when a Query arrives
+    from a covered connection, forwards it only to the top-k rule
+    consequents instead of all connections.
+    """
+
+    def __init__(
+        self,
+        servent_guid: int,
+        *,
+        top_k: int = 2,
+        min_support_count: int = 2,
+        rule_window: int = 512,
+        **kwargs,
+    ) -> None:
+        super().__init__(servent_guid, **kwargs)
+        from repro.routing.association import NeighborRuleTable
+
+        self.rules = NeighborRuleTable(
+            window=rule_window, min_support_count=min_support_count
+        )
+        self.top_k = top_k
+
+    def _forward(self, from_conn: int, header, payload) -> list[tuple[int, bytes]]:
+        if header.payload_type != PAYLOAD_QUERY or header.ttl <= 1:
+            return super()._forward(from_conn, header, payload)
+        consequents = [
+            c
+            for c in self.rules.consequents(from_conn, self.top_k)
+            if c in self.connections and c != from_conn
+        ]
+        if not consequents:
+            return super()._forward(from_conn, header, payload)  # flood
+        aged = header.aged()
+        frame = encode_message(aged.guid, aged.ttl, aged.hops, payload)
+        return [(conn, frame) for conn in consequents]
+
+    def _route_back(self, routes: ReplyRoutingTable, conn_id: int, header, payload):
+        if (
+            routes is self.query_routes
+            and header.payload_type == PAYLOAD_QUERY_HIT
+        ):
+            upstream = routes.route_for(header.guid)
+            if upstream is not None and upstream != LOCAL:
+                # The learning event of §III-B: a query from `upstream`
+                # was satisfied through `conn_id`.
+                self.rules.observe(upstream, conn_id)
+        return super()._route_back(routes, conn_id, header, payload)
+
+
+class MonitorServent(Servent):
+    """The paper's modified capture node: a servent that logs its traffic."""
+
+    def __init__(self, servent_guid: int, *, clock: SimClock | None = None, **kwargs) -> None:
+        super().__init__(servent_guid, **kwargs)
+        self.clock = clock or SimClock()
+        self.query_log: list[QueryRecord] = []
+        self.reply_log: list[ReplyRecord] = []
+
+    def handle_frame(self, conn_id: int, data: bytes) -> list[tuple[int, bytes]]:
+        header, payload = decode_message(data)
+        if header.payload_type == PAYLOAD_QUERY:
+            self.query_log.append(
+                QueryRecord(
+                    time=self.clock.now,
+                    guid=header.guid,
+                    source=conn_id,
+                    query_string=payload.search,
+                )
+            )
+        elif header.payload_type == PAYLOAD_QUERY_HIT:
+            self.reply_log.append(
+                ReplyRecord(
+                    time=self.clock.now,
+                    guid=header.guid,
+                    replier=conn_id,
+                    host=payload.servent_guid,
+                    file_name=payload.file_name,
+                )
+            )
+        return super().handle_frame(conn_id, data)

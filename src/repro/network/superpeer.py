@@ -1,0 +1,158 @@
+"""Super-peer network baseline (Yang & Garcia-Molina, the paper's ref [14]).
+
+§II: leaves attach to a super-peer that indexes their content; a query
+goes to the leaf's super-peer (1 message), is answered from the local
+index if possible, and is otherwise flooded among the super-peers — which
+"can still suffer from the effects of flooding on larger systems", the
+effect this baseline exists to show.
+
+This is a self-contained two-tier simulator (the flat overlay machinery
+does not fit a tiered design): super-peers form their own random-regular
+overlay; each leaf binds to one super-peer; indices are exact.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.metrics.traffic import QueryOutcome, TrafficStats
+from repro.network.topology import random_regular
+from repro.utils.rng import as_generator, spawn_child
+from repro.workload.content import ContentCatalog
+from repro.workload.interests import InterestModel
+
+__all__ = ["SuperPeerConfig", "SuperPeerNetwork"]
+
+
+@dataclass(frozen=True)
+class SuperPeerConfig:
+    """Parameters of the two-tier network."""
+
+    n_superpeers: int = 30
+    leaves_per_superpeer: int = 20
+    superpeer_degree: int = 4
+    n_categories: int = 40
+    files_per_category: int = 250
+    library_size: int = 60
+    interests_per_peer: int = 4
+    #: TTL of the superpeer-tier flood.
+    superpeer_ttl: int = 4
+
+    def __post_init__(self) -> None:
+        if self.n_superpeers < 3:
+            raise ValueError("n_superpeers must be >= 3")
+        if self.leaves_per_superpeer < 1:
+            raise ValueError("leaves_per_superpeer must be >= 1")
+        if not 2 <= self.superpeer_degree < self.n_superpeers:
+            raise ValueError("superpeer_degree out of range")
+        if self.superpeer_ttl < 1:
+            raise ValueError("superpeer_ttl must be >= 1")
+
+    @property
+    def n_leaves(self) -> int:
+        return self.n_superpeers * self.leaves_per_superpeer
+
+
+class SuperPeerNetwork:
+    """Two-tier overlay: exact leaf indices at super-peers, tier-2 flooding."""
+
+    def __init__(self, config: SuperPeerConfig | None = None, *, seed=None) -> None:
+        self.config = config or SuperPeerConfig()
+        cfg = self.config
+        self._rng = as_generator(seed)
+        self.topology = random_regular(
+            cfg.n_superpeers, cfg.superpeer_degree, rng=spawn_child(self._rng)
+        )
+        self.catalog = ContentCatalog(cfg.n_categories, cfg.files_per_category)
+        interests = InterestModel(cfg.n_categories)
+        # leaf id -> (superpeer, profile, library)
+        self._leaf_superpeer: list[int] = []
+        self._leaf_profile = []
+        self._leaf_library: list[frozenset[int]] = []
+        # superpeer id -> file id -> list of leaf ids (the index).
+        self._index: list[dict[int, list[int]]] = [
+            {} for _ in range(cfg.n_superpeers)
+        ]
+        for leaf in range(cfg.n_leaves):
+            superpeer = leaf // cfg.leaves_per_superpeer
+            profile = interests.sample_profile(
+                self._rng, width=cfg.interests_per_peer
+            )
+            library = self.catalog.sample_library(
+                self._rng, profile, size=cfg.library_size
+            )
+            self._leaf_superpeer.append(superpeer)
+            self._leaf_profile.append(profile)
+            self._leaf_library.append(library)
+            index = self._index[superpeer]
+            for file_id in library:
+                index.setdefault(file_id, []).append(leaf)
+        self._next_guid = 0
+
+    # ------------------------------------------------------------------
+    def query(self, leaf: int, file_id: int) -> QueryOutcome:
+        """One leaf query through the two-tier protocol."""
+        cfg = self.config
+        self._next_guid += 1
+        if file_id in self._leaf_library[leaf]:
+            return QueryOutcome(self._next_guid, 0, 1, 0, 0)
+        home = self._leaf_superpeer[leaf]
+        messages = 1  # leaf -> home super-peer
+        local = self._index[home].get(file_id, ())
+        if local:
+            return QueryOutcome(self._next_guid, messages, len(local), 1, 0)
+        # Tier-2 flood among super-peers.
+        parent: dict[int, int | None] = {home: None}
+        depth = {home: 0}
+        hits = 0
+        first_hit_hops = None
+        duplicates = 0
+        frontier = deque([home])
+        while frontier:
+            sp = frontier.popleft()
+            if depth[sp] >= cfg.superpeer_ttl:
+                continue
+            for neighbor in self.topology.neighbors(sp):
+                if neighbor == parent[sp]:
+                    continue
+                messages += 1
+                if neighbor in parent:
+                    duplicates += 1
+                    continue
+                parent[neighbor] = sp
+                depth[neighbor] = depth[sp] + 1
+                matches = self._index[neighbor].get(file_id, ())
+                if matches:
+                    hits += len(matches)
+                    if first_hit_hops is None:
+                        # +1 for the original leaf -> super-peer hop.
+                        first_hit_hops = depth[neighbor] + 1
+                frontier.append(neighbor)
+        return QueryOutcome(
+            self._next_guid, messages, hits, first_hit_hops, duplicates
+        )
+
+    def run_workload(self, n_queries: int) -> TrafficStats:
+        """Issue interest-driven queries from random leaves."""
+        if n_queries < 0:
+            raise ValueError("n_queries must be non-negative")
+        cfg = self.config
+        stats = TrafficStats()
+        from repro.workload.zipf import ZipfSampler
+
+        rank_sampler = ZipfSampler(cfg.files_per_category, 1.0)
+        for _ in range(n_queries):
+            leaf = int(self._rng.integers(0, cfg.n_leaves))
+            category = self._leaf_profile[leaf].sample_category(self._rng)
+            rank = rank_sampler.sample(self._rng)
+            file_id = category * cfg.files_per_category + rank
+            stats.record(self.query(leaf, file_id))
+        return stats
+
+    # -- introspection (tests) -------------------------------------------
+    def superpeer_of(self, leaf: int) -> int:
+        return self._leaf_superpeer[leaf]
+
+    def index_size(self, superpeer: int) -> int:
+        return sum(len(v) for v in self._index[superpeer].values())

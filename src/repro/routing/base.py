@@ -1,0 +1,69 @@
+"""Routing-policy interface.
+
+Every node holds its own policy *instance* (learning policies keep their
+tables on it).  Two hooks matter:
+
+* :meth:`RoutingPolicy.select` — called by the propagation engine at each
+  node a query transits: given the node, the upstream neighbor it arrived
+  from (``None`` at the origin) and the query, return the neighbors to
+  forward to.
+* :meth:`RoutingPolicy.route_query` — called once at the origin: drives
+  the whole query (most policies just broadcast with per-node dispatch,
+  but expanding ring retries with larger TTLs, shortcuts probe first,
+  association routing may re-flood on a miss).
+
+``dispatch_select`` builds the engine callback that routes each per-node
+decision to *that node's own* policy — which is how a mixed deployment
+(only some nodes running association routing, as the paper allows) works.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+from repro.metrics.traffic import QueryOutcome
+from repro.network.engine import QueryEngine
+from repro.network.messages import Query
+
+__all__ = ["RoutingPolicy", "dispatch_select"]
+
+
+def dispatch_select(overlay):
+    """Engine callback delegating to each transit node's own policy."""
+
+    def _select(node: int, upstream: int | None, query: Query) -> Sequence[int]:
+        policy = overlay.node(node).policy
+        if policy is None:
+            # Nodes without a policy behave like vanilla Gnutella.
+            return overlay.topology.neighbors(node)
+        return policy.select(node, upstream, query)
+
+    return _select
+
+
+class RoutingPolicy(abc.ABC):
+    """Base class for per-node routing policies."""
+
+    name: str = "abstract"
+
+    def __init__(self, node_id: int, overlay) -> None:
+        self.node_id = node_id
+        self.overlay = overlay
+
+    # -- per-transit-node decision -------------------------------------
+    @abc.abstractmethod
+    def select(self, node: int, upstream: int | None, query: Query) -> Sequence[int]:
+        """Neighbors of ``node`` to forward ``query`` to."""
+
+    # -- per-query driver (origin only) ----------------------------------
+    def route_query(self, engine: QueryEngine, query: Query) -> QueryOutcome:
+        """Default driver: one broadcast with per-node dispatch."""
+        return engine.broadcast(query, dispatch_select(self.overlay))
+
+    # -- optional feedback / lifecycle -----------------------------------
+    def on_reply(self, *, node_id, upstream, downstream, query, provider) -> None:
+        """Reply passed back through this node (learning hook)."""
+
+    def reset(self) -> None:
+        """Forget learned state (called when the peer churns)."""

@@ -1,0 +1,24 @@
+"""TTL-limited flooding — the Gnutella baseline."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.network.messages import Query
+from repro.routing.base import RoutingPolicy
+
+__all__ = ["FloodingPolicy"]
+
+
+class FloodingPolicy(RoutingPolicy):
+    """Forward every query to every neighbor (minus the upstream).
+
+    The engine enforces TTL and duplicate suppression; this policy is the
+    paper's adversary: it reaches everything within the TTL horizon at the
+    cost of a message per edge in that horizon.
+    """
+
+    name = "flooding"
+
+    def select(self, node: int, upstream: int | None, query: Query) -> Sequence[int]:
+        return self.overlay.topology.neighbors(node)

@@ -1,0 +1,114 @@
+"""Shortcuts + association rules hybrid (the paper's §VI combination).
+
+§VI: "For interest-based shortcuts, association rules could be used to
+route queries that have not been successfully replied to when using the
+shortcuts.  This would serve as one last chance to avoid flooding."
+
+:class:`HybridShortcutAssociationPolicy` implements that escalation at
+the origin:
+
+1. probe the learned shortcut list (1 message per probe);
+2. on a miss, attempt rule-based forwarding (transit nodes still apply
+   their own rules / flood fallback per node);
+3. only if that also misses, revert to a full flood.
+
+Both learning structures update from the same reply feedback, so the
+policy composes the two papers' mechanisms rather than re-implementing
+them.
+"""
+
+from __future__ import annotations
+
+from repro.metrics.traffic import QueryOutcome
+from repro.network.engine import QueryEngine
+from repro.network.messages import Query
+from repro.routing.association import AssociationRoutingPolicy
+from repro.routing.base import dispatch_select
+from repro.routing.shortcuts import InterestShortcutsPolicy
+
+__all__ = ["HybridShortcutAssociationPolicy"]
+
+
+class HybridShortcutAssociationPolicy(AssociationRoutingPolicy):
+    """Shortcut probes, then rule routing, then flooding."""
+
+    name = "hybrid"
+
+    def __init__(
+        self,
+        node_id: int,
+        overlay,
+        *,
+        shortcut_capacity: int = 10,
+        **kwargs,
+    ) -> None:
+        kwargs.setdefault("flood_fallback", True)
+        super().__init__(node_id, overlay, **kwargs)
+        # Compose an embedded shortcuts policy for its list maintenance.
+        self._shortcuts = InterestShortcutsPolicy(
+            node_id, overlay, capacity=shortcut_capacity
+        )
+
+    # -- transit behaviour: inherited association select ------------------
+
+    def route_query(self, engine: QueryEngine, query: Query) -> QueryOutcome:
+        # Stage 1: shortcut probes.
+        shortcuts = list(reversed(self._shortcuts._shortcuts))
+        probe_messages = 0
+        if shortcuts:
+            hits, probe_messages = engine.probe(query, shortcuts)
+            if hits:
+                self._shortcuts._touch(hits[0])
+                return QueryOutcome(
+                    query_id=query.guid,
+                    messages=probe_messages,
+                    hits=len(hits),
+                    first_hit_hops=1,
+                    duplicates=0,
+                )
+        # Stage 2: rule-based attempt (per-node rules, per-node fallback).
+        attempt = engine.broadcast(query, dispatch_select(self.overlay))
+        if attempt.hits:
+            return QueryOutcome(
+                query_id=query.guid,
+                messages=attempt.messages + probe_messages,
+                hits=attempt.hits,
+                first_hit_hops=attempt.first_hit_hops,
+                duplicates=attempt.duplicates,
+            )
+        # Stage 3: last-resort flood.
+        flood = engine.broadcast(
+            query, lambda node, up, q: self.overlay.topology.neighbors(node)
+        )
+        return QueryOutcome(
+            query_id=query.guid,
+            messages=probe_messages + attempt.messages + flood.messages,
+            hits=flood.hits,
+            first_hit_hops=flood.first_hit_hops,
+            duplicates=attempt.duplicates + flood.duplicates,
+        )
+
+    # -- learning: feed both structures -----------------------------------
+    def on_reply(self, *, node_id, upstream, downstream, query, provider) -> None:
+        super().on_reply(
+            node_id=node_id,
+            upstream=upstream,
+            downstream=downstream,
+            query=query,
+            provider=provider,
+        )
+        self._shortcuts.on_reply(
+            node_id=node_id,
+            upstream=upstream,
+            downstream=downstream,
+            query=query,
+            provider=provider,
+        )
+
+    def reset(self) -> None:
+        super().reset()
+        self._shortcuts.reset()
+
+    @property
+    def shortcut_list(self) -> list[int]:
+        return self._shortcuts.shortcut_list

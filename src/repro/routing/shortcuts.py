@@ -1,0 +1,87 @@
+"""Interest-based shortcuts (Sripanidkulchai et al., the paper's ref [7]).
+
+Each peer keeps an ordered list of *shortcuts* — peers that satisfied its
+past queries.  A new query first probes the shortcuts directly (cheap,
+one message each); only if none of them has the content does the peer
+fall back to flooding, and the flood's providers are added as new
+shortcuts.  Interest-based locality makes the shortcut list likely to
+keep working: a peer that shared one file in my interests probably shares
+others.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Sequence
+
+from repro.metrics.traffic import QueryOutcome
+from repro.network.engine import QueryEngine
+from repro.network.messages import Query
+from repro.routing.base import RoutingPolicy, dispatch_select
+
+__all__ = ["InterestShortcutsPolicy"]
+
+
+class InterestShortcutsPolicy(RoutingPolicy):
+    """Probe learned shortcuts first, flood on a miss."""
+
+    name = "shortcuts"
+
+    def __init__(self, node_id: int, overlay, *, capacity: int = 10) -> None:
+        super().__init__(node_id, overlay)
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        # provider id -> None, most-recently-successful last.
+        self._shortcuts: OrderedDict[int, None] = OrderedDict()
+
+    # -- transit behaviour: plain flooding ------------------------------
+    def select(self, node: int, upstream: int | None, query: Query) -> Sequence[int]:
+        return self.overlay.topology.neighbors(node)
+
+    # -- origin driver ----------------------------------------------------
+    def route_query(self, engine: QueryEngine, query: Query) -> QueryOutcome:
+        # Most-recently-successful shortcuts are probed first; shortcuts
+        # pointing at churned peers are still probed and simply miss.
+        shortcuts = list(reversed(self._shortcuts))
+        probe_messages = 0
+        if shortcuts:
+            hits, probe_messages = engine.probe(query, shortcuts)
+            if hits:
+                self._touch(hits[0])
+                return QueryOutcome(
+                    query_id=query.guid,
+                    messages=probe_messages,
+                    hits=len(hits),
+                    first_hit_hops=1,
+                    duplicates=0,
+                )
+        flood = engine.broadcast(query, dispatch_select(self.overlay))
+        return QueryOutcome(
+            query_id=query.guid,
+            messages=flood.messages + probe_messages,
+            hits=flood.hits,
+            first_hit_hops=flood.first_hit_hops,
+            duplicates=flood.duplicates,
+        )
+
+    # -- learning ---------------------------------------------------------
+    def on_reply(self, *, node_id, upstream, downstream, query, provider) -> None:
+        if query.origin == self.node_id and node_id == self.node_id:
+            self._touch(provider)
+
+    def _touch(self, provider: int) -> None:
+        if provider in self._shortcuts:
+            self._shortcuts.move_to_end(provider)
+        else:
+            self._shortcuts[provider] = None
+            while len(self._shortcuts) > self.capacity:
+                self._shortcuts.popitem(last=False)
+
+    def reset(self) -> None:
+        self._shortcuts.clear()
+
+    @property
+    def shortcut_list(self) -> list[int]:
+        """Current shortcuts, most recent last (exposed for tests)."""
+        return list(self._shortcuts)

@@ -1,0 +1,28 @@
+"""Minimal in-memory relational store.
+
+The original study imported its 7-day Gnutella trace into a relational
+database (MySQL) and drove a PHP simulator against it: deduplicating records
+by GUID, *joining* queries with replies to form query–reply pairs, keeping
+temporary tables for the current rule set, and speeding up frequent lookups
+with indices.  This subpackage provides the minimal relational substrate the
+reproduction needs for the same pipeline:
+
+* :class:`~repro.store.table.Table` — typed columns, row append/extend,
+  predicate selection, projection;
+* :class:`~repro.store.index.HashIndex` — exact-match index on a column,
+  kept consistent as rows are appended;
+* :func:`~repro.store.query.inner_join` / :func:`~repro.store.query.group_count`
+  — the two relational operations the paper's pipeline actually performs
+  (GUID equi-join, pair-frequency aggregation);
+* :class:`~repro.store.database.Database` — a named collection of tables.
+
+The store favours clarity over generality: it is append-oriented (trace
+import never updates rows in place) and deliberately small.
+"""
+
+from repro.store.database import Database
+from repro.store.index import HashIndex
+from repro.store.query import group_count, inner_join
+from repro.store.table import Column, Table
+
+__all__ = ["Column", "Database", "HashIndex", "Table", "group_count", "inner_join"]

@@ -1,0 +1,59 @@
+"""A named collection of tables."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.store.table import Column, Table
+
+__all__ = ["Database"]
+
+
+class Database:
+    """Container for the trace pipeline's tables.
+
+    Mirrors the paper's relational database: a ``queries`` table, a
+    ``replies`` table, the joined ``pairs`` table and assorted temporary
+    tables created by the simulator all live in one of these.
+    """
+
+    def __init__(self, name: str = "repro") -> None:
+        self.name = name
+        self._tables: dict[str, Table] = {}
+
+    def create_table(self, name: str, columns: Sequence[Column | str]) -> Table:
+        if name in self._tables:
+            raise ValueError(f"table {name!r} already exists in database {self.name!r}")
+        table = Table(name, columns)
+        self._tables[name] = table
+        return table
+
+    def add_table(self, table: Table) -> Table:
+        """Register an externally constructed table (e.g. a join result)."""
+        if table.name in self._tables:
+            raise ValueError(f"table {table.name!r} already exists")
+        self._tables[table.name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        if name not in self._tables:
+            raise KeyError(f"no table named {name!r}")
+        del self._tables[name]
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise KeyError(f"no table named {name!r} in database {self.name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def table_names(self) -> Iterable[str]:
+        return tuple(self._tables)
+
+    def total_rows(self) -> int:
+        return sum(len(t) for t in self._tables.values())
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Database({self.name!r}, tables={list(self._tables)})"

@@ -1,0 +1,57 @@
+"""Trace records and the paper's import pipeline.
+
+The original study captured queries and replies at a modified Gnutella node
+for 7 days, imported them into a relational database, removed records with
+duplicated GUIDs (keeping the first), joined queries with replies on GUID to
+form query–reply pairs, and partitioned the pairs into blocks for the rule
+simulator.  This subpackage reproduces that pipeline on top of
+:mod:`repro.store`:
+
+* :mod:`~repro.trace.records` — `QueryRecord` / `ReplyRecord` /
+  `QueryReplyPair` dataclasses and table schemas;
+* :mod:`~repro.trace.dedup` — duplicate-GUID removal (first record kept);
+* :mod:`~repro.trace.pairing` — the GUID equi-join producing pairs;
+* :mod:`~repro.trace.blocks` — `PairBlock` (columnar numpy view of a block
+  of pairs) and block partitioning;
+* :mod:`~repro.trace.io` — CSV-ish (de)serialization for persisting traces;
+* :mod:`~repro.trace.analysis` — descriptive trace statistics (turnover,
+  concentration, coverage ceilings).
+"""
+
+from repro.trace.analysis import (
+    BlockProfile,
+    coverage_ceiling,
+    profile_block,
+    source_turnover,
+)
+from repro.trace.blocks import PairBlock, blocks_from_arrays, partition_pairs
+from repro.trace.dedup import dedup_queries, dedup_replies
+from repro.trace.pairing import build_pair_table, pair_records
+from repro.trace.records import (
+    PAIR_COLUMNS,
+    QUERY_COLUMNS,
+    REPLY_COLUMNS,
+    QueryRecord,
+    QueryReplyPair,
+    ReplyRecord,
+)
+
+__all__ = [
+    "BlockProfile",
+    "PAIR_COLUMNS",
+    "PairBlock",
+    "coverage_ceiling",
+    "profile_block",
+    "source_turnover",
+    "QUERY_COLUMNS",
+    "QueryRecord",
+    "QueryReplyPair",
+    "REPLY_COLUMNS",
+    "ReplyRecord",
+    "blocks_from_arrays",
+    "build_pair_table",
+    "dedup_queries",
+    "dedup_replies",
+    "pair_records",
+    "partition_pairs",
+]

@@ -1,0 +1,81 @@
+"""Trace (de)serialization.
+
+Tab-separated persistence for query and reply tables, so traces can be
+generated once and replayed across experiment runs (the paper's 2.6 GB
+database served the same purpose).  The format is line-oriented and
+append-friendly; strings are the last field so they may contain spaces.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable
+
+from repro.store.table import Table
+from repro.trace.records import (
+    QUERY_COLUMNS,
+    REPLY_COLUMNS,
+    QueryRecord,
+    ReplyRecord,
+)
+
+__all__ = ["write_queries", "read_queries", "write_replies", "read_replies"]
+
+_QUERY_HEADER = "time\tguid\tsource\tquery_string"
+_REPLY_HEADER = "time\tguid\treplier\thost\tfile_name"
+
+
+def write_queries(path: str | os.PathLike, records: Iterable[QueryRecord]) -> int:
+    """Write query records; returns the number written."""
+    n = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(_QUERY_HEADER + "\n")
+        for rec in records:
+            if "\t" in rec.query_string or "\n" in rec.query_string:
+                raise ValueError("query strings may not contain tabs or newlines")
+            fh.write(f"{rec.time!r}\t{rec.guid}\t{rec.source}\t{rec.query_string}\n")
+            n += 1
+    return n
+
+
+def read_queries(path: str | os.PathLike) -> Table:
+    """Read query records into a fresh ``queries`` table."""
+    table = Table("queries", QUERY_COLUMNS)
+    with open(path, encoding="utf-8") as fh:
+        header = fh.readline().rstrip("\n")
+        if header != _QUERY_HEADER:
+            raise ValueError(f"not a query trace file: header {header!r}")
+        for line in fh:
+            time_s, guid_s, source_s, qs = line.rstrip("\n").split("\t", 3)
+            table.append((float(time_s), int(guid_s), int(source_s), qs))
+    return table
+
+
+def write_replies(path: str | os.PathLike, records: Iterable[ReplyRecord]) -> int:
+    """Write reply records; returns the number written."""
+    n = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(_REPLY_HEADER + "\n")
+        for rec in records:
+            if "\t" in rec.file_name or "\n" in rec.file_name:
+                raise ValueError("file names may not contain tabs or newlines")
+            fh.write(
+                f"{rec.time!r}\t{rec.guid}\t{rec.replier}\t{rec.host}\t{rec.file_name}\n"
+            )
+            n += 1
+    return n
+
+
+def read_replies(path: str | os.PathLike) -> Table:
+    """Read reply records into a fresh ``replies`` table."""
+    table = Table("replies", REPLY_COLUMNS)
+    with open(path, encoding="utf-8") as fh:
+        header = fh.readline().rstrip("\n")
+        if header != _REPLY_HEADER:
+            raise ValueError(f"not a reply trace file: header {header!r}")
+        for line in fh:
+            time_s, guid_s, replier_s, host_s, fname = line.rstrip("\n").split("\t", 4)
+            table.append(
+                (float(time_s), int(guid_s), int(replier_s), int(host_s), fname)
+            )
+    return table

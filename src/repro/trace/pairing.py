@@ -1,0 +1,61 @@
+"""Query–reply pairing (the paper's GUID join).
+
+"A table was created to house pairs of query messages received by the node
+... and the reply messages received in response to those queries.  The join
+of these data produced 3,254,274 query-reply pairs."
+"""
+
+from __future__ import annotations
+
+from repro.store.query import inner_join
+from repro.store.table import Table
+from repro.trace.records import PAIR_COLUMNS, QueryReplyPair
+
+__all__ = ["build_pair_table", "pair_records"]
+
+
+def build_pair_table(queries: Table, replies: Table) -> Table:
+    """Join deduplicated query and reply tables on GUID.
+
+    Returns a table with :data:`~repro.trace.records.PAIR_COLUMNS`, sorted
+    implicitly by query arrival (left/driving side is the query table).
+    """
+    joined = inner_join(
+        queries,
+        replies,
+        on="guid",
+        left_columns=["time", "source", "query_string"],
+        right_columns=["time", "replier", "host"],
+    )
+    # The join names the right side's colliding "time" column
+    # "<replies.name>.time"; normalize into the canonical pair schema.
+    right_time = f"{replies.name}.time"
+    out = Table("pairs", PAIR_COLUMNS)
+    cols = [
+        joined.column("guid"),
+        joined.column("time"),
+        joined.column("source"),
+        joined.column("query_string"),
+        joined.column(right_time),
+        joined.column("replier"),
+        joined.column("host"),
+    ]
+    for row in zip(*cols):
+        out.append(row)
+    return out
+
+
+def pair_records(pair_table: Table) -> list[QueryReplyPair]:
+    """Materialize a pair table as :class:`QueryReplyPair` objects."""
+    return [
+        QueryReplyPair(
+            guid=guid,
+            query_time=qt,
+            source=source,
+            query_string=qs,
+            reply_time=rt,
+            replier=replier,
+            host=host,
+        )
+        for guid, qt, source, qs, rt, replier, host in pair_table.iter_rows()
+    ]

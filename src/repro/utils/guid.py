@@ -1,0 +1,79 @@
+"""Gnutella-style globally-unique query identifiers.
+
+The paper's trace collection found that *some* Gnutella clients generated
+GUIDs that were not actually unique: distinct queries occasionally carried
+the same GUID, and the import pipeline kept only the first record for each
+duplicated GUID.  :class:`GuidAllocator` reproduces both behaviours — it
+hands out fresh 128-bit identifiers, but a configurable fraction of draws
+deliberately reuses an earlier GUID, emulating the buggy clients so the
+deduplication stage of the pipeline has real work to do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+
+__all__ = ["GuidAllocator"]
+
+
+@dataclass
+class GuidAllocator:
+    """Allocate query GUIDs, optionally reusing a fraction of them.
+
+    Parameters
+    ----------
+    duplicate_rate:
+        Probability that a newly requested GUID is a *reuse* of a previously
+        issued one (the paper's "clients that did not properly generate
+        GUIDs").  ``0.0`` disables the behaviour.
+    rng:
+        Seed or generator used both for GUID material and for the reuse
+        decisions.
+    """
+
+    duplicate_rate: float = 0.0
+    rng: object = None
+    _issued: list = field(default_factory=list, init=False, repr=False)
+    _n_duplicates: int = field(default=0, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.duplicate_rate < 1.0:
+            raise ValueError("duplicate_rate must be in [0, 1)")
+        self.rng = as_generator(self.rng)
+
+    @property
+    def issued_count(self) -> int:
+        """Number of GUIDs handed out so far (including reuses)."""
+        return len(self._issued) + self._n_duplicates
+
+    @property
+    def duplicate_count(self) -> int:
+        """Number of GUIDs that were reuses of an earlier GUID."""
+        return self._n_duplicates
+
+    def next(self) -> int:
+        """Return the next GUID as a 128-bit integer.
+
+        With probability ``duplicate_rate`` (and at least one prior GUID),
+        an already-issued GUID is returned instead of a fresh one.
+        """
+        if self._issued and self.duplicate_rate > 0.0:
+            if self.rng.random() < self.duplicate_rate:
+                self._n_duplicates += 1
+                victim = int(self.rng.integers(0, len(self._issued)))
+                return self._issued[victim]
+        hi = int(self.rng.integers(0, 2**63, dtype=np.uint64))
+        lo = int(self.rng.integers(0, 2**63, dtype=np.uint64))
+        guid = (hi << 64) | lo
+        self._issued.append(guid)
+        return guid
+
+    def fresh_batch(self, count: int) -> list[int]:
+        """Return ``count`` GUIDs drawn through :meth:`next`."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return [self.next() for _ in range(count)]

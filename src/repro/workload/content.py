@@ -1,0 +1,86 @@
+"""Content catalog: files, categories, popularity and replication.
+
+The online overlay simulator needs actual shared content — files grouped
+into interest categories, with Zipf popularity inside each category — so
+that queries can hit or miss.  The monitor-node trace generator only needs
+file *names* for reply records; it reuses :meth:`ContentCatalog.file_name`.
+"""
+
+from __future__ import annotations
+
+from repro.utils.rng import as_generator
+from repro.workload.interests import InterestProfile
+from repro.workload.zipf import ZipfSampler
+
+__all__ = ["ContentCatalog"]
+
+
+class ContentCatalog:
+    """A universe of files partitioned evenly into categories.
+
+    File ids are integers in ``[0, n_categories * files_per_category)``;
+    file ``f`` belongs to category ``f // files_per_category``.  Within a
+    category, query and replication popularity follow a bounded Zipf law.
+    """
+
+    def __init__(
+        self,
+        n_categories: int,
+        files_per_category: int,
+        *,
+        popularity_exponent: float = 1.0,
+    ) -> None:
+        if n_categories < 1 or files_per_category < 1:
+            raise ValueError("n_categories and files_per_category must be >= 1")
+        self.n_categories = int(n_categories)
+        self.files_per_category = int(files_per_category)
+        self._rank_sampler = ZipfSampler(files_per_category, popularity_exponent)
+
+    @property
+    def n_files(self) -> int:
+        return self.n_categories * self.files_per_category
+
+    def category_of(self, file_id: int) -> int:
+        if not 0 <= file_id < self.n_files:
+            raise IndexError(f"file id {file_id} out of range [0, {self.n_files})")
+        return file_id // self.files_per_category
+
+    def sample_file(self, rng, category: int) -> int:
+        """Draw a file from ``category`` with Zipf popularity."""
+        if not 0 <= category < self.n_categories:
+            raise IndexError(f"category {category} out of range")
+        rank = self._rank_sampler.sample(as_generator(rng))
+        return category * self.files_per_category + rank
+
+    def sample_library(
+        self, rng, profile: InterestProfile, *, size: int
+    ) -> frozenset[int]:
+        """Files a peer with ``profile`` shares (interest-based locality).
+
+        Draws ``size`` files (with replacement, then deduplicated) from the
+        peer's interest categories, so peers with overlapping interests end
+        up sharing overlapping content — the premise behind both
+        interest-based shortcuts and association-rule routing.
+        """
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        rng = as_generator(rng)
+        library: set[int] = set()
+        for _ in range(size):
+            category = profile.sample_category(rng)
+            library.add(self.sample_file(rng, category))
+        return frozenset(library)
+
+    def file_name(self, file_id: int) -> str:
+        """Stable human-readable name, used in reply records."""
+        category = self.category_of(file_id)
+        rank = file_id % self.files_per_category
+        return f"cat{category:03d}/file{rank:05d}.dat"
+
+    def query_matches(self, queried_file: int, library: frozenset[int]) -> bool:
+        """Whether a library satisfies a query for ``queried_file``.
+
+        Exact-id match: the overlay simulator issues queries for specific
+        files (keyword semantics are modelled by the category structure).
+        """
+        return queried_file in library

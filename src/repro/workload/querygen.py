@@ -1,0 +1,64 @@
+"""Query-string synthesis.
+
+The paper's trace stores the raw query string of every message.  The
+routing algorithms never parse these strings (rules are over neighbor
+hosts), but the future-work extension about "adding dimensions such as the
+query strings during rule generation" needs realistic text, so we generate
+keyword-style strings that encode the category and target file while
+looking like search terms.
+"""
+
+from __future__ import annotations
+
+from repro.utils.rng import as_generator
+
+__all__ = ["QueryTextModel"]
+
+_ADJECTIVES = (
+    "best", "free", "new", "live", "full", "original", "remix", "classic",
+    "ultimate", "rare", "complete", "deluxe", "extended", "official",
+)
+
+_NOUNS = (
+    "album", "track", "mix", "session", "collection", "edition", "archive",
+    "set", "release", "bundle", "volume", "anthology", "series", "pack",
+)
+
+
+class QueryTextModel:
+    """Render (category, file) pairs as plausible query strings."""
+
+    def __init__(self, *, decorate_probability: float = 0.5) -> None:
+        if not 0.0 <= decorate_probability <= 1.0:
+            raise ValueError("decorate_probability must be in [0, 1]")
+        self.decorate_probability = decorate_probability
+
+    def render(self, rng, category: int, file_rank: int) -> str:
+        """Produce a query string for file ``file_rank`` in ``category``.
+
+        The ``topic<category>`` and ``item<rank>`` tokens keep the string
+        machine-parseable (tests and the clustering extension rely on
+        :meth:`parse`), while random decoration varies the surface form the
+        way real user queries do.
+        """
+        rng = as_generator(rng)
+        tokens = [f"topic{category:03d}", f"item{file_rank:05d}"]
+        if rng.random() < self.decorate_probability:
+            tokens.append(_ADJECTIVES[int(rng.integers(0, len(_ADJECTIVES)))])
+        if rng.random() < self.decorate_probability:
+            tokens.append(_NOUNS[int(rng.integers(0, len(_NOUNS)))])
+        return " ".join(tokens)
+
+    @staticmethod
+    def parse(query_string: str) -> tuple[int, int]:
+        """Recover (category, file_rank) from a rendered string."""
+        category = None
+        rank = None
+        for token in query_string.split():
+            if token.startswith("topic") and token[5:].isdigit():
+                category = int(token[5:])
+            elif token.startswith("item") and token[4:].isdigit():
+                rank = int(token[4:])
+        if category is None or rank is None:
+            raise ValueError(f"not a generated query string: {query_string!r}")
+        return category, rank

@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.trace.blocks import PairBlock
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_block():
+    """A hand-checkable block: sources 1/2, repliers 10/11/12.
+
+    Pair counts: (1,10) x4, (1,11) x2, (2,12) x3, (2,10) x1.
+    """
+    sources = np.array([1, 1, 1, 1, 1, 1, 2, 2, 2, 2], dtype=np.int64)
+    repliers = np.array([10, 10, 10, 10, 11, 11, 12, 12, 12, 10], dtype=np.int64)
+    return PairBlock(sources=sources, repliers=repliers, index=0)
+
+
+def make_block(pairs, index=0) -> PairBlock:
+    """Build a PairBlock from a list of (source, replier) tuples."""
+    if pairs:
+        sources, repliers = zip(*pairs)
+    else:
+        sources, repliers = (), ()
+    return PairBlock(
+        sources=np.asarray(sources, dtype=np.int64),
+        repliers=np.asarray(repliers, dtype=np.int64),
+        index=index,
+    )
+
+
+@pytest.fixture
+def block_factory():
+    return make_block

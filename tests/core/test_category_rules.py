@@ -1,0 +1,132 @@
+"""Tests for repro.core.category_rules (the §VI query-string extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.category_rules import (
+    CategorizedBlock,
+    CategoryRuleSet,
+    categorize_queries,
+    category_ruleset_test,
+    generate_category_ruleset,
+)
+
+N_CATS = 4
+
+
+def cblock(triples, index=0):
+    """Build a CategorizedBlock from (source, category, replier) triples."""
+    if triples:
+        sources, categories, repliers = zip(*triples)
+    else:
+        sources, categories, repliers = (), (), ()
+    return CategorizedBlock.from_arrays(sources, repliers, categories, index=index)
+
+
+# Source 1 queries two categories served by different repliers.
+TRAIN = cblock(
+    [(1, 0, 10)] * 6 + [(1, 1, 11)] * 4 + [(2, 2, 12)] * 5
+)
+
+
+class TestCategorizedBlock:
+    def test_alignment_enforced(self):
+        from repro.trace.blocks import PairBlock
+
+        block = PairBlock(
+            sources=np.array([1], dtype=np.int64),
+            repliers=np.array([2], dtype=np.int64),
+        )
+        with pytest.raises(ValueError):
+            CategorizedBlock(block=block, categories=np.array([0, 1]))
+
+    def test_len(self):
+        assert len(TRAIN) == 15
+
+
+class TestGenerateCategoryRuleset:
+    def test_fine_rules_keyed_by_category(self):
+        rs = generate_category_ruleset(TRAIN, n_categories=N_CATS, min_support_count=3)
+        assert rs.consequents_for(1, 0) == [10]
+        assert rs.consequents_for(1, 1) == [11]
+        assert rs.consequents_for(2, 2) == [12]
+
+    def test_fallback_for_unseen_category(self):
+        rs = generate_category_ruleset(TRAIN, n_categories=N_CATS, min_support_count=3)
+        # Source 1 never queried category 3: fall back to host-only rules.
+        fallback = rs.consequents_for(1, 3)
+        assert 10 in fallback  # host-only dominant consequent
+
+    def test_covers_hierarchy(self):
+        rs = generate_category_ruleset(TRAIN, n_categories=N_CATS, min_support_count=3)
+        assert rs.covers(1, 0)
+        assert rs.covers(1, 3)  # via fallback
+        assert not rs.covers(99, 0)
+
+    def test_matches_uses_fine_tier_when_present(self):
+        rs = generate_category_ruleset(TRAIN, n_categories=N_CATS, min_support_count=3)
+        assert rs.matches(1, 0, 10)
+        assert not rs.matches(1, 0, 11)  # 11 serves category 1, not 0
+        assert rs.matches(1, 1, 11)
+
+    def test_top_k_applies_to_both_tiers(self):
+        rs = generate_category_ruleset(TRAIN, n_categories=N_CATS, min_support_count=1, top_k=1)
+        assert rs.consequents_for(1, 3) == [10]  # fallback truncated to top-1
+
+    def test_category_bounds_checked(self):
+        rs = generate_category_ruleset(TRAIN, n_categories=N_CATS, min_support_count=3)
+        with pytest.raises(ValueError):
+            rs.covers(1, N_CATS)
+
+
+class TestCategoryRulesetTest:
+    def test_perfect_on_training_data(self):
+        rs = generate_category_ruleset(TRAIN, n_categories=N_CATS, min_support_count=1)
+        result = category_ruleset_test(rs, TRAIN)
+        assert result.coverage == 1.0
+        assert result.success == 1.0
+
+    def test_category_separation_beats_host_only_at_top1(self):
+        rs = generate_category_ruleset(TRAIN, n_categories=N_CATS, min_support_count=3, top_k=1)
+        test = cblock([(1, 0, 10)] * 5 + [(1, 1, 11)] * 5)
+        result = category_ruleset_test(rs, test)
+        assert result.success == 1.0  # both interests routed correctly
+        # Host-only top-1 rules would miss the category-1 half.
+        from repro.core.evaluation import ruleset_test
+        from repro.core.generation import generate_ruleset
+
+        host_rs = generate_ruleset(TRAIN.block, min_support_count=3, top_k=1)
+        host_result = ruleset_test(host_rs, test.block)
+        assert host_result.success == pytest.approx(0.5)
+
+    def test_empty_block(self):
+        rs = generate_category_ruleset(TRAIN, n_categories=N_CATS)
+        result = category_ruleset_test(rs, cblock([]))
+        assert result.n_total == 0
+
+    def test_uncovered_source(self):
+        rs = generate_category_ruleset(TRAIN, n_categories=N_CATS, min_support_count=3)
+        result = category_ruleset_test(rs, cblock([(42, 0, 10)] * 3))
+        assert result.coverage == 0.0
+
+
+class TestCategorizeQueries:
+    def test_identical_rare_token_clusters_together(self):
+        queries = [
+            "free jazz album",
+            "jazz collection",
+            "rock anthem",
+            "rock ballad live",
+        ]
+        labels = categorize_queries(queries, n_clusters=16)
+        # 'jazz' is the distinctive token of the first two, 'anthem'/'ballad'
+        # are unique — at minimum the jazz pair must agree.
+        assert labels[0] == labels[1]
+
+    def test_labels_in_range(self):
+        labels = categorize_queries(["a b", "c d", ""], n_clusters=5)
+        assert ((labels >= 0) & (labels < 5)).all()
+
+    def test_rejects_bad_cluster_count(self):
+        with pytest.raises(ValueError):
+            categorize_queries(["x"], n_clusters=0)

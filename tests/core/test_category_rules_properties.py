@@ -1,0 +1,70 @@
+"""Property tests: category_ruleset_test vs a brute-force reference."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.category_rules import (
+    CategorizedBlock,
+    category_ruleset_test,
+    generate_category_ruleset,
+)
+
+N_CATS = 4
+
+
+@st.composite
+def categorized_blocks(draw):
+    n = draw(st.integers(1, 80))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    sources = rng.integers(0, 5, n)
+    categories = rng.integers(0, N_CATS, n)
+    repliers = rng.integers(100, 105, n)
+    return CategorizedBlock.from_arrays(sources, repliers, categories)
+
+
+def brute_force(ruleset, cblock):
+    """Reference: per-pair hierarchical covers/matches calls."""
+    n_covered = 0
+    n_successful = 0
+    for s, c, r in zip(
+        cblock.block.sources.tolist(),
+        cblock.categories.tolist(),
+        cblock.block.repliers.tolist(),
+    ):
+        if ruleset.covers(s, c):
+            n_covered += 1
+            if ruleset.matches(s, c, r):
+                n_successful += 1
+    return len(cblock), n_covered, n_successful
+
+
+@settings(max_examples=60, deadline=None)
+@given(categorized_blocks(), categorized_blocks(), st.integers(1, 4), st.sampled_from([None, 1, 2]))
+def test_vectorized_equals_brute_force(train, test, min_support, top_k):
+    ruleset = generate_category_ruleset(
+        train, n_categories=N_CATS, min_support_count=min_support, top_k=top_k
+    )
+    fast = category_ruleset_test(ruleset, test)
+    n_total, n_covered, n_successful = brute_force(ruleset, test)
+    assert (fast.n_total, fast.n_covered, fast.n_successful) == (
+        n_total,
+        n_covered,
+        n_successful,
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(categorized_blocks(), st.integers(1, 3))
+def test_category_coverage_at_least_host_only(train, min_support):
+    """The fallback tier guarantees coverage >= host-only coverage."""
+    from repro.core.evaluation import ruleset_test
+    from repro.core.generation import generate_ruleset
+
+    cat_rs = generate_category_ruleset(
+        train, n_categories=N_CATS, min_support_count=min_support
+    )
+    host_rs = generate_ruleset(train.block, min_support_count=min_support)
+    cat_result = category_ruleset_test(cat_rs, train)
+    host_result = ruleset_test(host_rs, train.block)
+    assert cat_result.n_covered >= host_result.n_covered

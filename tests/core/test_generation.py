@@ -1,0 +1,118 @@
+"""Tests for repro.core.generation (GENERATE-RULESET)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.generation import generate_ruleset, pack_pair_keys
+from repro.trace.blocks import PairBlock
+from tests.conftest import make_block
+
+
+class TestPackPairKeys:
+    def test_roundtrip(self):
+        sources = np.array([1, 2, 3], dtype=np.int64)
+        repliers = np.array([10, 20, 30], dtype=np.int64)
+        keys = pack_pair_keys(sources, repliers)
+        np.testing.assert_array_equal(keys >> 32, sources)
+        np.testing.assert_array_equal(keys & 0xFFFFFFFF, repliers)
+
+    def test_rejects_out_of_range_ids(self):
+        big = np.array([1 << 31], dtype=np.int64)
+        ok = np.array([0], dtype=np.int64)
+        with pytest.raises(ValueError):
+            pack_pair_keys(big, ok)
+        with pytest.raises(ValueError):
+            pack_pair_keys(ok, -big)
+
+
+class TestGenerateRuleset:
+    def test_counts_from_small_block(self, small_block):
+        rs = generate_ruleset(small_block, min_support_count=1)
+        # (1,10) x4, (1,11) x2, (2,12) x3, (2,10) x1
+        assert rs.rules_for(1)[0].consequent == 10
+        assert rs.rules_for(1)[0].count == 4
+        assert rs.matches(2, 12)
+        assert rs.matches(2, 10)
+        assert len(rs) == 4
+
+    def test_support_pruning(self, small_block):
+        rs = generate_ruleset(small_block, min_support_count=3)
+        assert rs.matches(1, 10)
+        assert rs.matches(2, 12)
+        assert not rs.matches(1, 11)  # count 2 < 3
+        assert not rs.matches(2, 10)  # count 1 < 3
+
+    def test_top_k(self, small_block):
+        rs = generate_ruleset(small_block, min_support_count=1, top_k=1)
+        assert rs.consequents_for(1) == [10]
+        assert rs.consequents_for(2) == [12]
+
+    def test_confidence_pruning(self, small_block):
+        # Source 1 has 6 pairs: (1,10) conf 4/6, (1,11) conf 2/6.
+        rs = generate_ruleset(small_block, min_support_count=1, min_confidence=0.5)
+        assert rs.matches(1, 10)
+        assert not rs.matches(1, 11)
+
+    def test_empty_block(self):
+        rs = generate_ruleset(make_block([]))
+        assert len(rs) == 0
+
+    def test_all_pruned(self, small_block):
+        rs = generate_ruleset(small_block, min_support_count=100)
+        assert len(rs) == 0
+
+    @pytest.mark.parametrize("impl", ["numpy", "python"])
+    def test_both_implementations_work(self, small_block, impl):
+        rs = generate_ruleset(small_block, min_support_count=2, implementation=impl)
+        assert rs.matches(1, 10)
+
+    def test_unknown_implementation(self, small_block):
+        with pytest.raises(ValueError):
+            generate_ruleset(small_block, implementation="cython")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"min_support_count": 0},
+            {"top_k": 0},
+            {"min_confidence": 1.5},
+        ],
+    )
+    def test_parameter_validation(self, small_block, kwargs):
+        with pytest.raises(ValueError):
+            generate_ruleset(small_block, **kwargs)
+
+
+pairs_strategy = st.lists(
+    st.tuples(st.integers(0, 6), st.integers(0, 6)), min_size=0, max_size=200
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    pairs_strategy,
+    st.integers(1, 5),
+    st.sampled_from([None, 1, 2]),
+    st.sampled_from([0.0, 0.3, 0.6]),
+)
+def test_numpy_equals_python_reference(pairs, min_support, top_k, min_conf):
+    """Property: the vectorized and reference implementations agree."""
+    block = make_block(pairs)
+    a = generate_ruleset(
+        block,
+        min_support_count=min_support,
+        top_k=top_k,
+        min_confidence=min_conf,
+        implementation="numpy",
+    )
+    b = generate_ruleset(
+        block,
+        min_support_count=min_support,
+        top_k=top_k,
+        min_confidence=min_conf,
+        implementation="python",
+    )
+    assert sorted((r.antecedent, r.consequent, r.count) for r in a) == sorted(
+        (r.antecedent, r.consequent, r.count) for r in b
+    )

@@ -1,0 +1,68 @@
+"""Tests for ruleset_test_random_subset (§III-B.1 random forwarding)."""
+
+import numpy as np
+import pytest
+
+from repro.core.evaluation import ruleset_test, ruleset_test_random_subset
+from repro.core.rules import Rule, RuleSet
+from tests.conftest import make_block
+
+
+def multi_consequent_ruleset():
+    return RuleSet(
+        [
+            Rule(1, 10, 9),
+            Rule(1, 11, 5),
+            Rule(1, 12, 1),
+        ]
+    )
+
+
+class TestRandomSubset:
+    def test_k_at_least_all_equals_full_match(self):
+        rs = multi_consequent_ruleset()
+        block = make_block([(1, 10), (1, 11), (1, 12), (1, 99)])
+        full = ruleset_test(rs, block)
+        rand = ruleset_test_random_subset(rs, block, k=3, rng=0)
+        assert (rand.n_covered, rand.n_successful) == (
+            full.n_covered,
+            full.n_successful,
+        )
+
+    def test_k1_success_rate_is_one_third_on_average(self):
+        rs = multi_consequent_ruleset()
+        block = make_block([(1, 10)] * 300)
+        result = ruleset_test_random_subset(rs, block, k=1, rng=np.random.default_rng(5))
+        # One of three consequents drawn uniformly: success ~ 1/3.
+        assert 0.25 < result.success < 0.42
+
+    def test_uncovered_source(self):
+        rs = multi_consequent_ruleset()
+        block = make_block([(7, 10)])
+        result = ruleset_test_random_subset(rs, block, k=1, rng=1)
+        assert result.n_covered == 0
+
+    def test_deterministic_given_seed(self):
+        rs = multi_consequent_ruleset()
+        block = make_block([(1, 10), (1, 11)] * 20)
+        a = ruleset_test_random_subset(rs, block, k=1, rng=42)
+        b = ruleset_test_random_subset(rs, block, k=1, rng=42)
+        assert a.n_successful == b.n_successful
+
+    def test_validation(self):
+        rs = multi_consequent_ruleset()
+        with pytest.raises(ValueError):
+            ruleset_test_random_subset(rs, make_block([]), k=0)
+
+    def test_random_below_topk_on_skewed_traffic(self):
+        """With traffic matching the support ordering, top-k wins."""
+        rs = multi_consequent_ruleset()
+        # 9:5:1 traffic mirrors the rule support counts.
+        pairs = [(1, 10)] * 9 + [(1, 11)] * 5 + [(1, 12)] * 1
+        block = make_block(pairs * 30)
+        from repro.core.generation import generate_ruleset
+
+        topk_rs = generate_ruleset(block, min_support_count=1, top_k=1)
+        topk = ruleset_test(topk_rs, block)
+        rand = ruleset_test_random_subset(rs, block, k=1, rng=7)
+        assert topk.success > rand.success

@@ -1,0 +1,97 @@
+"""Tests for repro.core.rules."""
+
+import numpy as np
+import pytest
+
+from repro.core.rules import Rule, RuleSet
+
+
+def make_ruleset():
+    return RuleSet(
+        [
+            Rule(1, 10, 5),
+            Rule(1, 11, 8),
+            Rule(1, 12, 2),
+            Rule(2, 10, 3),
+        ]
+    )
+
+
+class TestRule:
+    def test_requires_positive_count(self):
+        with pytest.raises(ValueError):
+            Rule(1, 2, 0)
+
+    def test_str(self):
+        assert str(Rule(1, 2, 3)) == "{1} -> {2} (n=3)"
+
+
+class TestRuleSet:
+    def test_len_counts_rules(self):
+        assert len(make_ruleset()) == 4
+
+    def test_n_antecedents(self):
+        assert make_ruleset().n_antecedents == 2
+
+    def test_covers(self):
+        rs = make_ruleset()
+        assert rs.covers(1)
+        assert rs.covers(2)
+        assert not rs.covers(3)
+
+    def test_consequents_sorted_by_support(self):
+        rs = make_ruleset()
+        assert rs.consequents_for(1) == [11, 10, 12]
+
+    def test_consequents_top_k(self):
+        rs = make_ruleset()
+        assert rs.consequents_for(1, k=2) == [11, 10]
+
+    def test_consequents_for_unknown(self):
+        assert make_ruleset().consequents_for(99) == []
+
+    def test_consequents_k_validation(self):
+        with pytest.raises(ValueError):
+            make_ruleset().consequents_for(1, k=0)
+
+    def test_matches(self):
+        rs = make_ruleset()
+        assert rs.matches(1, 11)
+        assert rs.matches(2, 10)
+        assert not rs.matches(1, 99)
+        assert not rs.matches(99, 10)
+
+    def test_iteration_yields_all_rules(self):
+        rules = list(make_ruleset())
+        assert len(rules) == 4
+        assert all(isinstance(r, Rule) for r in rules)
+
+    def test_ties_broken_by_consequent_id(self):
+        rs = RuleSet([Rule(1, 20, 5), Rule(1, 10, 5)])
+        assert rs.consequents_for(1) == [10, 20]
+
+    def test_duplicate_consequent_rejected(self):
+        with pytest.raises(ValueError):
+            RuleSet([Rule(1, 10, 5), Rule(1, 10, 2)])
+
+    def test_from_counts(self):
+        rs = RuleSet.from_counts({(1, 10): 4, (2, 11): 7})
+        assert rs.matches(1, 10)
+        assert rs.rules_for(2)[0].count == 7
+
+    def test_empty(self):
+        rs = RuleSet.empty()
+        assert len(rs) == 0
+        assert not rs.covers(1)
+        assert rs.pair_key_array.size == 0
+
+    def test_pair_key_array_sorted(self):
+        keys = make_ruleset().pair_key_array
+        assert np.all(np.diff(keys) > 0)
+
+    def test_antecedent_array_contents(self):
+        antes = set(make_ruleset().antecedent_array.tolist())
+        assert antes == {1, 2}
+
+    def test_antecedents_frozenset(self):
+        assert make_ruleset().antecedents() == frozenset({1, 2})

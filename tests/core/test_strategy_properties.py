@@ -1,0 +1,102 @@
+"""Property-based invariants of the strategy drivers on random traces."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.strategies import (
+    AdaptiveSlidingWindow,
+    LazySlidingWindow,
+    SlidingWindow,
+    StaticRuleset,
+)
+from repro.core.streaming import StreamingRules
+from tests.conftest import make_block
+
+
+@st.composite
+def random_block_sequences(draw):
+    """2-8 blocks of random (source, replier) pairs over small id spaces."""
+    n_blocks = draw(st.integers(2, 8))
+    n_sources = draw(st.integers(1, 6))
+    n_repliers = draw(st.integers(1, 6))
+    blocks = []
+    for i in range(n_blocks):
+        n_pairs = draw(st.integers(1, 60))
+        seed = draw(st.integers(0, 2**31 - 1))
+        rng = np.random.default_rng(seed)
+        pairs = list(
+            zip(
+                rng.integers(0, n_sources, n_pairs).tolist(),
+                rng.integers(100, 100 + n_repliers, n_pairs).tolist(),
+            )
+        )
+        blocks.append(make_block(pairs, index=i))
+    return blocks
+
+
+STRATEGIES = [
+    lambda: StaticRuleset(min_support_count=2),
+    lambda: SlidingWindow(min_support_count=2),
+    lambda: LazySlidingWindow(min_support_count=2, laziness=3),
+    lambda: AdaptiveSlidingWindow(min_support_count=2, history=3),
+    lambda: StreamingRules(min_support_count=2, window_pairs=100),
+]
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_block_sequences())
+def test_metric_bounds_and_trial_alignment(blocks):
+    """All strategies: metrics in [0,1], one trial per test block."""
+    for factory in STRATEGIES:
+        run = factory().run(blocks)
+        assert run.n_trials == len(blocks) - 1
+        for trial in run.trials:
+            assert 0.0 <= trial.coverage <= 1.0
+            assert 0.0 <= trial.success <= 1.0
+            r = trial.result
+            assert 0 <= r.n_successful <= r.n_covered <= r.n_total
+        assert [t.block_index for t in run.trials] == list(range(1, len(blocks)))
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_block_sequences())
+def test_generation_count_relationships(blocks):
+    """Static generates once; sliding once per trial; adaptive in between."""
+    static = StaticRuleset(min_support_count=2).run(blocks)
+    sliding = SlidingWindow(min_support_count=2).run(blocks)
+    adaptive = AdaptiveSlidingWindow(min_support_count=2, history=3).run(blocks)
+    lazy = LazySlidingWindow(min_support_count=2, laziness=3).run(blocks)
+    assert static.n_generations == 1
+    assert sliding.n_generations == len(blocks) - 1
+    assert 1 <= adaptive.n_generations <= sliding.n_generations
+    assert 1 <= lazy.n_generations <= sliding.n_generations
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_block_sequences())
+def test_first_trial_identical_across_batch_strategies(blocks):
+    """Every batch strategy trains on block 0 first, so trial 1 matches."""
+    runs = [
+        StaticRuleset(min_support_count=2).run(blocks),
+        SlidingWindow(min_support_count=2).run(blocks),
+        LazySlidingWindow(min_support_count=2, laziness=3).run(blocks),
+        AdaptiveSlidingWindow(min_support_count=2, history=3).run(blocks),
+    ]
+    first = runs[0].trials[0]
+    for run in runs[1:]:
+        assert run.trials[0].coverage == first.coverage
+        assert run.trials[0].success == first.success
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_block_sequences())
+def test_averages_are_means_of_series(blocks):
+    run = SlidingWindow(min_support_count=2).run(blocks)
+    assert math.isclose(
+        run.average_coverage, sum(run.coverage_series) / run.n_trials
+    )
+    assert math.isclose(
+        run.average_success, sum(run.success_series) / run.n_trials
+    )

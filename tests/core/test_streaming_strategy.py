@@ -1,0 +1,96 @@
+"""Tests for repro.core.streaming (the streaming strategy)."""
+
+import pytest
+
+from repro.core.streaming import StreamingRules, _ExactWindowCounts
+from tests.conftest import make_block
+
+
+def stationary_blocks(n_blocks, pairs_per_block=40):
+    pairs = [(1, 10), (2, 20)] * (pairs_per_block // 2)
+    return [make_block(pairs, index=i) for i in range(n_blocks)]
+
+
+def drifting_blocks(n_blocks, pairs_per_block=40):
+    return [
+        make_block([(1, 100 + i)] * pairs_per_block, index=i)
+        for i in range(n_blocks)
+    ]
+
+
+class TestExactWindowCounts:
+    def test_threshold_crossing(self):
+        counts = _ExactWindowCounts(window_pairs=100, min_support_count=3)
+        for _ in range(2):
+            counts.push(1, 10)
+        assert not counts.covers(1)
+        counts.push(1, 10)
+        assert counts.covers(1)
+        assert counts.matches(1, 10)
+        assert not counts.matches(1, 11)
+
+    def test_window_eviction_uncovers(self):
+        counts = _ExactWindowCounts(window_pairs=4, min_support_count=3)
+        for _ in range(3):
+            counts.push(1, 10)
+        assert counts.covers(1)
+        # Push unrelated pairs to evict the old ones.
+        for _ in range(4):
+            counts.push(2, 20)
+        assert not counts.covers(1)
+        assert counts.covers(2)
+
+    def test_n_rules(self):
+        counts = _ExactWindowCounts(window_pairs=100, min_support_count=2)
+        counts.push(1, 10)
+        counts.push(1, 10)
+        counts.push(1, 11)
+        assert counts.n_rules() == 1
+
+
+class TestStreamingRules:
+    def test_near_perfect_on_stationary(self):
+        run = StreamingRules(min_support_count=2, window_pairs=100).run(
+            stationary_blocks(5)
+        )
+        assert run.average_coverage == 1.0
+        assert run.average_success == 1.0
+        assert run.n_generations == 0
+
+    def test_adapts_quickly_to_drift(self):
+        # Replier changes each block; streaming picks the new pair up after
+        # min_support_count observations within the block, so success is
+        # high even though batch sliding would score 0.
+        run = StreamingRules(min_support_count=2, window_pairs=100).run(
+            drifting_blocks(5)
+        )
+        assert run.average_success > 0.85
+
+    def test_lossy_backend_close_to_exact(self):
+        blocks = stationary_blocks(5)
+        exact = StreamingRules(min_support_count=2, backend="exact").run(blocks)
+        lossy = StreamingRules(min_support_count=2, backend="lossy").run(blocks)
+        assert abs(exact.average_coverage - lossy.average_coverage) < 0.1
+        assert abs(exact.average_success - lossy.average_success) < 0.1
+
+    def test_requires_two_blocks(self):
+        with pytest.raises(ValueError):
+            StreamingRules().run(stationary_blocks(1))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"min_support_count": 0},
+            {"window_pairs": 0},
+            {"backend": "exotic"},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            StreamingRules(**kwargs)
+
+    def test_trials_aligned_with_batch_strategies(self):
+        blocks = stationary_blocks(4)
+        run = StreamingRules(min_support_count=2).run(blocks)
+        assert run.n_trials == 3  # first block is warmup, like training
+        assert [t.block_index for t in run.trials] == [1, 2, 3]

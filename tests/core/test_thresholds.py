@@ -1,0 +1,48 @@
+"""Tests for repro.core.thresholds."""
+
+import pytest
+
+from repro.core.thresholds import RollingThreshold
+
+
+class TestRollingThreshold:
+    def test_initial_before_history(self):
+        t = RollingThreshold(window=10, initial=0.7)
+        assert t.current() == pytest.approx(0.7)
+
+    def test_tracks_rolling_mean(self):
+        t = RollingThreshold(window=3, initial=0.7)
+        for v in [0.8, 0.6, 0.7]:
+            t.observe(v)
+        assert t.current() == pytest.approx(0.7)
+
+    def test_window_eviction(self):
+        t = RollingThreshold(window=2, initial=0.5)
+        for v in [0.1, 0.9, 0.9]:
+            t.observe(v)
+        assert t.current() == pytest.approx(0.9)
+
+    def test_slack_scales_threshold(self):
+        t = RollingThreshold(window=2, initial=0.8, slack=0.9)
+        assert t.current() == pytest.approx(0.72)
+        t.observe(1.0)
+        assert t.current() == pytest.approx(0.9)
+
+    def test_history_length(self):
+        t = RollingThreshold(window=5)
+        t.observe(0.5)
+        t.observe(0.6)
+        assert t.history_length() == 2
+
+    def test_window_property(self):
+        assert RollingThreshold(window=7).window == 7
+
+    @pytest.mark.parametrize("kwargs", [{"initial": 1.5}, {"slack": 0.0}, {"slack": 1.2}])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RollingThreshold(window=5, **kwargs)
+
+    def test_observation_bounds(self):
+        t = RollingThreshold(window=3)
+        with pytest.raises(ValueError):
+            t.observe(1.2)

@@ -1,0 +1,42 @@
+"""Tests for repro.experiments.multi (seed sweeps)."""
+
+import pytest
+
+from repro.experiments.config import ExperimentScale
+from repro.experiments.multi import run_seed_sweep
+
+
+@pytest.fixture(autouse=True)
+def tiny_scale(monkeypatch):
+    tiny = ExperimentScale("t", 8, 10, 30_000, 80, 30, 60)
+    monkeypatch.setattr("repro.experiments.config.DEFAULT_SCALE", tiny)
+    monkeypatch.delenv("REPRO_FULL_SCALE", raising=False)
+
+
+class TestRunSeedSweep:
+    def test_aggregates_rows(self):
+        sweep = run_seed_sweep("fig1", seeds=[1, 2, 3])
+        assert sweep.experiment_id == "fig1"
+        assert sweep.seeds == (1, 2, 3)
+        coverage = sweep.rows[0]
+        assert coverage.n_seeds == 3
+        assert 0.0 <= coverage.mean <= 1.0
+        assert coverage.std >= 0.0
+
+    def test_report_printable(self):
+        sweep = run_seed_sweep("fig1", seeds=[1, 2])
+        text = sweep.report()
+        assert "fig1" in text
+        assert "±" in text
+
+    def test_single_seed_zero_std(self):
+        sweep = run_seed_sweep("fig1", seeds=[5])
+        assert all(row.std == 0.0 for row in sweep.rows)
+
+    def test_requires_seeds(self):
+        with pytest.raises(ValueError):
+            run_seed_sweep("fig1", seeds=[])
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_seed_sweep("not-an-experiment", seeds=[1])

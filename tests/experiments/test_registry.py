@@ -1,0 +1,57 @@
+"""Tests for repro.experiments.registry and config."""
+
+import pytest
+
+from repro.experiments.config import DEFAULT_SCALE, FULL_SCALE, current_scale
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        expected = {
+            "static",
+            "fig1",
+            "fig2",
+            "fig3",
+            "fig4",
+            "adaptive-history",
+            "streaming",
+            "traffic",
+            "prune-ablation",
+            "confidence-ablation",
+            "category-rules",
+            "topology-adaptation",
+            "hybrid",
+            "superpeer",
+            "topk-ablation",
+            "churn-sensitivity",
+            "adoption",
+            "latency",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_get_experiment(self):
+        fn = get_experiment("fig1")
+        assert callable(fn)
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError, match="fig1"):
+            get_experiment("fig99")
+
+    def test_titles_nonempty(self):
+        for title, fn in EXPERIMENTS.values():
+            assert title
+            assert callable(fn)
+
+
+class TestScale:
+    def test_default_scale(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL_SCALE", raising=False)
+        assert current_scale() is DEFAULT_SCALE
+
+    def test_full_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL_SCALE", "1")
+        assert current_scale() is FULL_SCALE
+
+    def test_full_scale_larger(self):
+        assert FULL_SCALE.n_blocks > DEFAULT_SCALE.n_blocks

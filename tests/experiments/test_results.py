@@ -1,0 +1,53 @@
+"""Tests for repro.experiments.results (ExperimentResult utilities)."""
+
+import pytest
+
+from repro.experiments.results import ExperimentResult
+from repro.metrics.report import ComparisonRow
+
+
+def make_result(series=None):
+    return ExperimentResult(
+        experiment_id="x",
+        title="Test",
+        rows=[ComparisonRow("m", 0.5, 0.5, band=(0.0, 1.0))],
+        series=series if series is not None else {},
+    )
+
+
+class TestAllWithinBand:
+    def test_true_when_in_band(self):
+        assert make_result().all_within_band
+
+    def test_false_on_miss(self):
+        result = ExperimentResult(
+            "x", "t", [ComparisonRow("m", 0.5, 2.0, band=(0.0, 1.0))]
+        )
+        assert not result.all_within_band
+
+    def test_unbanded_rows_ignored(self):
+        result = ExperimentResult("x", "t", [ComparisonRow("m", "-", 99.0)])
+        assert result.all_within_band
+
+
+class TestSaveSeries:
+    def test_csv_roundtrip(self, tmp_path):
+        result = make_result({"coverage": [0.8, 0.7], "success": [0.75, 0.7]})
+        path = tmp_path / "series.csv"
+        n = result.save_series(path)
+        assert n == 2
+        lines = path.read_text().splitlines()
+        assert lines[0] == "trial,coverage,success"
+        assert lines[1] == "1,0.800000,0.750000"
+        assert lines[2] == "2,0.700000,0.700000"
+
+    def test_uneven_series_padded(self, tmp_path):
+        result = make_result({"a": [0.1], "b": [0.2, 0.3]})
+        path = tmp_path / "series.csv"
+        assert result.save_series(path) == 2
+        lines = path.read_text().splitlines()
+        assert lines[2] == "2,,0.300000"
+
+    def test_requires_series(self, tmp_path):
+        with pytest.raises(ValueError):
+            make_result().save_series(tmp_path / "x.csv")

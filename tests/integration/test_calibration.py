@@ -1,0 +1,78 @@
+"""Calibration contract: the synthetic trace lands in the paper's bands.
+
+These are the acceptance tests for DESIGN.md §7 — if the trace-generator
+defaults drift, these fail before any benchmark does.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.strategies import (
+    AdaptiveSlidingWindow,
+    LazySlidingWindow,
+    SlidingWindow,
+    StaticRuleset,
+)
+from repro.core.streaming import StreamingRules
+from repro.trace.blocks import blocks_from_arrays
+from repro.workload.tracegen import MonitorTraceConfig, MonitorTraceGenerator
+
+N_BLOCKS = 40
+SEED = 20060814
+
+
+@pytest.fixture(scope="module")
+def blocks():
+    cfg = MonitorTraceConfig()
+    gen = MonitorTraceGenerator(cfg, seed=SEED)
+    arrays = gen.generate_pair_arrays(N_BLOCKS * cfg.block_size)
+    return blocks_from_arrays(arrays.source, arrays.replier, block_size=cfg.block_size)
+
+
+@pytest.fixture(scope="module")
+def runs(blocks):
+    return {
+        "sliding": SlidingWindow().run(blocks),
+        "lazy": LazySlidingWindow().run(blocks),
+        "static": StaticRuleset().run(blocks),
+        "adaptive": AdaptiveSlidingWindow().run(blocks),
+        "streaming": StreamingRules(min_support_count=5).run(blocks),
+    }
+
+
+class TestPaperBands:
+    def test_sliding_window_fig1(self, runs):
+        assert 0.72 <= runs["sliding"].average_coverage <= 0.88
+        assert 0.70 <= runs["sliding"].average_success <= 0.88
+
+    def test_lazy_fig3(self, runs):
+        assert 0.45 <= runs["lazy"].average_coverage <= 0.72
+        assert 0.42 <= runs["lazy"].average_success <= 0.72
+
+    def test_static_decays(self, runs):
+        succ = runs["static"].success_series
+        tail = float(np.mean(succ[16:]))
+        assert tail < 0.08  # "almost 0 around the 16th trial, never rose"
+        plateau = float(np.mean(runs["static"].coverage_series[2:12]))
+        assert 0.25 <= plateau <= 0.55  # "remained around 0.4"
+
+    def test_adaptive_fig4(self, runs):
+        run = runs["adaptive"]
+        assert 0.70 <= run.average_coverage <= 0.86
+        assert 0.66 <= run.average_success <= 0.86
+        assert 1.2 <= run.blocks_per_generation <= 2.6  # paper: ~1.7
+
+    def test_strategy_ordering(self, runs):
+        """The paper's qualitative ordering on both measures."""
+        for measure in ("average_coverage", "average_success"):
+            static = getattr(runs["static"], measure)
+            lazy = getattr(runs["lazy"], measure)
+            sliding = getattr(runs["sliding"], measure)
+            adaptive = getattr(runs["adaptive"], measure)
+            streaming = getattr(runs["streaming"], measure)
+            assert static < lazy < sliding
+            assert lazy < adaptive
+            assert sliding <= streaming
+
+    def test_adaptive_regenerates_less_than_sliding(self, runs):
+        assert runs["adaptive"].n_generations < runs["sliding"].n_generations

@@ -1,0 +1,57 @@
+"""Tests for repro.metrics.ascii_chart."""
+
+import pytest
+
+from repro.metrics.ascii_chart import line_chart, sparkline
+
+
+class TestSparkline:
+    def test_monotone_levels(self):
+        line = sparkline([0.0, 0.5, 1.0])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+        assert len(line) == 3
+
+    def test_clipping(self):
+        line = sparkline([-1.0, 2.0])
+        assert line == "▁█"
+
+    def test_custom_range(self):
+        line = sparkline([5.0], lo=0.0, hi=10.0)
+        assert line in "▄▅"
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            sparkline([0.5], lo=1.0, hi=0.0)
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestLineChart:
+    def test_dimensions(self):
+        text = line_chart({"a": [0.0, 0.5, 1.0]}, height=5)
+        lines = text.splitlines()
+        assert len(lines) == 7  # 5 rows + axis + legend
+        assert lines[0].startswith(" 1.00 |")
+        assert lines[4].startswith(" 0.00 |")
+
+    def test_markers_present(self):
+        text = line_chart({"cov": [0.8] * 5, "succ": [0.2] * 5}, height=6)
+        assert "*" in text and "o" in text
+        assert "*=cov" in text and "o=succ" in text
+
+    def test_high_values_on_top(self):
+        text = line_chart({"a": [1.0]}, height=4)
+        first_row = text.splitlines()[0]
+        assert "*" in first_row
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_chart({}, height=4)
+        with pytest.raises(ValueError):
+            line_chart({"a": [1.0]}, height=1)
+        with pytest.raises(ValueError):
+            line_chart({"a": []}, height=4)
+        with pytest.raises(ValueError):
+            line_chart({"a": [1.0]}, lo=1.0, hi=0.0)

@@ -1,0 +1,40 @@
+"""Tests for repro.metrics.report."""
+
+from repro.metrics.report import ComparisonRow, format_table
+
+
+class TestComparisonRow:
+    def test_within_band(self):
+        row = ComparisonRow("x", 0.8, 0.79, band=(0.7, 0.9))
+        assert row.within_band is True
+
+    def test_outside_band(self):
+        row = ComparisonRow("x", 0.8, 0.5, band=(0.7, 0.9))
+        assert row.within_band is False
+
+    def test_no_band(self):
+        assert ComparisonRow("x", 0.8, 0.5).within_band is None
+
+    def test_string_paper_value(self):
+        row = ComparisonRow("x", "<0.02", 0.01, band=(0.0, 0.05))
+        label, paper, measured, band = row.cells()
+        assert paper == "<0.02"
+        assert "OK" in band
+
+
+class TestFormatTable:
+    def test_contains_rows_and_title(self):
+        rows = [
+            ComparisonRow("coverage", 0.8, 0.79, band=(0.7, 0.9)),
+            ComparisonRow("success", 0.79, 0.2, band=(0.7, 0.9)),
+        ]
+        text = format_table("My Table", rows)
+        assert "My Table" in text
+        assert "coverage" in text
+        assert "OK" in text
+        assert "MISS" in text
+
+    def test_empty_rows(self):
+        text = format_table("Empty", [])
+        assert "Empty" in text
+        assert "metric" in text

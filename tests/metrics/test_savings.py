@@ -1,0 +1,60 @@
+"""Tests for repro.metrics.savings (analytic flood-reduction model)."""
+
+import pytest
+
+from repro.metrics.savings import estimate_flood_reduction
+
+
+class TestEstimate:
+    def test_perfect_rules_cost_only_rule_routes(self):
+        est = estimate_flood_reduction(
+            coverage=1.0, success=1.0, rule_cost=6.0, flood_cost=2000.0
+        )
+        assert est.expected_messages == pytest.approx(6.0)
+        assert est.reduction_factor == pytest.approx(2000.0 / 6.0)
+
+    def test_no_rules_is_pure_flooding(self):
+        est = estimate_flood_reduction(
+            coverage=0.0, success=0.0, rule_cost=6.0, flood_cost=2000.0
+        )
+        assert est.expected_messages == pytest.approx(2000.0)
+        assert est.reduction_factor == pytest.approx(1.0)
+
+    def test_covered_misses_double_pay(self):
+        # Covered but always wrong: every query pays rule route AND flood.
+        est = estimate_flood_reduction(
+            coverage=1.0, success=0.0, rule_cost=6.0, flood_cost=2000.0
+        )
+        assert est.expected_messages == pytest.approx(2006.0)
+        assert est.reduction_factor < 1.0  # worse than flooding
+
+    def test_paper_operating_point(self):
+        """Sliding Window's 0.80/0.79 should predict a >2x reduction."""
+        est = estimate_flood_reduction(coverage=0.80, success=0.79)
+        assert est.resolved_fraction == pytest.approx(0.632)
+        assert 2.0 < est.reduction_factor < 3.5
+
+    def test_prediction_matches_simulated_ratio_loosely(self):
+        """The analytic model should agree with the overlay simulation's
+        measured flooding/association ratio within a factor of ~1.5."""
+        est = estimate_flood_reduction(coverage=0.80, success=0.79)
+        simulated_ratio = 2.3  # from the traffic experiment (EXPERIMENTS.md)
+        assert simulated_ratio / 1.5 < est.reduction_factor < simulated_ratio * 1.5
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"coverage": 1.5, "success": 0.5},
+            {"coverage": 0.5, "success": -0.1},
+            {"coverage": 0.5, "success": 0.5, "rule_cost": 0.0},
+            {"coverage": 0.5, "success": 0.5, "flood_cost": -1.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            estimate_flood_reduction(**kwargs)
+
+    def test_monotone_in_success(self):
+        lo = estimate_flood_reduction(coverage=0.8, success=0.3)
+        hi = estimate_flood_reduction(coverage=0.8, success=0.9)
+        assert hi.reduction_factor > lo.reduction_factor

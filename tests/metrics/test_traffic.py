@@ -1,0 +1,50 @@
+"""Tests for repro.metrics.traffic."""
+
+import pytest
+
+from repro.metrics.traffic import QueryOutcome, TrafficStats
+
+
+def outcome(messages=10, hits=1, hops=2, duplicates=1, qid=1):
+    return QueryOutcome(
+        query_id=qid,
+        messages=messages,
+        hits=hits,
+        first_hit_hops=hops if hits else None,
+        duplicates=duplicates,
+    )
+
+
+class TestQueryOutcome:
+    def test_succeeded(self):
+        assert outcome(hits=1).succeeded
+        assert not outcome(hits=0).succeeded
+
+
+class TestTrafficStats:
+    def test_empty(self):
+        stats = TrafficStats()
+        assert stats.success_rate == 0.0
+        assert stats.messages_per_query == 0.0
+
+    def test_aggregation(self):
+        stats = TrafficStats()
+        stats.record(outcome(messages=10, hits=1, hops=2))
+        stats.record(outcome(messages=30, hits=0))
+        assert stats.n_queries == 2
+        assert stats.n_succeeded == 1
+        assert stats.success_rate == 0.5
+        assert stats.messages_per_query == 20.0
+        assert stats.total_duplicates == 2
+
+    def test_hop_stats_only_for_hits(self):
+        stats = TrafficStats()
+        stats.record(outcome(hits=1, hops=3))
+        stats.record(outcome(hits=0))
+        assert stats.mean_first_hit_hops == 3.0
+
+    def test_str(self):
+        stats = TrafficStats()
+        stats.record(outcome())
+        text = str(stats)
+        assert "queries=1" in text

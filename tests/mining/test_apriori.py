@@ -1,0 +1,82 @@
+"""Tests for repro.mining.apriori."""
+
+import pytest
+
+from repro.mining.apriori import apriori
+from repro.mining.transactions import TransactionDataset
+
+
+def make_market():
+    return TransactionDataset(
+        [
+            {"bread", "milk"},
+            {"bread", "diapers", "beer", "eggs"},
+            {"milk", "diapers", "beer", "cola"},
+            {"bread", "milk", "diapers", "beer"},
+            {"bread", "milk", "diapers", "cola"},
+        ]
+    )
+
+
+def decode(ds, frequent):
+    return {ds.decode_itemset(itemset): count for itemset, count in frequent.items()}
+
+
+class TestApriori:
+    def test_singletons(self):
+        ds = make_market()
+        out = decode(ds, apriori(ds, min_support_count=3))
+        assert out[frozenset({"bread"})] == 4
+        assert out[frozenset({"milk"})] == 4
+        assert out[frozenset({"diapers"})] == 4
+        assert out[frozenset({"beer"})] == 3
+        assert frozenset({"eggs"}) not in out
+
+    def test_known_pairs(self):
+        ds = make_market()
+        out = decode(ds, apriori(ds, min_support_count=3))
+        assert out[frozenset({"diapers", "beer"})] == 3
+        assert out[frozenset({"bread", "milk"})] == 3
+        assert frozenset({"milk", "beer"}) not in out  # support 2
+
+    def test_counts_match_exact_scan(self):
+        ds = make_market()
+        for itemset, count in apriori(ds, min_support_count=2).items():
+            assert ds.support_count(itemset) == count
+
+    def test_anti_monotone_closure(self):
+        ds = make_market()
+        frequent = apriori(ds, min_support_count=2)
+        for itemset in frequent:
+            for item in itemset:
+                assert (itemset - {item}) in frequent or len(itemset) == 1
+
+    def test_max_size_limits_cardinality(self):
+        ds = make_market()
+        frequent = apriori(ds, min_support_count=1, max_size=2)
+        assert max(len(s) for s in frequent) == 2
+
+    def test_min_support_one_enumerates_everything_in_small_data(self):
+        ds = TransactionDataset([{"a", "b"}, {"a"}])
+        out = decode(ds, apriori(ds, min_support_count=1))
+        assert out == {
+            frozenset({"a"}): 2,
+            frozenset({"b"}): 1,
+            frozenset({"a", "b"}): 1,
+        }
+
+    def test_empty_dataset(self):
+        assert apriori(TransactionDataset([]), min_support_count=1) == {}
+
+    def test_threshold_above_everything(self):
+        ds = make_market()
+        assert apriori(ds, min_support_count=100) == {}
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_rejects_bad_threshold(self, bad):
+        with pytest.raises(ValueError):
+            apriori(make_market(), min_support_count=bad)
+
+    def test_rejects_bad_max_size(self):
+        with pytest.raises(ValueError):
+            apriori(make_market(), min_support_count=1, max_size=0)

@@ -1,0 +1,80 @@
+"""Tests for repro.mining.fpgrowth, including the Apriori cross-check."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mining.apriori import apriori
+from repro.mining.fpgrowth import fpgrowth
+from repro.mining.transactions import TransactionDataset
+
+
+def make_market():
+    return TransactionDataset(
+        [
+            {"bread", "milk"},
+            {"bread", "diapers", "beer", "eggs"},
+            {"milk", "diapers", "beer", "cola"},
+            {"bread", "milk", "diapers", "beer"},
+            {"bread", "milk", "diapers", "cola"},
+        ]
+    )
+
+
+transactions_strategy = st.lists(
+    st.sets(st.integers(0, 7), min_size=1, max_size=5), min_size=0, max_size=25
+)
+
+
+class TestFPGrowth:
+    def test_known_example(self):
+        ds = make_market()
+        out = fpgrowth(ds, min_support_count=3)
+        decoded = {ds.decode_itemset(s): c for s, c in out.items()}
+        assert decoded[frozenset({"diapers", "beer"})] == 3
+        assert decoded[frozenset({"bread", "milk"})] == 3
+
+    def test_counts_match_exact_scan(self):
+        ds = make_market()
+        for itemset, count in fpgrowth(ds, min_support_count=2).items():
+            assert ds.support_count(itemset) == count
+
+    def test_max_size(self):
+        ds = make_market()
+        frequent = fpgrowth(ds, min_support_count=1, max_size=2)
+        assert max(len(s) for s in frequent) == 2
+
+    def test_empty_dataset(self):
+        assert fpgrowth(TransactionDataset([]), min_support_count=1) == {}
+
+    def test_single_path_tree(self):
+        # Transactions forming a chain exercise the single-path shortcut.
+        ds = TransactionDataset([{"a", "b", "c"}, {"a", "b"}, {"a"}])
+        out = fpgrowth(ds, min_support_count=1)
+        decoded = {ds.decode_itemset(s): c for s, c in out.items()}
+        assert decoded[frozenset({"a"})] == 3
+        assert decoded[frozenset({"a", "b"})] == 2
+        assert decoded[frozenset({"a", "b", "c"})] == 1
+
+    def test_rejects_bad_params(self):
+        ds = make_market()
+        with pytest.raises(ValueError):
+            fpgrowth(ds, min_support_count=0)
+        with pytest.raises(ValueError):
+            fpgrowth(ds, min_support_count=1, max_size=0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(transactions_strategy, st.integers(1, 4))
+    def test_equals_apriori(self, transactions, min_support):
+        """Property: FP-Growth and Apriori agree exactly."""
+        ds = TransactionDataset(transactions)
+        assert fpgrowth(ds, min_support_count=min_support) == apriori(
+            ds, min_support_count=min_support
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(transactions_strategy, st.integers(1, 3), st.integers(1, 3))
+    def test_equals_apriori_with_max_size(self, transactions, min_support, max_size):
+        ds = TransactionDataset(transactions)
+        assert fpgrowth(
+            ds, min_support_count=min_support, max_size=max_size
+        ) == apriori(ds, min_support_count=min_support, max_size=max_size)

@@ -1,0 +1,100 @@
+"""Tests for repro.mining.measures."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mining.measures import compute_measures
+
+
+class TestKnownValues:
+    def test_diapers_beer(self):
+        # 5 transactions; diapers in 4, beer in 3, both in 3.
+        m = compute_measures(
+            n_transactions=5, antecedent_count=4, consequent_count=3, union_count=3
+        )
+        assert m.support == pytest.approx(0.6)
+        assert m.confidence == pytest.approx(0.75)
+        assert m.lift == pytest.approx(0.75 / 0.6)
+        assert m.leverage == pytest.approx(0.6 - 0.8 * 0.6)
+        assert m.conviction == pytest.approx((1 - 0.6) / (1 - 0.75))
+
+    def test_perfect_rule_has_infinite_conviction(self):
+        m = compute_measures(
+            n_transactions=10, antecedent_count=4, consequent_count=6, union_count=4
+        )
+        assert m.confidence == 1.0
+        assert math.isinf(m.conviction)
+
+    def test_independent_events_have_unit_lift(self):
+        # A in half, B in half, A∧B in a quarter.
+        m = compute_measures(
+            n_transactions=100,
+            antecedent_count=50,
+            consequent_count=50,
+            union_count=25,
+        )
+        assert m.lift == pytest.approx(1.0)
+        assert m.leverage == pytest.approx(0.0)
+
+
+class TestValidation:
+    def test_rejects_zero_transactions(self):
+        with pytest.raises(ValueError):
+            compute_measures(
+                n_transactions=0, antecedent_count=1, consequent_count=1, union_count=1
+            )
+
+    def test_rejects_zero_antecedent(self):
+        with pytest.raises(ValueError):
+            compute_measures(
+                n_transactions=5, antecedent_count=0, consequent_count=1, union_count=0
+            )
+
+    def test_rejects_union_exceeding_sides(self):
+        with pytest.raises(ValueError):
+            compute_measures(
+                n_transactions=5, antecedent_count=2, consequent_count=2, union_count=3
+            )
+
+    def test_rejects_count_above_total(self):
+        with pytest.raises(ValueError):
+            compute_measures(
+                n_transactions=5, antecedent_count=6, consequent_count=2, union_count=2
+            )
+
+
+@given(
+    st.integers(1, 200).flatmap(
+        lambda n: st.tuples(
+            st.just(n),
+            st.integers(1, n),
+            st.integers(0, n),
+        ).flatmap(
+            lambda nac: st.tuples(
+                st.just(nac[0]),
+                st.just(nac[1]),
+                st.just(nac[2]),
+                st.integers(
+                    max(0, nac[1] + nac[2] - nac[0]),  # inclusion-exclusion floor
+                    min(nac[1], nac[2]),
+                ),
+            )
+        )
+    )
+)
+def test_measure_bounds(params):
+    """Property: all measures stay in their theoretical ranges."""
+    n, ante, cons, union = params
+    m = compute_measures(
+        n_transactions=n,
+        antecedent_count=ante,
+        consequent_count=cons,
+        union_count=union,
+    )
+    assert 0.0 <= m.support <= 1.0
+    assert 0.0 <= m.confidence <= 1.0
+    assert m.lift >= 0.0
+    assert -0.25 <= m.leverage <= 0.25  # classic leverage bound
+    assert m.conviction >= 0.0

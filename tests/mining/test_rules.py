@@ -1,0 +1,84 @@
+"""Tests for repro.mining.rules."""
+
+import pytest
+
+from repro.mining.apriori import apriori
+from repro.mining.rules import generate_rules
+from repro.mining.transactions import TransactionDataset
+
+
+def make_market():
+    return TransactionDataset(
+        [
+            {"bread", "milk"},
+            {"bread", "diapers", "beer", "eggs"},
+            {"milk", "diapers", "beer", "cola"},
+            {"bread", "milk", "diapers", "beer"},
+            {"bread", "milk", "diapers", "cola"},
+        ]
+    )
+
+
+def mine_rules(min_confidence=0.0, min_support=0.0, min_support_count=1):
+    ds = make_market()
+    frequent = apriori(ds, min_support_count=min_support_count)
+    return generate_rules(
+        ds, frequent, min_confidence=min_confidence, min_support=min_support
+    )
+
+
+def find(rules, antecedent, consequent):
+    a, c = frozenset(antecedent), frozenset(consequent)
+    for rule in rules:
+        if rule.antecedent == a and rule.consequent == c:
+            return rule
+    return None
+
+
+class TestGenerateRules:
+    def test_diapers_implies_beer(self):
+        rule = find(mine_rules(), {"diapers"}, {"beer"})
+        assert rule is not None
+        assert rule.support == pytest.approx(0.6)
+        assert rule.confidence == pytest.approx(0.75)
+
+    def test_confidence_pruning(self):
+        rules = mine_rules(min_confidence=0.8)
+        assert find(rules, {"diapers"}, {"beer"}) is None  # 0.75 < 0.8
+        assert find(rules, {"beer"}, {"diapers"}) is not None  # 3/3 = 1.0
+
+    def test_support_pruning(self):
+        rules = mine_rules(min_support=0.7)
+        assert all(r.support >= 0.7 for r in rules)
+
+    def test_multi_item_rules_exist(self):
+        rules = mine_rules()
+        rule = find(rules, {"diapers", "beer"}, {"bread"})
+        assert rule is not None
+
+    def test_sorted_by_confidence_then_support(self):
+        rules = mine_rules()
+        keys = [(-r.confidence, -r.support) for r in rules]
+        assert keys == sorted(keys)
+
+    def test_antecedent_consequent_disjoint_and_nonempty(self):
+        for rule in mine_rules():
+            assert rule.antecedent
+            assert rule.consequent
+            assert not (rule.antecedent & rule.consequent)
+
+    def test_empty_dataset_gives_no_rules(self):
+        ds = TransactionDataset([])
+        assert generate_rules(ds, {}) == []
+
+    def test_rejects_bad_thresholds(self):
+        ds = make_market()
+        with pytest.raises(ValueError):
+            generate_rules(ds, {}, min_confidence=1.5)
+        with pytest.raises(ValueError):
+            generate_rules(ds, {}, min_support=-0.1)
+
+    def test_str_rendering(self):
+        rule = find(mine_rules(), {"diapers"}, {"beer"})
+        text = str(rule)
+        assert "diapers" in text and "beer" in text and "->" in text

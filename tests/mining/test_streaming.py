@@ -1,0 +1,113 @@
+"""Tests for repro.mining.streaming (lossy counting)."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mining.streaming import LossyCounter, StreamingPairCounter
+
+
+class TestLossyCounter:
+    def test_exact_for_short_streams(self):
+        lc = LossyCounter(epsilon=0.01)  # bucket width 100
+        lc.extend(["a", "b", "a"])
+        assert lc.estimate("a") == 2
+        assert lc.estimate("b") == 1
+        assert lc.estimate("c") == 0
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            LossyCounter(epsilon=0.0)
+        with pytest.raises(ValueError):
+            LossyCounter(epsilon=1.0)
+
+    def test_memory_stays_bounded_on_uniform_stream(self):
+        lc = LossyCounter(epsilon=0.01)
+        rng = np.random.default_rng(0)
+        for value in rng.integers(0, 100_000, size=20_000):
+            lc.push(int(value))
+        # Lossy counting guarantees O(log(eps N)/eps) entries; in practice
+        # far fewer for uniform data.  Assert well under the stream length.
+        assert len(lc) < 5_000
+
+    def test_heavy_hitter_survives(self):
+        lc = LossyCounter(epsilon=0.01)
+        rng = np.random.default_rng(1)
+        for value in rng.integers(0, 1000, size=10_000):
+            lc.push(int(value))
+            lc.push("heavy")  # 50% of the stream
+        assert "heavy" in lc.items_over(0.4)
+
+    def test_items_over_validates_threshold(self):
+        with pytest.raises(ValueError):
+            LossyCounter(epsilon=0.1).items_over(1.5)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.integers(0, 20), min_size=1, max_size=2000),
+        st.sampled_from([0.02, 0.05, 0.1]),
+    )
+    def test_error_bound_property(self, stream, epsilon):
+        """estimate <= true count <= estimate + eps * N for tracked items,
+        and any item with true count > eps * N is still tracked."""
+        lc = LossyCounter(epsilon=epsilon)
+        lc.extend(stream)
+        true = Counter(stream)
+        n = len(stream)
+        for item, true_count in true.items():
+            est = lc.estimate(item)
+            assert est <= true_count
+            if true_count > epsilon * n:
+                assert est > 0, f"frequent item {item} evicted"
+            if est > 0:
+                assert true_count <= est + epsilon * n
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(0, 10), min_size=10, max_size=1000))
+    def test_items_over_has_no_false_negatives(self, stream):
+        lc = LossyCounter(epsilon=0.05)
+        lc.extend(stream)
+        true = Counter(stream)
+        n = len(stream)
+        threshold = 0.3
+        reported = lc.items_over(threshold)
+        for item, count in true.items():
+            if count >= threshold * n:
+                assert item in reported
+
+
+class TestStreamingPairCounter:
+    def test_top_repliers_ordering(self):
+        spc = StreamingPairCounter(epsilon=0.001)
+        for _ in range(5):
+            spc.push("u", "v1")
+        for _ in range(3):
+            spc.push("u", "v2")
+        spc.push("u", "v3")
+        assert [r for r, _ in spc.top_repliers("u", k=2)] == ["v1", "v2"]
+
+    def test_top_repliers_respects_k_validation(self):
+        with pytest.raises(ValueError):
+            StreamingPairCounter().top_repliers("u", k=0)
+
+    def test_pairs_over_count(self):
+        spc = StreamingPairCounter(epsilon=0.001)
+        for _ in range(4):
+            spc.push(1, 2)
+        spc.push(1, 3)
+        over = spc.pairs_over_count(2)
+        assert (1, 2) in over and (1, 3) not in over
+
+    def test_estimate(self):
+        spc = StreamingPairCounter(epsilon=0.001)
+        spc.push("a", "b")
+        assert spc.estimate("a", "b") == 1
+        assert spc.estimate("a", "c") == 0
+
+    def test_n_seen(self):
+        spc = StreamingPairCounter()
+        spc.push(1, 2)
+        spc.push(3, 4)
+        assert spc.n_seen == 2

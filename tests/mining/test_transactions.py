@@ -1,0 +1,65 @@
+"""Tests for repro.mining.transactions."""
+
+from repro.mining.transactions import TransactionDataset
+
+
+def make_market():
+    return TransactionDataset(
+        [
+            {"bread", "milk"},
+            {"bread", "diapers", "beer", "eggs"},
+            {"milk", "diapers", "beer", "cola"},
+            {"bread", "milk", "diapers", "beer"},
+            {"bread", "milk", "diapers", "cola"},
+        ]
+    )
+
+
+class TestEncoding:
+    def test_vocabulary_size(self):
+        ds = make_market()
+        # bread, milk, diapers, beer, eggs, cola
+        assert ds.n_items == 6
+
+    def test_roundtrip(self):
+        ds = make_market()
+        for item in ("bread", "milk", "beer"):
+            assert ds.item(ds.item_id(item)) == item
+
+    def test_decode_itemset(self):
+        ds = make_market()
+        encoded = frozenset({ds.item_id("beer"), ds.item_id("diapers")})
+        assert ds.decode_itemset(encoded) == frozenset({"beer", "diapers"})
+
+    def test_empty_transactions_dropped(self):
+        ds = TransactionDataset([set(), {"a"}, set()])
+        assert len(ds) == 1
+
+
+class TestSupport:
+    def test_item_counts(self):
+        ds = make_market()
+        assert ds.item_count(ds.item_id("bread")) == 4
+        assert ds.item_count(ds.item_id("beer")) == 3
+
+    def test_support_count_pair(self):
+        ds = make_market()
+        pair = {ds.item_id("diapers"), ds.item_id("beer")}
+        assert ds.support_count(pair) == 3
+
+    def test_support_fraction(self):
+        ds = make_market()
+        pair = {ds.item_id("diapers"), ds.item_id("beer")}
+        assert ds.support(pair) == 0.6
+
+    def test_empty_itemset_supported_by_all(self):
+        ds = make_market()
+        assert ds.support_count([]) == 5
+
+    def test_support_empty_dataset(self):
+        ds = TransactionDataset([])
+        assert ds.support([0]) == 0.0
+
+    def test_unseen_item_count_zero(self):
+        ds = make_market()
+        assert ds.item_count(999) == 0

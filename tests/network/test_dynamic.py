@@ -1,0 +1,79 @@
+"""Tests for repro.network.dynamic."""
+
+import pytest
+
+from repro.network.dynamic import DynamicTopology
+from repro.network.topology import Topology
+
+
+def make_line(n=4, max_degree=None):
+    return DynamicTopology(n, [(i, i + 1) for i in range(n - 1)], max_degree=max_degree)
+
+
+class TestReadInterface:
+    def test_mirrors_topology_semantics(self):
+        dyn = make_line()
+        assert dyn.neighbors(1) == (0, 2)
+        assert dyn.degree(0) == 1
+        assert dyn.n_edges == 3
+        assert dyn.is_connected()
+        assert dyn.shortest_path_length(0, 3) == 3
+
+    def test_from_topology(self):
+        topo = Topology(4, [(0, 1), (1, 2), (2, 3)])
+        dyn = DynamicTopology.from_topology(topo, max_degree=5)
+        assert dyn.edges() == topo.edges()
+
+    def test_component_of(self):
+        dyn = DynamicTopology(4, [(0, 1), (2, 3)])
+        assert dyn.component_of(0) == {0, 1}
+
+
+class TestMutation:
+    def test_add_edge(self):
+        dyn = make_line()
+        dyn.add_edge(0, 3)
+        assert dyn.has_edge(0, 3)
+        assert dyn.shortest_path_length(0, 3) == 1
+        assert dyn.n_edges == 4
+
+    def test_add_existing_edge_is_noop(self):
+        dyn = make_line()
+        dyn.add_edge(0, 1)
+        assert dyn.n_edges == 3
+
+    def test_degree_cap(self):
+        dyn = make_line(max_degree=2)
+        assert not dyn.can_add_edge(1, 3)  # node 1 already at degree 2
+        with pytest.raises(ValueError):
+            dyn.add_edge(1, 3)
+        assert dyn.can_add_edge(0, 3)
+        dyn.add_edge(0, 3)
+
+    def test_remove_edge(self):
+        dyn = make_line()
+        dyn.remove_edge(1, 2)
+        assert not dyn.has_edge(1, 2)
+        assert not dyn.is_connected()
+        assert dyn.n_edges == 2
+
+    def test_remove_missing_edge(self):
+        with pytest.raises(ValueError):
+            make_line().remove_edge(0, 3)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            make_line().add_edge(1, 1)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            make_line().add_edge(0, 99)
+
+    def test_can_add_edge_false_for_existing(self):
+        assert not make_line().can_add_edge(0, 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DynamicTopology(0, [])
+        with pytest.raises(ValueError):
+            DynamicTopology(3, [], max_degree=0)

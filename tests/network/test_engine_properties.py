@@ -1,0 +1,89 @@
+"""Property-based invariants of the propagation engine on random overlays."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.network.engine import QueryEngine
+from repro.network.messages import Query
+from repro.network.topology import Topology
+from tests.network.test_engine import StubOverlay, flood_select
+
+
+@st.composite
+def random_overlays(draw):
+    """A small random connected overlay with random libraries."""
+    n = draw(st.integers(3, 14))
+    # Random spanning tree guarantees connectivity; extra edges add cycles.
+    edges = set()
+    for v in range(1, n):
+        u = draw(st.integers(0, v - 1))
+        edges.add((u, v))
+    extra = draw(st.integers(0, n))
+    for _ in range(extra):
+        u = draw(st.integers(0, n - 1))
+        v = draw(st.integers(0, n - 1))
+        if u != v:
+            edges.add((min(u, v), max(u, v)))
+    holders = draw(st.sets(st.integers(0, n - 1), max_size=n))
+    libraries = {h: {5} for h in holders}
+    topo = Topology(n, edges)
+    origin = draw(st.integers(0, n - 1))
+    ttl = draw(st.integers(1, 6))
+    return StubOverlay(topo, libraries), origin, ttl, holders
+
+
+@settings(max_examples=80, deadline=None)
+@given(random_overlays())
+def test_broadcast_invariants(setup):
+    overlay, origin, ttl, holders = setup
+    engine = QueryEngine(overlay)
+    query = Query(guid=1, origin=origin, file_id=5, category=0, ttl=ttl)
+    out = engine.broadcast(query, flood_select(overlay))
+
+    # Counts are consistent.
+    assert out.messages >= 0
+    assert 0 <= out.duplicates <= out.messages
+    assert out.hits >= 0
+    if out.hits:
+        assert out.first_hit_hops is not None
+        assert 0 <= out.first_hit_hops <= ttl
+    else:
+        assert out.first_hit_hops is None
+
+    # Completeness: a full flood must find every provider within TTL
+    # (that is flooding's defining guarantee, which the paper trades off).
+    reachable_hits = sum(
+        1
+        for h in holders
+        if h != origin
+        and (d := overlay.topology.shortest_path_length(origin, h)) is not None
+        and d <= ttl
+    )
+    if origin in holders:
+        assert out.hits == 1 and out.messages == 0
+    else:
+        assert out.hits == reachable_hits
+
+    # Correct hop count for the nearest provider.
+    if out.hits and origin not in holders:
+        nearest = min(
+            overlay.topology.shortest_path_length(origin, h)
+            for h in holders
+            if overlay.topology.shortest_path_length(origin, h) is not None
+        )
+        assert out.first_hit_hops == nearest
+
+
+@settings(max_examples=50, deadline=None)
+@given(random_overlays(), st.integers(1, 4), st.integers(0, 2**31 - 1))
+def test_walk_invariants(setup, n_walkers, seed):
+    overlay, origin, ttl, holders = setup
+    engine = QueryEngine(overlay)
+    query = Query(guid=1, origin=origin, file_id=5, category=0, ttl=ttl)
+    out = engine.walk(query, n_walkers=n_walkers, rng=np.random.default_rng(seed))
+    assert out.messages <= n_walkers * ttl
+    assert 0 <= out.duplicates <= out.messages
+    if origin in holders:
+        assert out.messages == 0 and out.hits == 1
+    # A walk can never find more providers than exist.
+    assert out.hits <= max(len(holders), 1)

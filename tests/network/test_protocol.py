@@ -1,0 +1,154 @@
+"""Tests for repro.network.protocol (Gnutella wire codec)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.network.protocol import (
+    PAYLOAD_PING,
+    PAYLOAD_QUERY,
+    DescriptorHeader,
+    PingMessage,
+    PongMessage,
+    QueryHitMessage,
+    QueryMessage,
+    ReplyRoutingTable,
+    decode_message,
+    encode_message,
+)
+
+
+class TestDescriptorHeader:
+    def test_roundtrip(self):
+        header = DescriptorHeader(
+            guid=1234567890123456789, payload_type=PAYLOAD_QUERY,
+            ttl=7, hops=0, payload_length=42,
+        )
+        assert DescriptorHeader.decode(header.encode()) == header
+
+    def test_encoded_size_is_23_bytes(self):
+        header = DescriptorHeader(1, PAYLOAD_PING, 1, 0, 0)
+        assert len(header.encode()) == 23
+
+    def test_aged(self):
+        header = DescriptorHeader(1, PAYLOAD_QUERY, ttl=7, hops=0, payload_length=0)
+        aged = header.aged()
+        assert aged.ttl == 6 and aged.hops == 1
+        assert aged.guid == header.guid
+
+    def test_cannot_age_dead_descriptor(self):
+        header = DescriptorHeader(1, PAYLOAD_QUERY, ttl=0, hops=7, payload_length=0)
+        with pytest.raises(ValueError):
+            header.aged()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"guid": 1 << 128},
+            {"payload_type": 0x42},
+            {"ttl": 256},
+            {"hops": -1},
+            {"payload_length": -1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        base = dict(guid=1, payload_type=PAYLOAD_PING, ttl=1, hops=0, payload_length=0)
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            DescriptorHeader(**base)
+
+    def test_truncated_decode(self):
+        with pytest.raises(ValueError):
+            DescriptorHeader.decode(b"\x00" * 10)
+
+
+class TestPayloads:
+    def test_ping_roundtrip(self):
+        data = encode_message(7, 3, 1, PingMessage())
+        header, payload = decode_message(data)
+        assert header.guid == 7
+        assert isinstance(payload, PingMessage)
+
+    def test_pong_roundtrip(self):
+        pong = PongMessage(port=6346, ip="10.1.2.3", n_files=120, n_kilobytes=54321)
+        header, decoded = decode_message(encode_message(9, 2, 5, pong))
+        assert decoded == pong
+
+    def test_query_roundtrip(self):
+        query = QueryMessage(min_speed=56, search="topic007 item00123 live")
+        _header, decoded = decode_message(encode_message(11, 7, 0, query))
+        assert decoded == query
+
+    def test_query_hit_roundtrip(self):
+        hit = QueryHitMessage(
+            port=6346,
+            ip="10.9.8.7",
+            speed=128,
+            file_index=42,
+            file_size=3_500_000,
+            file_name="cat007/file00042.dat",
+            servent_guid=(1 << 100) + 5,
+        )
+        _header, decoded = decode_message(encode_message(13, 7, 2, hit))
+        assert decoded == hit
+
+    def test_payload_length_mismatch_detected(self):
+        data = encode_message(1, 1, 0, QueryMessage(0, "abc"))
+        with pytest.raises(ValueError):
+            decode_message(data + b"extra")
+
+    def test_nul_in_search_rejected(self):
+        with pytest.raises(ValueError):
+            QueryMessage(0, "bad\x00string").encode_payload()
+
+    def test_bad_ip_rejected(self):
+        with pytest.raises(ValueError):
+            PongMessage(1, "not-an-ip", 0, 0).encode_payload()
+        with pytest.raises(ValueError):
+            PongMessage(1, "1.2.3.999", 0, 0).encode_payload()
+
+    @given(
+        st.integers(0, (1 << 128) - 1),
+        st.integers(1, 255),
+        st.integers(0, 255),
+        st.text(
+            alphabet=st.characters(min_codepoint=1, max_codepoint=0x10FFFF,
+                                   blacklist_categories=("Cs",)),
+            max_size=60,
+        ),
+    )
+    def test_query_roundtrip_property(self, guid, ttl, hops, search):
+        query = QueryMessage(min_speed=0, search=search)
+        data = encode_message(guid, ttl, hops, query)
+        header, decoded = decode_message(data)
+        assert header.guid == guid
+        assert decoded.search == search
+
+
+class TestReplyRoutingTable:
+    def test_records_first_route(self):
+        table = ReplyRoutingTable()
+        assert table.record(100, upstream=3)
+        assert table.route_for(100) == 3
+
+    def test_duplicate_guid_dropped(self):
+        """The GUID dedup behaviour the paper's pipeline relies on."""
+        table = ReplyRoutingTable()
+        assert table.record(100, upstream=3)
+        assert not table.record(100, upstream=9)
+        assert table.route_for(100) == 3  # original route kept
+
+    def test_unknown_guid(self):
+        assert ReplyRoutingTable().route_for(5) is None
+
+    def test_fifo_eviction(self):
+        table = ReplyRoutingTable(capacity=2)
+        table.record(1, 10)
+        table.record(2, 11)
+        table.record(3, 12)
+        assert table.route_for(1) is None
+        assert table.route_for(2) == 11
+        assert len(table) == 2
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            ReplyRoutingTable(capacity=0)

@@ -1,0 +1,256 @@
+"""Tests for repro.network.servent (wire-level Gnutella node)."""
+
+import pytest
+
+from repro.network.protocol import decode_message, PAYLOAD_PONG, PAYLOAD_QUERY_HIT
+from repro.network.servent import LOCAL, MonitorServent, Servent, SharedFile
+
+
+def wire_line(n=3, libraries=None):
+    """Servents 0-1-2-... in a line; connection ids are peer indices.
+
+    Connection id convention in this harness: servent ``i`` names its link
+    to servent ``j`` simply ``j`` (ids are per-servent namespaces).
+    """
+    libraries = libraries or {}
+    servents = [
+        Servent(1000 + i, library=libraries.get(i, []), max_ttl=7)
+        for i in range(n)
+    ]
+    for i in range(n - 1):
+        servents[i].connect(i + 1)
+        servents[i + 1].connect(i)
+    return servents
+
+
+def pump(servents, outgoing, sender_index):
+    """Deliver frames until quiescent; returns all frames ever sent."""
+    all_frames = []
+    queue = [(sender_index, conn, frame) for conn, frame in outgoing]
+    while queue:
+        src, dst, frame = queue.pop(0)
+        all_frames.append((src, dst, frame))
+        replies = servents[dst].handle_frame(src, frame)
+        queue.extend((dst, conn, f) for conn, f in replies)
+    return all_frames
+
+
+class TestSharedFile:
+    def test_keyword_match(self):
+        f = SharedFile(1, "Classic Jazz Session Vol 2.mp3", 4000)
+        assert f.matches("jazz session")
+        assert f.matches("CLASSIC")
+        assert not f.matches("rock")
+
+
+class TestServentQueries:
+    def test_query_finds_remote_file_and_routes_hit_back(self):
+        libraries = {2: [SharedFile(5, "rare tundra recording.ogg", 1 << 20)]}
+        servents = wire_line(3, libraries)
+        guid, frames = servents[0].issue_query("tundra")
+        pump(servents, frames, 0)
+        assert len(servents[0].results) == 1
+        hit = servents[0].results[0]
+        assert hit.file_index == 5
+        assert hit.servent_guid == 1002
+
+    def test_intermediate_node_never_learns_origin(self):
+        """Anonymity: node 1 only has GUID->connection state."""
+        libraries = {2: [SharedFile(5, "target file.dat", 100)]}
+        servents = wire_line(3, libraries)
+        guid, frames = servents[0].issue_query("target")
+        pump(servents, frames, 0)
+        # Node 1's route table maps the GUID to connection 0, not to any
+        # notion of "servent 0 issued this".
+        assert servents[1].query_routes.route_for(guid) == 0
+
+    def test_no_match_no_results(self):
+        servents = wire_line(3)
+        _guid, frames = servents[0].issue_query("anything")
+        pump(servents, frames, 0)
+        assert servents[0].results == []
+
+    def test_ttl_limits_reach(self):
+        libraries = {3: [SharedFile(9, "distant gem.flac", 100)]}
+        servents = wire_line(4, libraries)
+        for s in servents:
+            s.max_ttl = 2  # query dies after two hops
+        _guid, frames = servents[0].issue_query("gem")
+        pump(servents, frames, 0)
+        assert servents[0].results == []
+
+    def test_duplicate_query_dropped_on_cycle(self):
+        # Triangle 0-1, 1-2, 0-2: the query reaches 2 via both paths; the
+        # second copy must be dropped, and exactly one hit comes back.
+        servents = [
+            Servent(2000 + i, library=[], max_ttl=7) for i in range(3)
+        ]
+        servents[2].library.append(SharedFile(1, "cycle test.txt", 10))
+        for a, b in [(0, 1), (1, 2), (0, 2)]:
+            servents[a].connect(b)
+            servents[b].connect(a)
+        _guid, frames = servents[0].issue_query("cycle")
+        pump(servents, frames, 0)
+        assert len(servents[0].results) == 1
+
+    def test_multiple_matching_files_multiple_hits(self):
+        libraries = {
+            1: [
+                SharedFile(1, "mesa live set one.mp3", 1),
+                SharedFile(2, "mesa live set two.mp3", 1),
+            ]
+        }
+        servents = wire_line(2, libraries)
+        _guid, frames = servents[0].issue_query("mesa live")
+        pump(servents, frames, 0)
+        assert len(servents[0].results) == 2
+
+
+class TestServentPings:
+    def test_ping_collects_pongs(self):
+        servents = wire_line(3)
+        _guid, frames = servents[0].issue_ping()
+        all_frames = pump(servents, frames, 0)
+        pongs_to_origin = [
+            f for src, dst, f in all_frames
+            if dst == 0 and decode_message(f)[0].payload_type == PAYLOAD_PONG
+        ]
+        assert len(pongs_to_origin) == 2  # both other servents answered
+
+
+class TestServentValidation:
+    def test_unknown_connection_rejected(self):
+        s = Servent(1)
+        with pytest.raises(ValueError):
+            s.handle_frame(9, b"")
+
+    def test_bad_guid(self):
+        with pytest.raises(ValueError):
+            Servent(1 << 128)
+
+    def test_negative_connection(self):
+        with pytest.raises(ValueError):
+            Servent(1).connect(-1)
+
+
+class TestMonitorServent:
+    def test_captures_queries_and_replies(self):
+        libraries = {2: [SharedFile(5, "observed item.dat", 100)]}
+        servents = [
+            Servent(3000, library=[]),
+            MonitorServent(3001),
+            Servent(3002, library=libraries[2]),
+        ]
+        for i in range(2):
+            servents[i].connect(i + 1)
+            servents[i + 1].connect(i)
+        guid, frames = servents[0].issue_query("observed")
+        pump(servents, frames, 0)
+        monitor = servents[1]
+        assert len(monitor.query_log) == 1
+        assert monitor.query_log[0].guid == guid
+        assert monitor.query_log[0].source == 0
+        assert len(monitor.reply_log) == 1
+        assert monitor.reply_log[0].guid == guid
+        assert monitor.reply_log[0].replier == 2
+        assert monitor.reply_log[0].host == 3002
+
+    def test_capture_feeds_the_paper_pipeline(self):
+        """Wire capture -> store -> dedup -> join -> pairs (schema parity)."""
+        from repro.store.table import Table
+        from repro.trace.dedup import dedup_queries, dedup_replies
+        from repro.trace.pairing import build_pair_table
+        from repro.trace.records import QUERY_COLUMNS, REPLY_COLUMNS
+
+        libraries = {2: [SharedFile(5, "pipeline target.dat", 100)]}
+        servents = [
+            Servent(4000),
+            MonitorServent(4001),
+            Servent(4002, library=libraries[2]),
+        ]
+        for i in range(2):
+            servents[i].connect(i + 1)
+            servents[i + 1].connect(i)
+        for _ in range(5):
+            _guid, frames = servents[0].issue_query("pipeline")
+            pump(servents, frames, 0)
+        monitor = servents[1]
+        queries = Table("queries", QUERY_COLUMNS)
+        queries.extend(rec.as_row() for rec in monitor.query_log)
+        replies = Table("replies", REPLY_COLUMNS)
+        replies.extend(rec.as_row() for rec in monitor.reply_log)
+        pairs = build_pair_table(
+            dedup_queries(queries), dedup_replies(replies)
+        )
+        assert len(pairs) == 5
+        assert set(pairs.column("source")) == {0}
+        assert set(pairs.column("replier")) == {2}
+
+
+class TestRuleRoutedServent:
+    def _star_with_rule_router(self):
+        """Leaves 0,2,3 around rule-router 1; leaf 2 holds 'jazz', 3 'mesa'."""
+        from repro.network.servent import RuleRoutedServent
+
+        servents = {
+            0: Servent(5000),
+            1: RuleRoutedServent(5001, top_k=1, min_support_count=2),
+            2: Servent(5002, library=[SharedFile(1, "smooth jazz.mp3", 9)]),
+            3: Servent(5003, library=[SharedFile(2, "mesa sunrise.flac", 9)]),
+        }
+        for leaf in (0, 2, 3):
+            servents[leaf].connect(1)
+            servents[1].connect(leaf)
+        return servents
+
+    def _pump(self, servents, frames, sender):
+        count = 0
+        queue = [(sender, conn, frame) for conn, frame in frames]
+        while queue:
+            src, dst, frame = queue.pop(0)
+            count += 1
+            for conn, out in servents[dst].handle_frame(src, frame):
+                queue.append((dst, conn, out))
+        return count
+
+    def test_learns_rules_from_routed_hits(self):
+        servents = self._star_with_rule_router()
+        for _ in range(3):
+            _guid, frames = servents[0].issue_query("jazz")
+            self._pump(servents, frames, 0)
+        router = servents[1]
+        assert router.rules.consequents(0) == [2]
+
+    def test_rule_narrows_forwarding(self):
+        servents = self._star_with_rule_router()
+        # Warm up: learn that connection 0's queries resolve via 2.
+        for _ in range(3):
+            _guid, frames = servents[0].issue_query("jazz")
+            self._pump(servents, frames, 0)
+        before = len(servents[0].results)
+        _guid, frames = servents[0].issue_query("jazz")
+        n_frames = self._pump(servents, frames, 0)
+        # Covered: router sends only to connection 2 (not 3):
+        # origin->router, router->2, hit 2->router, router->origin = 4.
+        assert n_frames == 4
+        assert len(servents[0].results) == before + 1
+
+    def test_uncovered_connection_still_floods(self):
+        servents = self._star_with_rule_router()
+        _guid, frames = servents[3].issue_query("jazz")
+        n_frames = self._pump(servents, frames, 3)
+        # 3->router, router floods to 0 and 2, hit back 2->router->3: 5.
+        assert n_frames == 5
+        assert len(servents[3].results) == 1
+
+    def test_interoperates_with_vanilla_servents(self):
+        """Mixed deployment: correctness preserved for rule-covered paths."""
+        servents = self._star_with_rule_router()
+        for _ in range(4):
+            _guid, frames = servents[0].issue_query("mesa")
+            self._pump(servents, frames, 0)
+        # Rules for connection 0 point at 3 (mesa provider); jazz queries
+        # from 0 are now misdirected to 3 first, but k=1 with no further
+        # hops means a miss — the trade-off §III-B's per-query fallback
+        # exists to cover (not modelled at the wire level here).
+        assert servents[1].rules.consequents(0, 1) == [3]

@@ -1,0 +1,130 @@
+"""Tests for repro.routing.association (the paper's policy, online)."""
+
+import pytest
+
+from repro.network.overlay import Overlay, OverlayConfig
+from repro.routing.association import AssociationRoutingPolicy, NeighborRuleTable
+
+SMALL = OverlayConfig(
+    n_nodes=80, degree=4, n_categories=6, files_per_category=40, library_size=25
+)
+
+
+class TestNeighborRuleTable:
+    def test_threshold_gates_rules(self):
+        table = NeighborRuleTable(window=100, min_support_count=3)
+        for _ in range(2):
+            table.observe(1, 10)
+        assert table.consequents(1) == []
+        table.observe(1, 10)
+        assert table.consequents(1) == [10]
+
+    def test_ordering_by_support(self):
+        table = NeighborRuleTable(window=100, min_support_count=1)
+        for _ in range(5):
+            table.observe(1, 10)
+        for _ in range(3):
+            table.observe(1, 11)
+        assert table.consequents(1) == [10, 11]
+        assert table.consequents(1, k=1) == [10]
+
+    def test_window_eviction(self):
+        table = NeighborRuleTable(window=4, min_support_count=2)
+        table.observe(1, 10)
+        table.observe(1, 10)
+        assert table.consequents(1) == [10]
+        for _ in range(4):
+            table.observe(2, 20)
+        assert table.consequents(1) == []
+        assert table.consequents(2) == [20]
+
+    def test_n_rules(self):
+        table = NeighborRuleTable(window=100, min_support_count=2)
+        table.observe(1, 10)
+        table.observe(1, 10)
+        table.observe(2, 20)
+        assert table.n_rules() == 1
+
+    def test_clear(self):
+        table = NeighborRuleTable(window=10, min_support_count=1)
+        table.observe(1, 10)
+        table.clear()
+        assert table.consequents(1) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NeighborRuleTable(window=0)
+        with pytest.raises(ValueError):
+            NeighborRuleTable(min_support_count=0)
+
+
+def build(seed=1, **policy_kwargs):
+    overlay = Overlay(SMALL, seed=seed)
+    overlay.install_policies(
+        lambda nid, ov: AssociationRoutingPolicy(nid, ov, **policy_kwargs)
+    )
+    return overlay
+
+
+class TestAssociationRoutingPolicy:
+    def test_uncovered_node_floods(self):
+        overlay = build()
+        policy = overlay.node(0).policy
+        q = overlay.make_query(origin=0)
+        assert policy.select(0, None, q) == overlay.topology.neighbors(0)
+
+    def test_covered_node_forwards_to_consequents(self):
+        overlay = build(min_support_count=2, top_k=2)
+        policy = overlay.node(0).policy
+        neighbor = overlay.topology.neighbors(0)[0]
+        downstream = overlay.topology.neighbors(0)[1]
+        for _ in range(3):
+            policy.on_reply(
+                node_id=0, upstream=neighbor, downstream=downstream,
+                query=None, provider=99,
+            )
+        q = overlay.make_query(origin=5)
+        assert policy.select(0, neighbor, q) == [downstream]
+
+    def test_rule_consequent_equal_to_upstream_falls_back(self):
+        overlay = build(min_support_count=1, top_k=1)
+        policy = overlay.node(0).policy
+        neighbor = overlay.topology.neighbors(0)[0]
+        policy.on_reply(
+            node_id=0, upstream=neighbor, downstream=neighbor, query=None, provider=9
+        )
+        q = overlay.make_query(origin=5)
+        # The only consequent equals the upstream: flood instead.
+        assert policy.select(0, neighbor, q) == overlay.topology.neighbors(0)
+
+    def test_learning_reduces_traffic(self):
+        overlay = build(seed=7, min_support_count=2, window=2048)
+        cold = overlay.run_workload(100)
+        warm = overlay.run_workload(100)  # tables now populated
+        assert warm.messages_per_query < cold.messages_per_query
+
+    def test_success_preserved_with_fallback(self):
+        overlay = build(seed=8)
+        stats = overlay.run_workload(150, warmup=300)
+        # Flood fallback guarantees rule misses still resolve.
+        assert stats.success_rate > 0.7
+
+    def test_no_fallback_variant_cheaper_but_weaker(self):
+        with_fb = build(seed=9, flood_fallback=True)
+        s1 = with_fb.run_workload(120, warmup=300)
+        without_fb = build(seed=9, flood_fallback=False)
+        s2 = without_fb.run_workload(120, warmup=300)
+        assert s2.messages_per_query <= s1.messages_per_query
+        assert s2.success_rate <= s1.success_rate + 0.02
+
+    def test_reset_clears_rules(self):
+        overlay = build()
+        policy = overlay.node(0).policy
+        policy.on_reply(node_id=0, upstream=1, downstream=2, query=None, provider=3)
+        policy.reset()
+        assert policy.rules.consequents(1) == []
+
+    def test_validation(self):
+        overlay = Overlay(SMALL, seed=10)
+        with pytest.raises(ValueError):
+            AssociationRoutingPolicy(0, overlay, top_k=0)

@@ -1,0 +1,102 @@
+"""Tests for repro.routing.routing_indices."""
+
+import numpy as np
+import pytest
+
+from repro.network.overlay import Overlay, OverlayConfig
+from repro.routing.routing_indices import (
+    RoutingIndicesPolicy,
+    build_routing_indices,
+)
+from tests.network.test_engine import StubOverlay, line_overlay
+from repro.network.topology import Topology
+
+SMALL = OverlayConfig(
+    n_nodes=80, degree=4, n_categories=6, files_per_category=40, library_size=25
+)
+
+
+class TestBuildRoutingIndices:
+    def test_line_counts(self):
+        # 0 - 1 - 2 - 3, node 3 holds file 5 (category 0 in StubCatalog).
+        overlay = line_overlay(4, holder=3)
+        index = build_routing_indices(overlay, horizon=3)
+        # From node 0 via neighbor 1, the library of node 3 is 3 hops away.
+        assert index[0][1][0] == 1
+        # From node 2 via neighbor 3, one hop.
+        assert index[2][3][0] == 1
+        # From node 1 via neighbor 0, nothing.
+        assert index[1][0][0] == 0
+
+    def test_horizon_truncates(self):
+        overlay = line_overlay(5, holder=4)
+        index = build_routing_indices(overlay, horizon=2)
+        assert index[0][1][0] == 0  # 4 is 4 hops from 0: beyond horizon
+        assert index[2][3][0] == 1
+
+    def test_paths_avoid_source(self):
+        # Y shape: content behind 0 must not count via the other branch.
+        topo = Topology(4, [(0, 1), (1, 2), (1, 3)])
+        overlay = StubOverlay(topo, {0: {5}})
+        index = build_routing_indices(overlay, horizon=3)
+        assert index[1][0][0] == 1
+        assert index[1][2][0] == 0
+        assert index[1][3][0] == 0
+
+    def test_rejects_bad_horizon(self):
+        overlay = line_overlay(3, holder=2)
+        with pytest.raises(ValueError):
+            build_routing_indices(overlay, horizon=0)
+
+
+class TestRoutingIndicesPolicy:
+    def test_select_prefers_richer_neighbor(self):
+        overlay = line_overlay(4, holder=3)
+        policy = RoutingIndicesPolicy(1, overlay, width=1)
+        policy.install_index(
+            {0: np.array([0, 0]), 2: np.array([1, 0])}
+        )
+        q_like = type("Q", (), {"category": 0})()
+        assert policy.select(1, 0, q_like) == [2]
+
+    def test_zero_index_keeps_query_moving(self):
+        overlay = line_overlay(4, holder=3)
+        policy = RoutingIndicesPolicy(1, overlay, width=1)
+        policy.install_index({0: np.array([0, 0]), 2: np.array([0, 0])})
+        q_like = type("Q", (), {"category": 0})()
+        selected = policy.select(1, 0, q_like)
+        assert len(selected) == 1
+
+    def test_no_index_behaves_like_flooding(self):
+        overlay = line_overlay(4, holder=3)
+        policy = RoutingIndicesPolicy(1, overlay)
+        q_like = type("Q", (), {"category": 0})()
+        assert set(policy.select(1, None, q_like)) == {0, 2}
+
+    def test_reset_drops_index(self):
+        overlay = line_overlay(4, holder=3)
+        policy = RoutingIndicesPolicy(1, overlay)
+        policy.install_index({0: np.array([0, 0])})
+        policy.reset()
+        assert policy._index is None
+
+    def test_validation(self):
+        overlay = line_overlay(3, holder=2)
+        with pytest.raises(ValueError):
+            RoutingIndicesPolicy(0, overlay, width=0)
+
+    def test_end_to_end_traffic_below_flooding(self):
+        from repro.routing.flooding import FloodingPolicy
+
+        flood_overlay = Overlay(SMALL, seed=5)
+        flood_overlay.install_policies(lambda nid, ov: FloodingPolicy(nid, ov))
+        flood = flood_overlay.run_workload(40)
+
+        ri_overlay = Overlay(SMALL, seed=5)
+        ri_overlay.install_policies(lambda nid, ov: RoutingIndicesPolicy(nid, ov))
+        index = build_routing_indices(ri_overlay, horizon=3)
+        for node_id in range(ri_overlay.n_nodes):
+            ri_overlay.node(node_id).policy.install_index(index[node_id])
+        guided = ri_overlay.run_workload(40)
+
+        assert guided.messages_per_query < flood.messages_per_query

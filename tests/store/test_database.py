@@ -1,0 +1,59 @@
+"""Tests for repro.store.database."""
+
+import pytest
+
+from repro.store.database import Database
+from repro.store.table import Table
+
+
+class TestDatabase:
+    def test_create_and_get(self):
+        db = Database("test")
+        table = db.create_table("queries", ["guid"])
+        assert db.table("queries") is table
+
+    def test_duplicate_create_rejected(self):
+        db = Database()
+        db.create_table("t", ["a"])
+        with pytest.raises(ValueError):
+            db.create_table("t", ["b"])
+
+    def test_add_external_table(self):
+        db = Database()
+        table = Table("pairs", ["guid"])
+        db.add_table(table)
+        assert "pairs" in db
+
+    def test_add_duplicate_rejected(self):
+        db = Database()
+        db.add_table(Table("t", ["a"]))
+        with pytest.raises(ValueError):
+            db.add_table(Table("t", ["b"]))
+
+    def test_drop(self):
+        db = Database()
+        db.create_table("t", ["a"])
+        db.drop_table("t")
+        assert "t" not in db
+
+    def test_drop_missing(self):
+        with pytest.raises(KeyError):
+            Database().drop_table("nope")
+
+    def test_missing_table(self):
+        with pytest.raises(KeyError):
+            Database().table("nope")
+
+    def test_total_rows(self):
+        db = Database()
+        t1 = db.create_table("a", ["x"])
+        t1.append((1,))
+        t2 = db.create_table("b", ["y"])
+        t2.extend([(1,), (2,)])
+        assert db.total_rows() == 3
+
+    def test_table_names(self):
+        db = Database()
+        db.create_table("a", ["x"])
+        db.create_table("b", ["y"])
+        assert set(db.table_names()) == {"a", "b"}

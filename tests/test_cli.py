@@ -1,0 +1,83 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_requires_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+    def test_seed_option(self):
+        args = build_parser().parse_args(["--seed", "7", "list"])
+        assert args.seed == 7
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1" in out
+        assert "traffic" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().out
+
+    def test_run_fig1(self, capsys):
+        assert main(["run", "fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "coverage" in out
+        assert "[fig1] OK" in out
+        assert "*=coverage" in out  # chart rendered
+
+    def test_run_no_chart(self, capsys):
+        assert main(["run", "fig1", "--no-chart"]) == 0
+        out = capsys.readouterr().out
+        assert "*=coverage" not in out
+
+    def test_trace_profile(self, capsys):
+        assert main(["trace", "--blocks", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "block 0:" in out
+        assert "coverage ceiling" in out
+
+    def test_full_flag_sets_env(self, monkeypatch, capsys):
+        monkeypatch.delenv("REPRO_FULL_SCALE", raising=False)
+        assert main(["--full", "list"]) == 0
+        import os
+
+        assert os.environ.get("REPRO_FULL_SCALE") == "1"
+        monkeypatch.delenv("REPRO_FULL_SCALE", raising=False)
+
+
+class TestSeedSweepCli:
+    def test_run_with_seeds(self, capsys, monkeypatch):
+        from repro.experiments.config import ExperimentScale
+
+        tiny = ExperimentScale("t", 8, 10, 30_000, 80, 30, 60)
+        monkeypatch.setattr("repro.experiments.config.DEFAULT_SCALE", tiny)
+        assert main(["run", "fig1", "--seeds", "2"]) in (0, 1)
+        out = capsys.readouterr().out
+        assert "seed sweep over" in out
+        assert "±" in out
+
+
+class TestCsvExport:
+    def test_run_with_csv(self, tmp_path, capsys, monkeypatch):
+        from repro.experiments.config import ExperimentScale
+
+        tiny = ExperimentScale("t", 8, 10, 30_000, 80, 30, 60)
+        monkeypatch.setattr("repro.experiments.config.DEFAULT_SCALE", tiny)
+        out_dir = tmp_path / "csv"
+        assert main(["run", "fig1", "--no-chart", "--csv", str(out_dir)]) in (0, 1)
+        csv_path = out_dir / "fig1.csv"
+        assert csv_path.exists()
+        header = csv_path.read_text().splitlines()[0]
+        assert header.startswith("trial,")

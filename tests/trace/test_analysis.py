@@ -1,0 +1,120 @@
+"""Tests for repro.trace.analysis."""
+
+import numpy as np
+import pytest
+
+from repro.trace.analysis import coverage_ceiling, profile_block, source_turnover
+from tests.conftest import make_block
+
+
+class TestProfileBlock:
+    def test_empty_block(self):
+        profile = profile_block(make_block([]))
+        assert profile.n_pairs == 0
+        assert profile.source_gini == 0.0
+
+    def test_counts(self):
+        block = make_block([(1, 10)] * 12 + [(2, 11)] * 4)
+        profile = profile_block(block, support_threshold=10)
+        assert profile.n_pairs == 16
+        assert profile.n_sources == 2
+        assert profile.n_repliers == 2
+        assert profile.sub_threshold_volume_share == pytest.approx(4 / 16)
+
+    def test_gini_zero_when_equal(self):
+        block = make_block([(1, 10)] * 5 + [(2, 10)] * 5)
+        assert profile_block(block).source_gini == pytest.approx(0.0, abs=1e-9)
+
+    def test_gini_rises_with_concentration(self):
+        equal = profile_block(make_block([(1, 0)] * 5 + [(2, 0)] * 5))
+        skewed = profile_block(make_block([(1, 0)] * 9 + [(2, 0)] * 1))
+        assert skewed.source_gini > equal.source_gini
+
+    def test_top_decile_share(self):
+        # 10 sources; the top one (decile) carries 50% of volume.
+        pairs = [(0, 0)] * 45
+        for s in range(1, 10):
+            pairs += [(s, 0)] * 5
+        profile = profile_block(make_block(pairs))
+        assert profile.top_decile_volume_share == pytest.approx(0.5)
+
+
+class TestSourceTurnover:
+    def test_zero_when_identical(self):
+        block = make_block([(1, 10), (2, 20)])
+        assert source_turnover(block, block) == 0.0
+
+    def test_full_when_disjoint(self):
+        a = make_block([(1, 10)])
+        b = make_block([(2, 10), (3, 10)])
+        assert source_turnover(a, b) == 1.0
+
+    def test_partial(self):
+        a = make_block([(1, 10)])
+        b = make_block([(1, 10), (2, 10), (2, 10), (2, 10)])
+        assert source_turnover(a, b) == pytest.approx(0.75)
+
+    def test_empty_b(self):
+        assert source_turnover(make_block([(1, 1)]), make_block([])) == 0.0
+
+
+class TestCoverageCeiling:
+    def test_all_above_threshold(self):
+        block = make_block([(1, 10)] * 12)
+        assert coverage_ceiling(block, support_threshold=10) == 1.0
+
+    def test_mixed(self):
+        block = make_block([(1, 10)] * 12 + [(2, 10)] * 3)
+        assert coverage_ceiling(block, support_threshold=10) == pytest.approx(12 / 15)
+
+    def test_empty(self):
+        assert coverage_ceiling(make_block([])) == 0.0
+
+    def test_ceiling_bounds_measured_coverage(self):
+        """Property on real trace data: no rule set beats the ceiling."""
+        from repro.core.evaluation import ruleset_test
+        from repro.core.generation import generate_ruleset
+        from repro.workload.tracegen import MonitorTraceConfig, MonitorTraceGenerator
+        from repro.trace.blocks import blocks_from_arrays
+
+        cfg = MonitorTraceConfig(block_size=1000, n_neighbors=30, n_categories=24)
+        gen = MonitorTraceGenerator(cfg, seed=3)
+        arrays = gen.generate_pair_arrays(2000)
+        blocks = blocks_from_arrays(arrays.source, arrays.replier, block_size=1000)
+        rs = generate_ruleset(blocks[0], min_support_count=10)
+        self_test = ruleset_test(rs, blocks[0])
+        assert self_test.coverage <= coverage_ceiling(blocks[0]) + 1e-9
+
+
+class TestDecayCurves:
+    def test_curve_shapes(self):
+        from repro.trace.analysis import decay_curves
+        from repro.trace.blocks import blocks_from_arrays
+        from repro.workload.tracegen import MonitorTraceConfig, MonitorTraceGenerator
+
+        cfg = MonitorTraceConfig(block_size=1000, n_neighbors=30, n_categories=24)
+        gen = MonitorTraceGenerator(cfg, seed=8)
+        arrays = gen.generate_pair_arrays(6000)
+        blocks = blocks_from_arrays(arrays.source, arrays.replier, block_size=1000)
+        curves = decay_curves(blocks, support_threshold=5)
+        assert len(curves["coverage"]) == len(blocks) - 1
+        assert all(0.0 <= v <= 1.0 for v in curves["coverage"])
+        assert all(0.0 <= v <= 1.0 for v in curves["success"])
+        # Rule sets only age: late success should not beat early success
+        # by much (loose monotonicity under noise).
+        assert curves["success"][-1] <= curves["success"][0] + 0.1
+
+    def test_max_lag(self):
+        from repro.trace.analysis import decay_curves
+        from tests.conftest import make_block
+
+        blocks = [make_block([(1, 10)] * 20, index=i) for i in range(5)]
+        curves = decay_curves(blocks, support_threshold=2, max_lag=2)
+        assert len(curves["coverage"]) == 2
+
+    def test_requires_blocks(self):
+        from repro.trace.analysis import decay_curves
+        from tests.conftest import make_block
+
+        with pytest.raises(ValueError):
+            decay_curves([make_block([(1, 1)])])

@@ -1,0 +1,85 @@
+"""Tests for repro.trace.blocks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.store.table import Table
+from repro.trace.blocks import PairBlock, blocks_from_arrays, partition_pairs
+from repro.trace.records import PAIR_COLUMNS
+
+
+class TestPairBlock:
+    def test_len(self, small_block):
+        assert len(small_block) == 10
+
+    def test_pairs_matrix(self, small_block):
+        pairs = small_block.pairs()
+        assert pairs.shape == (10, 2)
+        assert pairs[0].tolist() == [1, 10]
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            PairBlock(
+                sources=np.array([1, 2], dtype=np.int64),
+                repliers=np.array([1], dtype=np.int64),
+            )
+
+    def test_requires_1d(self):
+        with pytest.raises(ValueError):
+            PairBlock(
+                sources=np.zeros((2, 2), dtype=np.int64),
+                repliers=np.zeros((2, 2), dtype=np.int64),
+            )
+
+
+class TestBlocksFromArrays:
+    def test_partition_sizes(self):
+        sources = np.arange(25, dtype=np.int64)
+        blocks = blocks_from_arrays(sources, sources, block_size=10)
+        assert [len(b) for b in blocks] == [10, 10]  # partial dropped
+
+    def test_keep_partial(self):
+        sources = np.arange(25, dtype=np.int64)
+        blocks = blocks_from_arrays(sources, sources, block_size=10, drop_partial=False)
+        assert [len(b) for b in blocks] == [10, 10, 5]
+
+    def test_block_indices_sequential(self):
+        sources = np.arange(30, dtype=np.int64)
+        blocks = blocks_from_arrays(sources, sources, block_size=10)
+        assert [b.index for b in blocks] == [0, 1, 2]
+
+    def test_contents_preserved_in_order(self):
+        sources = np.arange(20, dtype=np.int64)
+        repliers = sources + 100
+        blocks = blocks_from_arrays(sources, repliers, block_size=10)
+        np.testing.assert_array_equal(blocks[1].sources, sources[10:])
+        np.testing.assert_array_equal(blocks[1].repliers, repliers[10:])
+
+    def test_rejects_bad_block_size(self):
+        with pytest.raises(ValueError):
+            blocks_from_arrays(np.array([1]), np.array([1]), block_size=0)
+
+    def test_rejects_mismatched_arrays(self):
+        with pytest.raises(ValueError):
+            blocks_from_arrays(np.array([1, 2]), np.array([1]), block_size=1)
+
+    @given(st.integers(0, 100), st.integers(1, 17))
+    def test_no_pair_lost_when_keeping_partial(self, n, block_size):
+        sources = np.arange(n, dtype=np.int64)
+        blocks = blocks_from_arrays(
+            sources, sources, block_size=block_size, drop_partial=False
+        )
+        total = sum(len(b) for b in blocks)
+        assert total == n
+
+
+class TestPartitionPairs:
+    def test_from_pair_table(self):
+        table = Table("pairs", PAIR_COLUMNS)
+        for i in range(12):
+            table.append((i, float(i), i % 3, "q", float(i), 100 + i % 2, 0))
+        blocks = partition_pairs(table, block_size=5)
+        assert len(blocks) == 2
+        assert blocks[0].sources.tolist() == [0, 1, 2, 0, 1]
+        assert blocks[0].repliers.tolist() == [100, 101, 100, 101, 100]

@@ -1,0 +1,57 @@
+"""Tests for repro.trace.cache."""
+
+import numpy as np
+import pytest
+
+from repro.trace.cache import cached_pairs, load_pairs, save_pairs
+from repro.workload.tracegen import MonitorTraceConfig, MonitorTraceGenerator
+
+CFG = MonitorTraceConfig(block_size=300, n_neighbors=15, n_categories=12)
+
+
+def generate(n=600, seed=1):
+    return MonitorTraceGenerator(CFG, seed=seed).generate_pair_arrays(n)
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.npz"
+        arrays = generate()
+        save_pairs(path, arrays)
+        back = load_pairs(path)
+        for name in ("time", "source", "replier", "category", "host"):
+            np.testing.assert_array_equal(getattr(back, name), getattr(arrays, name))
+
+    def test_reject_foreign_npz(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, foo=np.arange(3))
+        with pytest.raises(ValueError):
+            load_pairs(path)
+
+
+class TestCachedPairs:
+    def test_generates_and_caches(self, tmp_path):
+        path = tmp_path / "cache.npz"
+        first = cached_pairs(path, 400, config=CFG, seed=2)
+        assert path.exists()
+        second = cached_pairs(path, 400, config=CFG, seed=2)
+        np.testing.assert_array_equal(first.source, second.source)
+
+    def test_prefix_slicing(self, tmp_path):
+        path = tmp_path / "cache.npz"
+        full = cached_pairs(path, 500, config=CFG, seed=3)
+        short = cached_pairs(path, 200, config=CFG, seed=3)
+        assert len(short) == 200
+        np.testing.assert_array_equal(short.source, full.source[:200])
+
+    def test_regenerates_when_too_short(self, tmp_path):
+        path = tmp_path / "cache.npz"
+        cached_pairs(path, 200, config=CFG, seed=4)
+        longer = cached_pairs(path, 500, config=CFG, seed=4)
+        assert len(longer) == 500
+        # And the cache now holds the longer trace.
+        assert len(load_pairs(path)) == 500
+
+    def test_negative_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            cached_pairs(tmp_path / "x.npz", -1, config=CFG)

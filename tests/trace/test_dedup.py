@@ -1,0 +1,69 @@
+"""Tests for repro.trace.dedup."""
+
+from hypothesis import given, strategies as st
+
+from repro.store.table import Table
+from repro.trace.dedup import dedup_by_first_guid, dedup_queries, dedup_replies
+from repro.trace.records import QUERY_COLUMNS, REPLY_COLUMNS
+
+
+def make_query_table(rows):
+    table = Table("queries", QUERY_COLUMNS)
+    table.extend(rows)
+    return table
+
+
+class TestDedupQueries:
+    def test_keeps_first_occurrence(self):
+        table = make_query_table(
+            [
+                (1.0, 100, 1, "first"),
+                (2.0, 200, 2, "other"),
+                (3.0, 100, 3, "second use of 100"),
+            ]
+        )
+        out = dedup_queries(table)
+        assert len(out) == 2
+        assert out.row(0) == (1.0, 100, 1, "first")
+        assert out.row(1) == (2.0, 200, 2, "other")
+
+    def test_idempotent(self):
+        table = make_query_table(
+            [(1.0, 1, 1, "a"), (2.0, 1, 2, "b"), (3.0, 2, 3, "c")]
+        )
+        once = dedup_queries(table, "d1")
+        twice = dedup_by_first_guid(once, "d2", QUERY_COLUMNS)
+        assert list(once.iter_rows()) == list(twice.iter_rows())
+
+    def test_no_duplicates_is_identity(self):
+        rows = [(1.0, 10, 1, "a"), (2.0, 20, 2, "b")]
+        out = dedup_queries(make_query_table(rows))
+        assert list(out.iter_rows()) == rows
+
+    @given(st.lists(st.integers(0, 5), max_size=30))
+    def test_first_kept_property(self, guids):
+        rows = [(float(i), g, i, f"q{i}") for i, g in enumerate(guids)]
+        out = dedup_queries(make_query_table(rows))
+        # Every distinct GUID appears exactly once, at its first position.
+        seen_guids = out.column("guid")
+        assert len(seen_guids) == len(set(guids))
+        for guid in set(guids):
+            first_index = guids.index(guid)
+            rowid = seen_guids.index(guid)
+            assert out.row(rowid) == rows[first_index]
+
+
+class TestDedupReplies:
+    def test_reply_dedup(self):
+        table = Table("replies", REPLY_COLUMNS)
+        table.extend(
+            [
+                (1.0, 5, 1, 100, "a.dat"),
+                (2.0, 5, 2, 200, "b.dat"),
+                (3.0, 6, 3, 300, "c.dat"),
+            ]
+        )
+        out = dedup_replies(table)
+        assert len(out) == 2
+        assert out.row(0)[1] == 5
+        assert out.row(0)[2] == 1  # first reply kept

@@ -1,0 +1,60 @@
+"""Tests for repro.trace.io."""
+
+import pytest
+
+from repro.trace.io import read_queries, read_replies, write_queries, write_replies
+from repro.trace.records import QueryRecord, ReplyRecord
+
+
+def sample_queries():
+    return [
+        QueryRecord(time=1.25, guid=11, source=1, query_string="topic001 item00001"),
+        QueryRecord(time=2.5, guid=22, source=2, query_string="topic002 item00002 live"),
+    ]
+
+
+def sample_replies():
+    return [
+        ReplyRecord(time=1.5, guid=11, replier=9, host=1000, file_name="cat001/file00001.dat"),
+    ]
+
+
+class TestQueryRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "queries.tsv"
+        n = write_queries(path, sample_queries())
+        assert n == 2
+        table = read_queries(path)
+        assert len(table) == 2
+        assert table.row(0) == (1.25, 11, 1, "topic001 item00001")
+        assert table.row(1) == (2.5, 22, 2, "topic002 item00002 live")
+
+    def test_rejects_tab_in_string(self, tmp_path):
+        bad = [QueryRecord(time=1.0, guid=1, source=1, query_string="a\tb")]
+        with pytest.raises(ValueError):
+            write_queries(tmp_path / "q.tsv", bad)
+
+    def test_bad_header_detected(self, tmp_path):
+        path = tmp_path / "bogus.tsv"
+        path.write_text("not a header\n")
+        with pytest.raises(ValueError):
+            read_queries(path)
+
+
+class TestReplyRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "replies.tsv"
+        assert write_replies(path, sample_replies()) == 1
+        table = read_replies(path)
+        assert table.row(0) == (1.5, 11, 9, 1000, "cat001/file00001.dat")
+
+    def test_bad_header_detected(self, tmp_path):
+        path = tmp_path / "bogus.tsv"
+        path.write_text("time\tguid\n")
+        with pytest.raises(ValueError):
+            read_replies(path)
+
+    def test_empty_file_roundtrip(self, tmp_path):
+        path = tmp_path / "empty.tsv"
+        write_replies(path, [])
+        assert len(read_replies(path)) == 0

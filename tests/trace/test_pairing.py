@@ -1,0 +1,75 @@
+"""Tests for repro.trace.pairing."""
+
+from repro.store.table import Table
+from repro.trace.pairing import build_pair_table, pair_records
+from repro.trace.records import QUERY_COLUMNS, REPLY_COLUMNS
+
+
+def make_tables():
+    queries = Table("queries", QUERY_COLUMNS)
+    queries.extend(
+        [
+            (1.0, 100, 1, "q1"),
+            (2.0, 200, 2, "q2"),
+            (3.0, 300, 3, "q3"),  # no reply
+        ]
+    )
+    replies = Table("replies", REPLY_COLUMNS)
+    replies.extend(
+        [
+            (1.5, 100, 11, 1000, "f1.dat"),
+            (2.5, 200, 12, 2000, "f2.dat"),
+            (9.0, 999, 13, 3000, "orphan.dat"),  # no matching query
+        ]
+    )
+    return queries, replies
+
+
+class TestBuildPairTable:
+    def test_pairs_only_for_matched_guids(self):
+        queries, replies = make_tables()
+        pairs = build_pair_table(queries, replies)
+        assert len(pairs) == 2
+        assert set(pairs.column("guid")) == {100, 200}
+
+    def test_pair_schema(self):
+        queries, replies = make_tables()
+        pairs = build_pair_table(queries, replies)
+        assert pairs.column_names == (
+            "guid",
+            "query_time",
+            "source",
+            "query_string",
+            "reply_time",
+            "replier",
+            "host",
+        )
+
+    def test_pair_values(self):
+        queries, replies = make_tables()
+        pairs = build_pair_table(queries, replies)
+        row = pairs.row_dict(0)
+        assert row == {
+            "guid": 100,
+            "query_time": 1.0,
+            "source": 1,
+            "query_string": "q1",
+            "reply_time": 1.5,
+            "replier": 11,
+            "host": 1000,
+        }
+
+    def test_empty_inputs(self):
+        queries = Table("queries", QUERY_COLUMNS)
+        replies = Table("replies", REPLY_COLUMNS)
+        assert len(build_pair_table(queries, replies)) == 0
+
+
+class TestPairRecords:
+    def test_materialization(self):
+        queries, replies = make_tables()
+        records = pair_records(build_pair_table(queries, replies))
+        assert len(records) == 2
+        assert records[0].guid == 100
+        assert records[0].replier == 11
+        assert records[1].source == 2

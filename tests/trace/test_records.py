@@ -1,0 +1,52 @@
+"""Tests for repro.trace.records."""
+
+import pytest
+
+from repro.trace.records import (
+    QueryRecord,
+    QueryReplyPair,
+    ReplyRecord,
+    render_ip,
+)
+
+
+class TestRecords:
+    def test_query_as_row(self):
+        rec = QueryRecord(time=1.0, guid=42, source=7, query_string="topic001 item00002")
+        assert rec.as_row() == (1.0, 42, 7, "topic001 item00002")
+
+    def test_reply_as_row(self):
+        rec = ReplyRecord(time=2.0, guid=42, replier=9, host=1000, file_name="f.dat")
+        assert rec.as_row() == (2.0, 42, 9, 1000, "f.dat")
+
+    def test_pair_as_row(self):
+        pair = QueryReplyPair(
+            guid=1,
+            query_time=1.0,
+            source=2,
+            query_string="q",
+            reply_time=3.0,
+            replier=4,
+            host=5,
+        )
+        assert pair.as_row() == (1, 1.0, 2, "q", 3.0, 4, 5)
+
+
+class TestRenderIp:
+    def test_format(self):
+        ip = render_ip(0)
+        parts = ip.split(".")
+        assert len(parts) == 4
+        assert parts[0] == "10"
+        assert all(0 <= int(p) <= 255 for p in parts)
+
+    def test_stable(self):
+        assert render_ip(123) == render_ip(123)
+
+    def test_distinct_for_small_ids(self):
+        ips = {render_ip(i) for i in range(1000)}
+        assert len(ips) == 1000
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            render_ip(-1)

@@ -1,0 +1,60 @@
+"""Tests for repro.utils.guid."""
+
+import pytest
+
+from repro.utils.guid import GuidAllocator
+
+
+class TestGuidAllocator:
+    def test_unique_when_duplicates_disabled(self):
+        alloc = GuidAllocator(duplicate_rate=0.0, rng=1)
+        guids = alloc.fresh_batch(500)
+        assert len(set(guids)) == 500
+        assert alloc.duplicate_count == 0
+        assert alloc.issued_count == 500
+
+    def test_guids_are_128_bit_range(self):
+        alloc = GuidAllocator(rng=2)
+        for guid in alloc.fresh_batch(50):
+            assert 0 <= guid < (1 << 128)
+
+    def test_duplicates_appear_at_high_rate(self):
+        alloc = GuidAllocator(duplicate_rate=0.5, rng=3)
+        guids = alloc.fresh_batch(400)
+        assert len(set(guids)) < 400
+        assert alloc.duplicate_count > 50
+
+    def test_duplicate_reuses_previously_issued(self):
+        alloc = GuidAllocator(duplicate_rate=0.9, rng=4)
+        guids = alloc.fresh_batch(200)
+        fresh = set()
+        for g in guids:
+            if g in fresh:
+                return  # found a reuse of an earlier GUID — correct
+            fresh.add(g)
+        pytest.fail("no duplicate observed at rate 0.9")
+
+    def test_duplicate_rate_statistics(self):
+        alloc = GuidAllocator(duplicate_rate=0.1, rng=5)
+        alloc.fresh_batch(3000)
+        rate = alloc.duplicate_count / alloc.issued_count
+        assert 0.05 < rate < 0.15
+
+    def test_deterministic(self):
+        a = GuidAllocator(duplicate_rate=0.1, rng=6).fresh_batch(50)
+        b = GuidAllocator(duplicate_rate=0.1, rng=6).fresh_batch(50)
+        assert a == b
+
+    def test_first_guid_never_duplicate(self):
+        alloc = GuidAllocator(duplicate_rate=0.99, rng=7)
+        alloc.next()
+        assert alloc.duplicate_count == 0
+
+    @pytest.mark.parametrize("rate", [-0.1, 1.0, 1.5])
+    def test_rejects_bad_rate(self, rate):
+        with pytest.raises(ValueError):
+            GuidAllocator(duplicate_rate=rate)
+
+    def test_rejects_negative_batch(self):
+        with pytest.raises(ValueError):
+            GuidAllocator(rng=8).fresh_batch(-1)

@@ -1,0 +1,81 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, spawn_child
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(42).random(8)
+        b = as_generator(42).random(8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).random(8)
+        b = as_generator(2).random(8)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(7)
+        assert as_generator(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(99)
+        gen = as_generator(seq)
+        assert isinstance(gen, np.random.Generator)
+
+    def test_numpy_integer_seed(self):
+        gen = as_generator(np.int64(5))
+        assert isinstance(gen, np.random.Generator)
+
+    @pytest.mark.parametrize("bad", ["42", 3.14, [1, 2], object()])
+    def test_rejects_other_types(self, bad):
+        with pytest.raises(TypeError):
+            as_generator(bad)
+
+
+class TestSpawnChild:
+    def test_child_is_generator(self, rng):
+        child = spawn_child(rng)
+        assert isinstance(child, np.random.Generator)
+
+    def test_deterministic_from_parent_state(self):
+        a = spawn_child(np.random.default_rng(3)).random(5)
+        b = spawn_child(np.random.default_rng(3)).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_children_with_different_keys_differ(self):
+        parent = np.random.default_rng(3)
+        state = parent.bit_generator.state
+        a = spawn_child(parent, key=0).random(5)
+        parent.bit_generator.state = state
+        b = spawn_child(parent, key=1).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_sequential_children_differ(self):
+        parent = np.random.default_rng(3)
+        a = spawn_child(parent).random(5)
+        b = spawn_child(parent).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_child_independent_of_parent_future(self):
+        parent = np.random.default_rng(3)
+        child = spawn_child(parent)
+        first = child.random()
+        parent.random(100)  # advancing the parent must not affect the child
+        parent2 = np.random.default_rng(3)
+        child2 = spawn_child(parent2)
+        assert child2.random() == first
+
+    def test_rejects_non_generator(self):
+        with pytest.raises(TypeError):
+            spawn_child(42)
+
+    def test_rejects_negative_key(self, rng):
+        with pytest.raises(ValueError):
+            spawn_child(rng, key=-1)

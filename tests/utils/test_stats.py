@@ -1,0 +1,121 @@
+"""Tests for repro.utils.stats."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.stats import RollingMean, RunningStats, summarize_series
+
+floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+class TestRollingMean:
+    def test_default_before_observations(self):
+        assert RollingMean(5, default=0.7).value() == 0.7
+
+    def test_mean_of_partial_window(self):
+        rm = RollingMean(10)
+        rm.push(1.0)
+        rm.push(3.0)
+        assert rm.value() == pytest.approx(2.0)
+
+    def test_eviction_at_window_boundary(self):
+        rm = RollingMean(3)
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            rm.push(v)
+        assert rm.value() == pytest.approx(3.0)  # mean of [2, 3, 4]
+        assert len(rm) == 3
+
+    def test_window_one_tracks_last(self):
+        rm = RollingMean(1)
+        rm.push(5.0)
+        rm.push(9.0)
+        assert rm.value() == 9.0
+
+    def test_rejects_non_positive_window(self):
+        with pytest.raises(ValueError):
+            RollingMean(0)
+
+    @given(st.lists(floats, min_size=1, max_size=60), st.integers(1, 10))
+    def test_matches_numpy_tail_mean(self, values, window):
+        rm = RollingMean(window)
+        for v in values:
+            rm.push(v)
+        expected = float(np.mean(values[-window:]))
+        assert rm.value() == pytest.approx(expected, rel=1e-9, abs=1e-6)
+
+
+class TestRunningStats:
+    def test_empty_is_nan(self):
+        rs = RunningStats()
+        assert math.isnan(rs.mean)
+        assert math.isnan(rs.variance)
+        assert math.isnan(rs.minimum)
+
+    def test_single_value(self):
+        rs = RunningStats()
+        rs.push(4.0)
+        assert rs.mean == 4.0
+        assert math.isnan(rs.variance)
+        assert rs.minimum == rs.maximum == 4.0
+
+    @given(st.lists(floats, min_size=2, max_size=100))
+    def test_matches_numpy(self, values):
+        rs = RunningStats()
+        rs.extend(values)
+        assert rs.count == len(values)
+        assert rs.mean == pytest.approx(float(np.mean(values)), rel=1e-6, abs=1e-6)
+        assert rs.variance == pytest.approx(
+            float(np.var(values, ddof=1)), rel=1e-5, abs=1e-5
+        )
+        assert rs.minimum == min(values)
+        assert rs.maximum == max(values)
+
+    @given(
+        st.lists(floats, min_size=1, max_size=40),
+        st.lists(floats, min_size=1, max_size=40),
+    )
+    def test_merge_equals_concatenation(self, left, right):
+        a = RunningStats()
+        a.extend(left)
+        b = RunningStats()
+        b.extend(right)
+        merged = a.merge(b)
+        direct = RunningStats()
+        direct.extend(left + right)
+        assert merged.count == direct.count
+        assert merged.mean == pytest.approx(direct.mean, rel=1e-6, abs=1e-6)
+        assert merged.variance == pytest.approx(direct.variance, rel=1e-4, abs=1e-4)
+
+    def test_merge_with_empty(self):
+        a = RunningStats()
+        a.extend([1.0, 2.0])
+        merged = a.merge(RunningStats())
+        assert merged.count == 2
+        assert merged.mean == pytest.approx(1.5)
+
+    def test_merge_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            RunningStats().merge([1, 2])
+
+
+class TestSummarizeSeries:
+    def test_empty(self):
+        summary = summarize_series([])
+        assert summary.count == 0
+        assert math.isnan(summary.mean)
+
+    def test_single(self):
+        summary = summarize_series([2.0])
+        assert summary.count == 1
+        assert summary.std == 0.0
+        assert summary.median == 2.0
+
+    def test_known_values(self):
+        summary = summarize_series([1.0, 2.0, 3.0, 4.0])
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.median == pytest.approx(2.5)

@@ -1,0 +1,47 @@
+"""Tests for repro.utils.rng.UniformBuffer."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import UniformBuffer
+
+
+class TestUniformBuffer:
+    def test_values_in_unit_interval(self):
+        buf = UniformBuffer(np.random.default_rng(1), chunk=16)
+        for _ in range(100):
+            assert 0.0 <= buf.next() < 1.0
+
+    def test_deterministic_per_seed(self):
+        a = UniformBuffer(np.random.default_rng(2), chunk=8)
+        b = UniformBuffer(np.random.default_rng(2), chunk=8)
+        assert [a.next() for _ in range(40)] == [b.next() for _ in range(40)]
+
+    def test_chunk_size_invisible(self):
+        """The draw sequence must not depend on the buffering granularity."""
+        small = UniformBuffer(np.random.default_rng(3), chunk=4)
+        large = UniformBuffer(np.random.default_rng(3), chunk=1024)
+        assert [small.next() for _ in range(50)] == [large.next() for _ in range(50)]
+
+    def test_refill_seamless(self):
+        buf = UniformBuffer(np.random.default_rng(4), chunk=5)
+        values = [buf.next() for _ in range(20)]
+        assert len(set(values)) == 20  # no repeats across refills
+
+    def test_next_index_range(self):
+        buf = UniformBuffer(np.random.default_rng(5), chunk=64)
+        draws = [buf.next_index(7) for _ in range(500)]
+        assert min(draws) == 0
+        assert max(draws) == 6
+
+    def test_next_index_roughly_uniform(self):
+        buf = UniformBuffer(np.random.default_rng(6), chunk=4096)
+        counts = np.bincount([buf.next_index(4) for _ in range(8000)], minlength=4)
+        assert counts.min() > 1700
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UniformBuffer(np.random.default_rng(7), chunk=0)
+        buf = UniformBuffer(np.random.default_rng(8))
+        with pytest.raises(ValueError):
+            buf.next_index(0)

@@ -1,0 +1,66 @@
+"""Tests for repro.workload.content."""
+
+import pytest
+
+from repro.workload.content import ContentCatalog
+from repro.workload.interests import InterestProfile
+
+
+class TestContentCatalog:
+    def test_n_files(self):
+        assert ContentCatalog(4, 100).n_files == 400
+
+    def test_category_of(self):
+        catalog = ContentCatalog(4, 100)
+        assert catalog.category_of(0) == 0
+        assert catalog.category_of(99) == 0
+        assert catalog.category_of(100) == 1
+        assert catalog.category_of(399) == 3
+
+    def test_category_of_out_of_range(self):
+        with pytest.raises(IndexError):
+            ContentCatalog(2, 10).category_of(20)
+
+    def test_sample_file_stays_in_category(self, rng):
+        catalog = ContentCatalog(5, 50)
+        for _ in range(100):
+            f = catalog.sample_file(rng, 3)
+            assert catalog.category_of(f) == 3
+
+    def test_sample_file_bad_category(self, rng):
+        with pytest.raises(IndexError):
+            ContentCatalog(2, 10).sample_file(rng, 5)
+
+    def test_library_respects_interests(self, rng):
+        catalog = ContentCatalog(6, 40)
+        profile = InterestProfile(categories=(1, 4), weights=(0.7, 0.3))
+        library = catalog.sample_library(rng, profile, size=60)
+        assert library
+        assert all(catalog.category_of(f) in (1, 4) for f in library)
+
+    def test_library_size_zero(self, rng):
+        catalog = ContentCatalog(2, 10)
+        profile = InterestProfile(categories=(0,), weights=(1.0,))
+        assert catalog.sample_library(rng, profile, size=0) == frozenset()
+
+    def test_library_negative_size(self, rng):
+        catalog = ContentCatalog(2, 10)
+        profile = InterestProfile(categories=(0,), weights=(1.0,))
+        with pytest.raises(ValueError):
+            catalog.sample_library(rng, profile, size=-1)
+
+    def test_file_name_stable_and_parseable(self):
+        catalog = ContentCatalog(3, 20)
+        name = catalog.file_name(45)  # category 2, rank 5
+        assert name == "cat002/file00005.dat"
+
+    def test_query_matches(self):
+        catalog = ContentCatalog(2, 10)
+        assert catalog.query_matches(5, frozenset({3, 5}))
+        assert not catalog.query_matches(5, frozenset({3}))
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            ContentCatalog(0, 10)
+        with pytest.raises(ValueError):
+            ContentCatalog(10, 0)

@@ -1,0 +1,94 @@
+"""Tests for repro.workload.keywords."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workload.content import ContentCatalog
+from repro.workload.keywords import KeywordIndex
+
+
+@pytest.fixture
+def index():
+    return KeywordIndex(ContentCatalog(12, 50))
+
+
+class TestFileTokens:
+    def test_deterministic(self, index):
+        assert index.file_tokens(123) == index.file_tokens(123)
+
+    def test_rank_token_unique_within_category(self, index):
+        tokens_a = index.file_tokens(0)
+        tokens_b = index.file_tokens(1)
+        assert tokens_a != tokens_b
+
+    def test_category_topic_shared(self, index):
+        a = index.file_tokens(10)
+        b = index.file_tokens(11)  # same category (files_per_category=50)
+        assert len(a & b) >= 2  # the two topic words
+
+    def test_different_categories_differ_in_topic(self, index):
+        a = index.file_tokens(0)
+        b = index.file_tokens(50)  # category 1
+        # Rank tokens collide (t0000) but topic words must differ.
+        assert a != b
+
+
+class TestQueryTokens:
+    def test_subset_of_file_tokens(self, index, rng):
+        for _ in range(50):
+            f = int(rng.integers(0, index.catalog.n_files))
+            q = index.query_tokens(f, rng)
+            assert q
+            assert q <= index.file_tokens(f)
+
+    def test_validation(self, index, rng):
+        with pytest.raises(ValueError):
+            index.query_tokens(0, rng, drop_probability=1.0)
+
+
+class TestMatching:
+    def test_full_name_matches_only_target_in_category(self, index):
+        f = 7
+        full = index.file_tokens(f)
+        assert index.file_matches(full, f)
+
+    def test_partial_query_matches_target(self, index, rng):
+        f = 33
+        q = index.query_tokens(f, rng)
+        assert index.file_matches(q, f)
+
+    def test_wrong_category_never_matches_full_query(self, index):
+        f = 7
+        full = index.file_tokens(f)
+        other_cat = 7 + index.catalog.files_per_category
+        assert not index.file_matches(full, other_cat)
+
+    def test_search_library(self, index):
+        f = 12
+        library = frozenset({5, 12, 80})
+        hits = index.search_library(index.file_tokens(f), library)
+        assert 12 in hits
+
+    def test_empty_query_matches_everything(self, index):
+        assert index.file_matches(frozenset(), 3)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(0, 599), st.integers(0, 2**31 - 1))
+def test_keyword_at_least_as_permissive_as_exact(file_id, seed):
+    """Property: wherever exact-id finds the file, keywords do too."""
+    index = KeywordIndex(ContentCatalog(12, 50))
+    rng = np.random.default_rng(seed)
+    library = frozenset(int(x) for x in rng.integers(0, 600, size=100))
+    q = index.query_tokens(file_id, rng)
+    if file_id in library:
+        assert index.search_library(q, library)
+
+
+class TestHitRateComparison:
+    def test_keyword_hit_rate_dominates(self, index):
+        rng = np.random.default_rng(9)
+        exact, keyword = index.hit_rate_vs_exact(rng, n_queries=300)
+        assert keyword >= exact
+        assert keyword > 0

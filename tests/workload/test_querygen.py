@@ -1,0 +1,31 @@
+"""Tests for repro.workload.querygen."""
+
+import pytest
+
+from repro.workload.querygen import QueryTextModel
+
+
+class TestQueryTextModel:
+    def test_roundtrip(self, rng):
+        model = QueryTextModel()
+        for category, rank in [(0, 0), (7, 123), (159, 99999)]:
+            text = model.render(rng, category, rank)
+            assert QueryTextModel.parse(text) == (category, rank)
+
+    def test_decoration_varies_surface_form(self, rng):
+        model = QueryTextModel(decorate_probability=1.0)
+        text = model.render(rng, 1, 2)
+        assert len(text.split()) == 4  # topic + item + adjective + noun
+
+    def test_no_decoration(self, rng):
+        model = QueryTextModel(decorate_probability=0.0)
+        text = model.render(rng, 1, 2)
+        assert text == "topic001 item00002"
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            QueryTextModel.parse("free beer download")
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            QueryTextModel(decorate_probability=1.5)
