@@ -11,6 +11,13 @@ Commands
     Run the complete registry in order.
 ``trace``
     Print the descriptive profile of a freshly generated trace prefix.
+``live-node``
+    Run one live asyncio servent daemon on a TCP port (optionally
+    dialing peers), printing its counters on exit.
+``live-cluster``
+    Boot a loopback cluster of live servents over real sockets, drive a
+    workload through it, and (with ``--compare``) race association
+    routing against flooding on identical topology and queries.
 
 Use ``--seed`` to vary the seed and ``--full`` for the paper's full
 365-block horizon (equivalent to ``REPRO_FULL_SCALE=1``).
@@ -72,6 +79,64 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace = sub.add_parser("trace", help="profile a generated trace prefix")
     trace.add_argument("--blocks", type=int, default=5, help="blocks to profile")
+
+    live_node = sub.add_parser(
+        "live-node", help="run one live servent daemon over TCP"
+    )
+    live_node.add_argument("--host", default="127.0.0.1")
+    live_node.add_argument(
+        "--port", type=int, default=6346, help="listen port (0 = ephemeral)"
+    )
+    live_node.add_argument("--node-id", type=int, default=0)
+    live_node.add_argument(
+        "--connect",
+        action="append",
+        default=[],
+        metavar="HOST:PORT",
+        help="peer to dial and supervise (repeatable)",
+    )
+    live_node.add_argument(
+        "--share",
+        default="",
+        metavar="TERM[,TERM...]",
+        help="keywords to share one file apiece for",
+    )
+    live_node.add_argument(
+        "--flood",
+        action="store_true",
+        help="plain flooding servent (default: rule-routed)",
+    )
+    live_node.add_argument(
+        "--duration",
+        type=float,
+        default=0.0,
+        metavar="SECS",
+        help="run this long then exit (0 = until interrupted)",
+    )
+
+    live_cluster = sub.add_parser(
+        "live-cluster", help="boot a loopback live cluster and drive queries"
+    )
+    live_cluster.add_argument("--nodes", type=int, default=8)
+    live_cluster.add_argument(
+        "--topology",
+        choices=("regular", "star"),
+        default="regular",
+        help="overlay shape (regular uses --degree)",
+    )
+    live_cluster.add_argument("--degree", type=int, default=3)
+    live_cluster.add_argument("--queries", type=int, default=150)
+    live_cluster.add_argument("--terms", type=int, default=24)
+    live_cluster.add_argument("--top-k", type=int, default=2)
+    live_cluster.add_argument("--max-ttl", type=int, default=7)
+    live_cluster.add_argument(
+        "--compare",
+        action="store_true",
+        help="also run a flooding cluster on the same topology/workload",
+    )
+    live_cluster.add_argument(
+        "--per-node", action="store_true", help="print per-node counters"
+    )
     return parser
 
 
@@ -90,6 +155,159 @@ def _print_result(result, *, chart: bool = True, stream=None) -> None:
             print(file=stream)
             print(line_chart(plottable, height=10), file=stream)
     print(file=stream)
+
+
+def _print_stats(stats: dict[str, int], *, indent: str = "  ", stream=None) -> None:
+    stream = stream or sys.stdout
+    width = max(len(k) for k in stats)
+    for key, value in stats.items():
+        print(f"{indent}{key.ljust(width)}  {value}", file=stream)
+
+
+def _run_live_node(args) -> int:
+    import asyncio
+
+    from repro.live import LiveServent
+    from repro.network.servent import SharedFile
+
+    library = [
+        SharedFile(index=i, name=f"{term.strip()} track{i}.mp3", size=1 << 20)
+        for i, term in enumerate(args.share.split(","))
+        if term.strip()
+    ]
+    peers = []
+    for spec in args.connect:
+        host, _, port = spec.rpartition(":")
+        try:
+            peers.append((host or "127.0.0.1", int(port)))
+        except ValueError:
+            print(f"bad --connect value {spec!r}; expected HOST:PORT")
+            return 2
+
+    async def run() -> None:
+        node = LiveServent(
+            args.node_id,
+            host=args.host,
+            port=args.port,
+            library=library,
+            rule_routed=not args.flood,
+        )
+        await node.start()
+        mode = "flooding" if args.flood else "rule-routed"
+        print(f"{mode} servent {args.node_id} listening on {node.host}:{node.port}")
+        for host, port in peers:
+            node.add_peer(host, port)
+        try:
+            if args.duration > 0:
+                await asyncio.sleep(args.duration)
+            else:
+                await asyncio.Event().wait()
+        finally:
+            await node.close()
+            print("final counters:")
+            _print_stats(node.snapshot())
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _run_live_cluster(args) -> int:
+    import asyncio
+
+    import numpy as np
+
+    from repro.live import LiveCluster, interest_plan, make_vocabulary
+    from repro.metrics.savings import estimate_flood_reduction
+    from repro.network.topology import Topology, random_regular
+
+    seed = args.seed if args.seed is not None else 20060814
+    rng = np.random.default_rng(seed)
+    if args.nodes < 2:
+        print("need at least 2 nodes")
+        return 2
+    if args.topology == "star":
+        topology = Topology(args.nodes, [(0, i) for i in range(1, args.nodes)])
+        origins = list(range(1, args.nodes))
+    else:
+        topology = random_regular(args.nodes, args.degree, rng=rng)
+        origins = None
+    vocabulary = make_vocabulary(args.terms)
+    plan = interest_plan(
+        args.nodes, vocabulary, args.queries, rng, origins=origins
+    )
+
+    async def run_one(rule_routed: bool):
+        async with LiveCluster(
+            topology,
+            rule_routed=rule_routed,
+            top_k=args.top_k,
+            max_ttl=args.max_ttl,
+        ) as cluster:
+            cluster.stock_partitioned_library(vocabulary)
+            summary = await cluster.run_plan(plan)
+            return summary, cluster.totals(), cluster.node_stats()
+
+    async def run() -> None:
+        modes = [("association", True)]
+        if args.compare:
+            modes.append(("flooding", False))
+        results = {}
+        for label, rule_routed in modes:
+            summary, totals, per_node = await run_one(rule_routed)
+            results[label] = (summary, totals)
+            print(f"{label}: {topology.n_nodes} nodes, {len(plan)} queries")
+            for key in (
+                "answer_rate",
+                "frames_per_query",
+                "frames_per_answered",
+            ):
+                print(f"  {key}: {summary[key]:.3f}")
+            decisions = totals["queries_rule_routed"] + totals["queries_flooded"]
+            if rule_routed and decisions:
+                print(
+                    f"  rule-routed decisions: "
+                    f"{totals['queries_rule_routed']}/{decisions} "
+                    f"(rules promoted {totals['rule_regenerations']}x)"
+                )
+            if args.per_node:
+                for node_id, stats in per_node.items():
+                    print(f"  node {node_id}: {stats}")
+        if args.compare:
+            rule_summary, rule_totals = results["association"]
+            flood_summary, _ = results["flooding"]
+            measured = (
+                flood_summary["frames_per_answered"]
+                / rule_summary["frames_per_answered"]
+                if rule_summary["frames_per_answered"] > 0
+                else float("inf")
+            )
+            decisions = (
+                rule_totals["queries_rule_routed"]
+                + rule_totals["queries_flooded"]
+            )
+            coverage = (
+                rule_totals["queries_rule_routed"] / decisions
+                if decisions
+                else 0.0
+            )
+            estimate = estimate_flood_reduction(
+                coverage=coverage,
+                success=rule_summary["answer_rate"],
+                rule_cost=max(rule_summary["frames_per_query"], 1e-9),
+                flood_cost=max(flood_summary["frames_per_query"], 1e-9),
+            )
+            print(
+                f"measured reduction: {measured:.2f}x cheaper per answered "
+                f"query ({rule_summary['frames_per_answered']:.2f} vs "
+                f"{flood_summary['frames_per_answered']:.2f} frames)"
+            )
+            print(f"analytic model at measured coverage/success: {estimate}")
+
+    asyncio.run(run())
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -152,6 +370,12 @@ def main(argv: list[str] | None = None) -> int:
                 fh.write(build_markdown_report(results))
             print(f"markdown report written to {markdown_path}")
         return 1 if failures else 0
+
+    if args.command == "live-node":
+        return _run_live_node(args)
+
+    if args.command == "live-cluster":
+        return _run_live_cluster(args)
 
     if args.command == "trace":
         from repro.trace.analysis import coverage_ceiling, profile_block, source_turnover

@@ -54,11 +54,24 @@ class _ExactWindowCounts:
     def matches(self, source: int, replier: int) -> bool:
         return self._pair_counts.get((source, replier), 0) >= self.threshold
 
-    def push(self, source: int, replier: int) -> None:
+    def consequents(self, source: int, k: int | None = None) -> list[int]:
+        """Qualified repliers for ``source``, highest windowed count first."""
+        qualified = [
+            (count, replier)
+            for (src, replier), count in self._pair_counts.items()
+            if src == source and count >= self.threshold
+        ]
+        qualified.sort(key=lambda cr: (-cr[0], cr[1]))
+        out = [replier for _count, replier in qualified]
+        return out[:k] if k is not None else out
+
+    def push(self, source: int, replier: int) -> bool:
+        """Fold in one pair; True if it just crossed the rule threshold."""
         key = (source, replier)
         new = self._pair_counts.get(key, 0) + 1
         self._pair_counts[key] = new
-        if new == self.threshold:
+        newly_qualified = new == self.threshold
+        if newly_qualified:
             self._qualified[source] = self._qualified.get(source, 0) + 1
         self.window.append(key)
         if len(self.window) > self.window_pairs:
@@ -75,6 +88,7 @@ class _ExactWindowCounts:
                     del self._qualified[src]
                 else:
                     self._qualified[src] = remaining
+        return newly_qualified
 
     def n_rules(self) -> int:
         return sum(1 for c in self._pair_counts.values() if c >= self.threshold)
@@ -102,16 +116,32 @@ class _LossyCounts:
     def matches(self, source: int, replier: int) -> bool:
         return self._counter.estimate(source, replier) >= self.threshold
 
-    def push(self, source: int, replier: int) -> None:
+    def consequents(self, source: int, k: int | None = None) -> list[int]:
+        """Qualified repliers for ``source``, highest estimated count first."""
+        qualified = [
+            (count, replier)
+            for (src, replier), count in self._counter.pairs_over_count(
+                self.threshold
+            ).items()
+            if src == source
+        ]
+        qualified.sort(key=lambda cr: (-cr[0], cr[1]))
+        out = [replier for _count, replier in qualified]
+        return out[:k] if k is not None else out
+
+    def push(self, source: int, replier: int) -> bool:
+        """Fold in one pair; True if it just crossed the rule threshold."""
         before = self._counter.estimate(source, replier)
         self._counter.push(source, replier)
         after = self._counter.estimate(source, replier)
-        if before < self.threshold <= after:
+        newly_qualified = before < self.threshold <= after
+        if newly_qualified:
             self._qualified[source] = self._qualified.get(source, 0) + 1
         self._since_refresh += 1
         if self._since_refresh >= self.refresh_every:
             self._rebuild_qualified()
             self._since_refresh = 0
+        return newly_qualified
 
     def _rebuild_qualified(self) -> None:
         qualified: dict[int, int] = {}
@@ -163,7 +193,17 @@ class StreamingRules:
         self.backend = backend
         self.epsilon = float(epsilon)
 
-    def _make_counts(self):
+    def make_counts(self):
+        """A fresh live counts object for this configuration.
+
+        The returned object is the strategy's online core without the
+        block-driven evaluation loop: ``push(source, replier)`` folds in
+        one observed pair (returning True when it crosses the rule
+        threshold), ``covers(source)`` / ``matches(source, replier)`` /
+        ``consequents(source, k)`` query the current rules, and
+        ``n_rules()`` sizes the rule set.  :mod:`repro.live` drives one
+        of these per servent to adapt routing as live traffic arrives.
+        """
         if self.backend == "exact":
             return _ExactWindowCounts(self.window_pairs, self.min_support_count)
         return _LossyCounts(self.epsilon, self.min_support_count)
@@ -178,7 +218,7 @@ class StreamingRules:
         """
         if len(blocks) < 2:
             raise ValueError("streaming needs at least 2 blocks")
-        counts = self._make_counts()
+        counts = self.make_counts()
         for source, replier in zip(
             blocks[0].sources.tolist(), blocks[0].repliers.tolist()
         ):

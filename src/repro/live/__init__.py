@@ -1,0 +1,44 @@
+"""The paper's servent as a deployable asyncio network service.
+
+The reproduction's other subsystems exercise the Gnutella substrate
+in-process; this one puts it on the wire.  A :class:`LiveServent` is a
+real TCP daemon — asyncio server, supervised outbound links with
+reconnect backoff, incremental frame reassembly, bounded-queue write
+backpressure — around the exact codec and forwarding state machine of
+:mod:`repro.network`, with the paper's association routing maintained
+online by :class:`repro.core.streaming.StreamingRules`.
+
+* :mod:`~repro.live.framing` — chunk-boundary-safe descriptor decoding;
+* :mod:`~repro.live.connection` — per-peer connection lifecycle;
+* :mod:`~repro.live.node` — the servent daemon itself;
+* :mod:`~repro.live.cluster` — loopback N-node harness + workloads;
+* :mod:`~repro.live.stats` — per-node operational counters.
+
+Run one node with ``python -m repro live-node``; race rule routing
+against flooding over real sockets with ``python -m repro live-cluster``.
+"""
+
+from repro.live.cluster import (
+    LiveCluster,
+    harness_config,
+    interest_plan,
+    make_vocabulary,
+)
+from repro.live.connection import ConnectionConfig, PeerConnection
+from repro.live.framing import StreamDecoder
+from repro.live.node import LiveServent, StreamingRuleServent
+from repro.live.stats import NodeStats, combine_stats
+
+__all__ = [
+    "ConnectionConfig",
+    "LiveCluster",
+    "LiveServent",
+    "NodeStats",
+    "PeerConnection",
+    "StreamDecoder",
+    "StreamingRuleServent",
+    "combine_stats",
+    "harness_config",
+    "interest_plan",
+    "make_vocabulary",
+]

@@ -1,0 +1,319 @@
+"""Loopback clusters of live servents for tests, benchmarks and demos.
+
+:class:`LiveCluster` boots one :class:`~repro.live.node.LiveServent` per
+node of a :class:`~repro.network.topology.Topology` on ephemeral
+localhost ports, dials every edge (the lower node id dials the higher),
+injects workloads, and reads back per-node counters — the live-socket
+twin of :class:`~repro.network.wirenet.WireNetwork`, suitable for
+comparing rule routing against flooding over *real* TCP.
+
+Quiescence detection exploits the node's accounting discipline: a
+handled frame's outputs are enqueued (counted in ``frames_out``) before
+the frame itself is counted in ``frames_in``, so when every send queue
+is empty and cluster-wide ``frames_out == frames_in`` no descriptor can
+still be in flight.  After a peer kill that balance can be permanently
+off (bytes lost in dead sockets), so a stability fallback — counters
+unchanged across consecutive polls — keeps :meth:`quiesce` sound.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.live.connection import ConnectionConfig
+from repro.live.node import LiveServent
+from repro.live.stats import NodeStats, combine_stats
+from repro.network.servent import SharedFile
+from repro.network.topology import Topology
+from repro.utils.rng import as_generator
+from repro.workload.zipf import ZipfSampler
+
+__all__ = [
+    "LiveCluster",
+    "harness_config",
+    "interest_plan",
+    "make_vocabulary",
+]
+
+
+def harness_config(**overrides) -> ConnectionConfig:
+    """A :class:`ConnectionConfig` tuned for loopback harnesses: no
+    keepalives or idle drops (they add frames mid-measurement) and fast,
+    bounded reconnect backoff so kill/reconnect tests run in seconds."""
+    defaults = dict(
+        keepalive_interval=0.0,
+        idle_timeout=0.0,
+        connect_timeout=2.0,
+        handshake_timeout=2.0,
+        retry_initial_delay=0.05,
+        retry_backoff=2.0,
+        retry_max_delay=1.0,
+    )
+    defaults.update(overrides)
+    return ConnectionConfig(**defaults)
+
+
+def make_vocabulary(n_terms: int) -> list[str]:
+    """Fixed-width keyword terms (no term is a substring of another, so
+    conjunctive filename matching cannot cross-match)."""
+    if n_terms < 1:
+        raise ValueError("n_terms must be >= 1")
+    width = max(4, len(str(n_terms - 1)))
+    return [f"kw{i:0{width}d}" for i in range(n_terms)]
+
+
+def interest_plan(
+    n_nodes: int,
+    vocabulary: list[str],
+    n_queries: int,
+    rng,
+    *,
+    exponent: float = 1.2,
+    origins: list[int] | None = None,
+) -> list[tuple[int, str]]:
+    """A query plan with per-node interest locality.
+
+    Every origin draws term *ranks* from one shared bounded Zipf
+    distribution, but reads them through its own rotation of the
+    vocabulary — so each node's queries concentrate on a few terms (and
+    therefore a few provider nodes) that differ node to node.  That is
+    the locality the paper's rules exploit; a uniform plan would leave
+    nothing to learn.
+    """
+    rng = as_generator(rng)
+    sampler = ZipfSampler(len(vocabulary), exponent)
+    pool = origins if origins is not None else list(range(n_nodes))
+    if not pool:
+        raise ValueError("need at least one origin node")
+    plan: list[tuple[int, str]] = []
+    for _ in range(n_queries):
+        node = pool[int(rng.integers(0, len(pool)))]
+        rank = sampler.sample(rng)
+        term = vocabulary[(rank + node * 7919) % len(vocabulary)]
+        plan.append((node, term))
+    return plan
+
+
+class LiveCluster:
+    """N live servents wired along a topology over loopback TCP."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        *,
+        rule_routed: bool = False,
+        top_k: int = 2,
+        max_ttl: int = 7,
+        host: str = "127.0.0.1",
+        config: ConnectionConfig | None = None,
+        rule_kwargs: dict | None = None,
+    ) -> None:
+        self.topology = topology
+        self.host = host
+        self.config = config or harness_config()
+        self.rule_routed = rule_routed
+        self._node_kwargs = dict(
+            rule_routed=rule_routed,
+            top_k=top_k,
+            max_ttl=max_ttl,
+            config=self.config,
+        )
+        self._rule_kwargs = dict(rule_kwargs or {})
+        self.nodes: list[LiveServent] = [
+            self._make_node(node) for node in range(topology.n_nodes)
+        ]
+
+    def _make_node(self, node_id: int, port: int = 0) -> LiveServent:
+        rules = None
+        if self.rule_routed:
+            from repro.core.streaming import StreamingRules
+
+            rules = StreamingRules(
+                **{
+                    "min_support_count": 2,
+                    "window_pairs": 512,
+                    **self._rule_kwargs,
+                }
+            )
+        return LiveServent(
+            node_id,
+            host=self.host,
+            port=port,
+            rules=rules,
+            **self._node_kwargs,
+        )
+
+    # -- lifecycle --------------------------------------------------------
+    async def start(self, *, ready_timeout: float = 10.0) -> None:
+        """Listen everywhere, dial every edge, wait for full wiring."""
+        for node in self.nodes:
+            await node.start()
+        for u, v in self.topology.edges():
+            self.nodes[u].add_peer(self.host, self.nodes[v].port, peer_id=v)
+        await self.wait_connected(timeout=ready_timeout)
+
+    async def wait_connected(self, *, timeout: float = 10.0) -> None:
+        """Block until every edge has a live connection on both ends."""
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        while True:
+            wired = all(
+                node.closed
+                or node.connected_peers
+                >= set(self.topology.neighbors(node.node_id))
+                for node in self.nodes
+            )
+            if wired:
+                return
+            if loop.time() > deadline:
+                raise TimeoutError("cluster did not finish wiring up")
+            await asyncio.sleep(0.01)
+
+    async def close(self) -> None:
+        await asyncio.gather(*(node.close() for node in self.nodes))
+
+    async def __aenter__(self) -> "LiveCluster":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    # -- failure injection ------------------------------------------------
+    async def kill(self, node_id: int) -> None:
+        """Hard-stop one node (server + every connection + supervisors).
+
+        Dialing neighbors notice the dead link and begin re-dialing with
+        backoff; their ``dial_failures`` counters record the attempts.
+        """
+        await self.nodes[node_id].close()
+
+    async def restart(self, node_id: int) -> LiveServent:
+        """Bring a killed node back on its old port with its old library.
+
+        Learned rule state is *not* restored — a restarted servent
+        relearns from live traffic, as a real redeployed node would.
+        """
+        old = self.nodes[node_id]
+        if not old.closed:
+            raise RuntimeError(f"node {node_id} is still running")
+        node = self._make_node(node_id, port=old.port)
+        node.servent.library = list(old.servent.library)
+        self.nodes[node_id] = node
+        await node.start()
+        for neighbor in self.topology.neighbors(node_id):
+            if node_id < neighbor and not self.nodes[neighbor].closed:
+                # This node was the dialer for the edge; resume that role
+                # (the other direction's supervisors are already retrying).
+                node.add_peer(
+                    self.host, self.nodes[neighbor].port, peer_id=neighbor
+                )
+        return node
+
+    # -- libraries --------------------------------------------------------
+    def stock_libraries(self, catalog: dict[int, list[SharedFile]]) -> None:
+        for node_id, files in catalog.items():
+            self.nodes[node_id].servent.library = list(files)
+
+    def stock_partitioned_library(self, vocabulary: list[str]) -> None:
+        """Deal terms round-robin: node ``i`` is the unique provider of
+        ``vocabulary[i::n]`` — every query has exactly one answering node,
+        which makes routing quality directly legible in the counters."""
+        n = len(self.nodes)
+        for i, node in enumerate(self.nodes):
+            node.servent.library = [
+                SharedFile(index=j, name=f"{term} track{j}.mp3", size=1 << 20)
+                for j, term in enumerate(vocabulary[i::n])
+            ]
+
+    def owner_of(self, term: str) -> int | None:
+        """The node sharing a file that matches ``term``, if any."""
+        for node in self.nodes:
+            if any(f.matches(term) for f in node.servent.library):
+                return node.node_id
+        return None
+
+    # -- accounting -------------------------------------------------------
+    def _activity(self) -> tuple[int, int, int, int]:
+        frames_in = frames_out = dropped = pending = 0
+        for node in self.nodes:
+            frames_in += node.stats.frames_in
+            frames_out += node.stats.frames_out
+            dropped += node.stats.frames_dropped
+            pending += node.pending_frames
+        return frames_in, frames_out, dropped, pending
+
+    async def quiesce(self, *, timeout: float = 5.0) -> bool:
+        """Wait until no descriptor is in flight anywhere in the cluster."""
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        prev: tuple[int, int, int, int] | None = None
+        stable = 0
+        while loop.time() < deadline:
+            snap = self._activity()
+            frames_in, frames_out, _dropped, pending = snap
+            balanced = pending == 0 and frames_out == frames_in
+            if snap == prev:
+                stable += 1
+                if (balanced and stable >= 1) or stable >= 4:
+                    return True
+            else:
+                prev = snap
+                stable = 0
+            await asyncio.sleep(0.003)
+        return False
+
+    def node_stats(self) -> dict[int, dict[str, int]]:
+        return {node.node_id: node.snapshot() for node in self.nodes}
+
+    def totals(self) -> dict[str, int]:
+        per_node = {
+            node.node_id: NodeStats(**node.snapshot()) for node in self.nodes
+        }
+        return combine_stats(per_node)
+
+    # -- workloads --------------------------------------------------------
+    async def query(
+        self, node_id: int, term: str, *, quiesce_timeout: float = 5.0
+    ) -> int:
+        """Issue one query and wait out the traffic; returns hits received."""
+        node = self.nodes[node_id]
+        before = len(node.results)
+        node.issue_query(term)
+        await self.quiesce(timeout=quiesce_timeout)
+        return len(node.results) - before
+
+    async def run_plan(
+        self,
+        plan: list[tuple[int, str]],
+        *,
+        quiesce_timeout: float = 5.0,
+    ) -> dict[str, float]:
+        """Drive a (node, term) plan; returns cluster-level traffic stats.
+
+        ``frames`` counts every descriptor accepted for sending anywhere
+        in the cluster while the plan ran — queries, forwards and hits —
+        the live analogue of the simulators' message counts.
+        """
+        before = self.totals()
+        answered = 0
+        hits = 0
+        for node_id, term in plan:
+            n_hits = await self.query(
+                node_id, term, quiesce_timeout=quiesce_timeout
+            )
+            hits += n_hits
+            if n_hits:
+                answered += 1
+        after = self.totals()
+        frames = after["frames_out"] - before["frames_out"]
+        n = len(plan)
+        return {
+            "n_queries": float(n),
+            "answered": float(answered),
+            "answer_rate": answered / n if n else 0.0,
+            "hits": float(hits),
+            "frames": float(frames),
+            "frames_per_query": frames / n if n else 0.0,
+            "frames_per_answered": frames / answered if answered else float("inf"),
+        }

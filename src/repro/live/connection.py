@@ -1,0 +1,312 @@
+"""One live TCP link to a peer servent.
+
+:class:`PeerConnection` owns a connected stream pair and runs three
+tasks:
+
+* **reader** — reads chunks, feeds the incremental
+  :class:`~repro.live.framing.StreamDecoder`, and hands every completed
+  descriptor to the node synchronously (so output frames are enqueued
+  before the input frame is accounted as handled).  A peer that sends
+  malformed bytes is dropped; a peer silent for ``idle_timeout`` seconds
+  is presumed dead and dropped.
+* **writer** — drains a *bounded* send queue through
+  ``StreamWriter.drain()``.  The queue bound is the backpressure valve:
+  when a peer reads slower than we route to it, frames are dropped (and
+  counted) instead of buffering without limit — the standard live-P2P
+  trade, and the same drop-under-pressure behaviour the paper's servents
+  inherited from real Gnutella clients.
+* **keepalive** — periodically sends a TTL-1 Ping so half-dead NAT/idle
+  paths are detected by both ends.
+
+Dialing is a free function (:func:`dial_peer`) with connect + handshake
+timeouts; reconnect policy (exponential backoff via
+:func:`backoff_delays`) is driven by the owning
+:class:`~repro.live.node.LiveServent`'s per-peer supervisor task.
+
+The handshake is Gnutella 0.4's, extended with a ``Node:`` header so
+both ends learn the peer's overlay node id (connection ids must be
+stable across reconnects for learned routing rules to stay valid):
+
+.. code-block:: text
+
+    dialer   ->  GNUTELLA CONNECT/0.4\\nNode: <id>\\n\\n
+    acceptor ->  GNUTELLA OK\\nNode: <id>\\n\\n
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.live.framing import DEFAULT_MAX_PAYLOAD, StreamDecoder
+from repro.live.stats import NodeStats
+from repro.network.protocol import DescriptorHeader, ProtocolError
+
+__all__ = [
+    "ConnectionConfig",
+    "HandshakeError",
+    "PeerConnection",
+    "accept_handshake",
+    "backoff_delays",
+    "dial_peer",
+    "offer_handshake",
+]
+
+_CONNECT_LINE = b"GNUTELLA CONNECT/0.4"
+_OK_LINE = b"GNUTELLA OK"
+_HANDSHAKE_LIMIT = 512
+
+
+class HandshakeError(ProtocolError):
+    """The peer did not speak the expected handshake."""
+
+
+@dataclass(frozen=True)
+class ConnectionConfig:
+    """Timeouts, limits and retry policy for live connections."""
+
+    #: seconds to establish a TCP connection before giving up.
+    connect_timeout: float = 5.0
+    #: seconds for the handshake exchange on a fresh connection.
+    handshake_timeout: float = 5.0
+    #: drop a peer silent for this long; 0 disables the idle check.
+    idle_timeout: float = 60.0
+    #: keepalive Ping cadence; 0 disables keepalives.
+    keepalive_interval: float = 10.0
+    #: bounded send queue (frames) — the write backpressure valve.
+    send_queue_limit: int = 256
+    #: exponential backoff for outbound re-dials.
+    retry_initial_delay: float = 0.5
+    retry_backoff: float = 2.0
+    retry_max_delay: float = 15.0
+    #: give up re-dialing after this many consecutive failures
+    #: (None retries forever — the daemon default).
+    max_retries: int | None = None
+    #: largest descriptor payload accepted from a peer.
+    max_payload_length: int = DEFAULT_MAX_PAYLOAD
+
+    def __post_init__(self) -> None:
+        if self.send_queue_limit < 1:
+            raise ValueError("send_queue_limit must be >= 1")
+        if self.retry_initial_delay <= 0 or self.retry_max_delay <= 0:
+            raise ValueError("retry delays must be positive")
+        if self.retry_backoff < 1.0:
+            raise ValueError("retry_backoff must be >= 1.0")
+
+
+def backoff_delays(config: ConnectionConfig) -> Iterator[float]:
+    """Exponential retry delays: initial * backoff^n, capped at max."""
+    delay = config.retry_initial_delay
+    while True:
+        yield delay
+        delay = min(delay * config.retry_backoff, config.retry_max_delay)
+
+
+# ---------------------------------------------------------------------------
+# handshake
+
+
+async def _read_handshake(reader: asyncio.StreamReader) -> tuple[bytes, int]:
+    try:
+        blob = await reader.readuntil(b"\n\n")
+    except (asyncio.IncompleteReadError, asyncio.LimitOverrunError) as exc:
+        raise HandshakeError("connection closed during handshake") from exc
+    if len(blob) > _HANDSHAKE_LIMIT:
+        raise HandshakeError("oversized handshake")
+    lines = blob[:-2].split(b"\n")
+    node_id: int | None = None
+    for line in lines[1:]:
+        key, _, value = line.partition(b":")
+        if key.strip().lower() == b"node":
+            try:
+                node_id = int(value.strip())
+            except ValueError as exc:
+                raise HandshakeError(f"bad Node header {value!r}") from exc
+    if node_id is None or node_id < 0:
+        raise HandshakeError("handshake missing a valid Node header")
+    return lines[0], node_id
+
+
+async def offer_handshake(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    node_id: int,
+) -> int:
+    """Dialer side: send CONNECT, await OK; returns the peer's node id."""
+    writer.write(_CONNECT_LINE + b"\nNode: %d\n\n" % node_id)
+    await writer.drain()
+    first, peer_id = await _read_handshake(reader)
+    if first != _OK_LINE:
+        raise HandshakeError(f"expected GNUTELLA OK, got {first!r}")
+    return peer_id
+
+
+async def accept_handshake(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    node_id: int,
+) -> int:
+    """Acceptor side: await CONNECT, send OK; returns the peer's node id."""
+    first, peer_id = await _read_handshake(reader)
+    if first != _CONNECT_LINE:
+        raise HandshakeError(f"expected GNUTELLA CONNECT/0.4, got {first!r}")
+    writer.write(_OK_LINE + b"\nNode: %d\n\n" % node_id)
+    await writer.drain()
+    return peer_id
+
+
+async def dial_peer(
+    host: str,
+    port: int,
+    node_id: int,
+    config: ConnectionConfig,
+) -> tuple[asyncio.StreamReader, asyncio.StreamWriter, int]:
+    """Connect + handshake with timeouts; returns (reader, writer, peer id).
+
+    Raises ``OSError`` on dial failure and :class:`HandshakeError` /
+    ``asyncio.TimeoutError`` on a broken handshake; the caller's
+    supervisor turns any of these into a backoff retry.
+    """
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), config.connect_timeout
+    )
+    try:
+        peer_id = await asyncio.wait_for(
+            offer_handshake(reader, writer, node_id), config.handshake_timeout
+        )
+    except BaseException:
+        writer.close()
+        raise
+    return reader, writer, peer_id
+
+
+# ---------------------------------------------------------------------------
+# the connection proper
+
+
+class PeerConnection:
+    """A framed, backpressured, keepalive-monitored link to one peer."""
+
+    def __init__(
+        self,
+        peer_id: int,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        config: ConnectionConfig,
+        stats: NodeStats,
+        on_message: Callable[[int, DescriptorHeader, object], None],
+        on_close: Callable[["PeerConnection"], None] | None = None,
+        make_keepalive: Callable[[], bytes | None] | None = None,
+    ) -> None:
+        self.peer_id = peer_id
+        self._reader = reader
+        self._writer = writer
+        self._config = config
+        self._stats = stats
+        self._on_message = on_message
+        self._on_close = on_close
+        self._make_keepalive = make_keepalive
+        self._queue: asyncio.Queue[bytes | None] = asyncio.Queue(
+            maxsize=config.send_queue_limit
+        )
+        self._decoder = StreamDecoder(max_payload_length=config.max_payload_length)
+        self._tasks: list[asyncio.Task] = []
+        self._closed = asyncio.Event()
+        self._closing = False
+
+    # -- lifecycle --------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the reader / writer / keepalive tasks."""
+        self._tasks = [
+            asyncio.create_task(self._read_loop()),
+            asyncio.create_task(self._write_loop()),
+        ]
+        if self._config.keepalive_interval > 0 and self._make_keepalive:
+            self._tasks.append(asyncio.create_task(self._keepalive_loop()))
+
+    @property
+    def closed(self) -> bool:
+        return self._closing
+
+    async def wait_closed(self) -> None:
+        await self._closed.wait()
+
+    def close(self) -> None:
+        """Begin teardown (idempotent); safe from any task."""
+        if self._closing:
+            return
+        self._closing = True
+        for task in self._tasks:
+            task.cancel()
+        try:
+            self._writer.close()
+        except Exception:
+            pass
+        self._closed.set()
+        if self._on_close is not None:
+            self._on_close(self)
+
+    # -- sending ----------------------------------------------------------
+    def send(self, frame: bytes) -> bool:
+        """Enqueue one frame; False (frame dropped) if closed or backed up."""
+        if self._closing:
+            return False
+        try:
+            self._queue.put_nowait(frame)
+        except asyncio.QueueFull:
+            return False
+        return True
+
+    @property
+    def pending_frames(self) -> int:
+        return self._queue.qsize()
+
+    # -- internal loops ---------------------------------------------------
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                if self._config.idle_timeout > 0:
+                    chunk = await asyncio.wait_for(
+                        self._reader.read(65536), self._config.idle_timeout
+                    )
+                else:
+                    chunk = await self._reader.read(65536)
+                if not chunk:
+                    break  # EOF: peer went away
+                self._stats.bytes_in += len(chunk)
+                for header, payload in self._decoder.feed(chunk):
+                    self._on_message(self.peer_id, header, payload)
+                    self._stats.frames_in += 1
+        except ProtocolError:
+            self._stats.protocol_errors += 1
+        except (asyncio.TimeoutError, OSError, asyncio.CancelledError):
+            pass
+        finally:
+            self.close()
+
+    async def _write_loop(self) -> None:
+        try:
+            while True:
+                frame = await self._queue.get()
+                if frame is None:
+                    break
+                self._writer.write(frame)
+                self._stats.bytes_out += len(frame)
+                await self._writer.drain()
+        except (OSError, asyncio.CancelledError):
+            pass
+        finally:
+            self.close()
+
+    async def _keepalive_loop(self) -> None:
+        try:
+            while True:
+                await asyncio.sleep(self._config.keepalive_interval)
+                frame = self._make_keepalive()
+                if frame is not None and self.send(frame):
+                    self._stats.pings_sent += 1
+                    self._stats.frames_out += 1
+        except asyncio.CancelledError:
+            pass

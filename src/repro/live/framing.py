@@ -1,0 +1,79 @@
+"""Incremental Gnutella frame reassembly for TCP streams.
+
+TCP delivers byte runs with arbitrary boundaries: a read may return half
+a descriptor header, three whole descriptors and the first byte of a
+fourth.  :class:`StreamDecoder` buffers whatever arrives and yields
+complete decoded descriptors as soon as their bytes are in, using the
+exact codec from :mod:`repro.network.protocol` — so the live daemon and
+the in-process simulators cannot disagree about the wire format.
+
+Malformed input raises :class:`~repro.network.protocol.ProtocolError`
+(never ``struct.error``): the connection layer responds by dropping the
+peer.  A header announcing a payload larger than ``max_payload_length``
+is rejected *before* waiting for the payload, so a hostile or broken
+peer cannot make the node buffer unbounded memory.
+"""
+
+from __future__ import annotations
+
+from repro.network.protocol import (
+    DescriptorHeader,
+    ProtocolError,
+    decode_message,
+)
+
+__all__ = ["DEFAULT_MAX_PAYLOAD", "StreamDecoder"]
+
+#: Generous for this codec (the largest legal payload is a QueryHit with
+#: a file name; real Gnutella clients capped descriptors near 64 KiB).
+DEFAULT_MAX_PAYLOAD = 64 * 1024
+
+_HEADER_SIZE = 23
+
+
+class StreamDecoder:
+    """Reassemble descriptors from arbitrary TCP chunk boundaries."""
+
+    def __init__(self, *, max_payload_length: int = DEFAULT_MAX_PAYLOAD) -> None:
+        if max_payload_length < 0:
+            raise ValueError("max_payload_length must be >= 0")
+        self.max_payload_length = max_payload_length
+        self._buffer = bytearray()
+        self._header: DescriptorHeader | None = None
+        self.frames_decoded = 0
+        self.bytes_consumed = 0
+
+    @property
+    def pending(self) -> int:
+        """Bytes buffered but not yet part of a complete descriptor."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> list[tuple[DescriptorHeader, object]]:
+        """Consume one chunk; return every descriptor it completed.
+
+        Raises :class:`ProtocolError` on malformed input, after which the
+        decoder must be discarded (the stream position is ambiguous).
+        """
+        self._buffer.extend(data)
+        out: list[tuple[DescriptorHeader, object]] = []
+        while True:
+            if self._header is None:
+                if len(self._buffer) < _HEADER_SIZE:
+                    break
+                header = DescriptorHeader.decode(bytes(self._buffer[:_HEADER_SIZE]))
+                if header.payload_length > self.max_payload_length:
+                    raise ProtocolError(
+                        f"payload length {header.payload_length} exceeds "
+                        f"limit {self.max_payload_length}"
+                    )
+                self._header = header
+            frame_size = _HEADER_SIZE + self._header.payload_length
+            if len(self._buffer) < frame_size:
+                break
+            frame = bytes(self._buffer[:frame_size])
+            del self._buffer[:frame_size]
+            self._header = None
+            out.append(decode_message(frame))
+            self.frames_decoded += 1
+            self.bytes_consumed += frame_size
+        return out

@@ -1,0 +1,338 @@
+"""The paper's rule-routed servent as an asyncio network daemon.
+
+:class:`LiveServent` puts the byte-level state machine from
+:mod:`repro.network.servent` on real TCP sockets: it runs an asyncio
+server for inbound peers, supervises outbound links (dial, handshake,
+reconnect with exponential backoff), and pumps every decoded descriptor
+through the same forwarding rules the in-process simulators use —
+GUID reply routing, duplicate suppression, TTL aging, shared-file hit
+matching.
+
+Rule-routed nodes (``rule_routed=True``) run the paper's association
+routing *online*: a :class:`StreamingRuleServent` maintains its rules
+through :meth:`repro.core.streaming.StreamingRules.make_counts` — the
+§VI immediate-update algorithm — observing one ``(query upstream, reply
+downstream)`` pair per QueryHit it routes backwards, and forwarding a
+covered query only to the top-k rule consequents.  Uncovered sources
+flood, exactly the paper's incremental-deployment fallback, so a
+rule-routed daemon interoperates with vanilla flooding peers on the
+same overlay.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.core.streaming import StreamingRules
+from repro.live.connection import (
+    ConnectionConfig,
+    PeerConnection,
+    accept_handshake,
+    backoff_delays,
+    dial_peer,
+)
+from repro.live.stats import NodeStats
+from repro.network.protocol import (
+    PAYLOAD_QUERY,
+    PAYLOAD_QUERY_HIT,
+    DescriptorHeader,
+    ProtocolError,
+    ReplyRoutingTable,
+    encode_message,
+)
+from repro.network.servent import LOCAL, Servent, SharedFile
+
+__all__ = ["LiveServent", "StreamingRuleServent"]
+
+
+class StreamingRuleServent(Servent):
+    """A servent whose forwarding follows live streaming-rule counts.
+
+    The in-process :class:`~repro.network.servent.RuleRoutedServent`
+    carries its own ad-hoc pair counter; this variant plugs into the
+    evaluated §VI streaming strategy instead, so the daemon's routing
+    quality is the quantity the reproduction already measures offline.
+    """
+
+    def __init__(
+        self,
+        servent_guid: int,
+        *,
+        rules: StreamingRules,
+        top_k: int = 2,
+        **kwargs,
+    ) -> None:
+        super().__init__(servent_guid, **kwargs)
+        if top_k < 1:
+            raise ValueError("top_k must be >= 1")
+        self.counts = rules.make_counts()
+        self.top_k = top_k
+        self.n_rule_routed = 0
+        self.n_flooded = 0
+        self.n_rule_regenerations = 0
+
+    def _targets(self, antecedent: int, exclude: int | None) -> list[int]:
+        """Live rule consequents for ``antecedent``, best first, capped
+        at top-k *after* dropping departed connections — a dead peer must
+        not eat a forwarding slot."""
+        return [
+            c
+            for c in self.counts.consequents(antecedent)
+            if c in self.connections and c != exclude
+        ][: self.top_k]
+
+    def issue_query(self, search: str) -> tuple[int, list[tuple[int, bytes]]]:
+        guid, frames = super().issue_query(search)
+        targets = self._targets(LOCAL, None)
+        if targets:
+            keep = set(targets)
+            frames = [(conn, frame) for conn, frame in frames if conn in keep]
+            self.n_rule_routed += 1
+        else:
+            self.n_flooded += 1
+        return guid, frames
+
+    def _forward(self, from_conn: int, header, payload) -> list[tuple[int, bytes]]:
+        if header.payload_type != PAYLOAD_QUERY or header.ttl <= 1:
+            return super()._forward(from_conn, header, payload)
+        targets = self._targets(from_conn, exclude=from_conn)
+        if not targets:
+            self.n_flooded += 1
+            return super()._forward(from_conn, header, payload)  # flood
+        self.n_rule_routed += 1
+        aged = header.aged()
+        frame = encode_message(aged.guid, aged.ttl, aged.hops, payload)
+        return [(conn, frame) for conn in targets]
+
+    def _route_back(self, routes: ReplyRoutingTable, conn_id: int, header, payload):
+        if routes is self.query_routes and header.payload_type == PAYLOAD_QUERY_HIT:
+            upstream = routes.route_for(header.guid)
+            if upstream is not None:
+                # §III-B's learning event, fed straight into the §VI
+                # streaming counts: a query from `upstream` (or LOCAL)
+                # was satisfied through `conn_id`.
+                if self.counts.push(upstream, conn_id):
+                    self.n_rule_regenerations += 1
+        return super()._route_back(routes, conn_id, header, payload)
+
+
+class LiveServent:
+    """One live node: TCP server + supervised outbound links + servent."""
+
+    def __init__(
+        self,
+        node_id: int,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        library: list[SharedFile] | None = None,
+        rule_routed: bool = False,
+        rules: StreamingRules | None = None,
+        top_k: int = 2,
+        max_ttl: int = 7,
+        config: ConnectionConfig | None = None,
+    ) -> None:
+        if node_id < 0:
+            raise ValueError("node_id must be non-negative")
+        self.node_id = node_id
+        self.host = host
+        self.port = port
+        self.config = config or ConnectionConfig()
+        self.stats = NodeStats()
+        guid = 100_000 + node_id
+        if rule_routed:
+            self.servent: Servent = StreamingRuleServent(
+                guid,
+                rules=rules
+                or StreamingRules(min_support_count=2, window_pairs=512),
+                top_k=top_k,
+                library=library,
+                max_ttl=max_ttl,
+            )
+        else:
+            self.servent = Servent(guid, library=library, max_ttl=max_ttl)
+        self._server: asyncio.Server | None = None
+        self._conns: dict[int, PeerConnection] = {}
+        self._supervisors: dict[tuple[str, int], asyncio.Task] = {}
+        self._closed = False
+
+    # -- lifecycle --------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and listen; ``port=0`` resolves to the ephemeral port."""
+        self._server = await asyncio.start_server(
+            self._accept, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def close(self) -> None:
+        """Stop supervising, stop listening, drop every peer."""
+        self._closed = True
+        for task in self._supervisors.values():
+            task.cancel()
+        if self._supervisors:
+            await asyncio.gather(
+                *self._supervisors.values(), return_exceptions=True
+            )
+        self._supervisors.clear()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for conn in list(self._conns.values()):
+            conn.close()
+        await asyncio.sleep(0)  # let cancelled connection tasks unwind
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- peering ----------------------------------------------------------
+    def add_peer(
+        self, host: str, port: int, *, peer_id: int | None = None
+    ) -> None:
+        """Dial a peer and keep the link alive: on loss or dial failure,
+        retry with exponential backoff (``config.max_retries`` bounds
+        consecutive failures; None retries forever).  ``peer_id`` pins
+        the expected overlay node id; left None, the id learned in the
+        handshake is trusted."""
+        key = (host, port)
+        if key in self._supervisors or self._closed:
+            return
+        self._supervisors[key] = asyncio.create_task(
+            self._supervise(host, port, peer_id)
+        )
+
+    async def _supervise(
+        self, host: str, port: int, expected_id: int | None
+    ) -> None:
+        ever_connected = False
+        delays = backoff_delays(self.config)
+        failures = 0
+        try:
+            while not self._closed:
+                try:
+                    reader, writer, peer_id = await dial_peer(
+                        host, port, self.node_id, self.config
+                    )
+                    if expected_id is not None and peer_id != expected_id:
+                        writer.close()
+                        raise ProtocolError(
+                            f"expected node {expected_id} at {host}:{port}, "
+                            f"found {peer_id}"
+                        )
+                except (OSError, ProtocolError, asyncio.TimeoutError):
+                    self.stats.dial_failures += 1
+                    failures += 1
+                    if (
+                        self.config.max_retries is not None
+                        and failures >= self.config.max_retries
+                    ):
+                        return
+                    await asyncio.sleep(next(delays))
+                    continue
+                failures = 0
+                delays = backoff_delays(self.config)  # reset after success
+                conn = self._register(peer_id, reader, writer)
+                if ever_connected:
+                    self.stats.reconnects += 1
+                ever_connected = True
+                await conn.wait_closed()
+                if self._closed:
+                    return
+                await asyncio.sleep(next(delays))
+        except asyncio.CancelledError:
+            pass
+
+    async def _accept(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            peer_id = await asyncio.wait_for(
+                accept_handshake(reader, writer, self.node_id),
+                self.config.handshake_timeout,
+            )
+        except (ProtocolError, asyncio.TimeoutError, OSError):
+            self.stats.protocol_errors += 1
+            writer.close()
+            return
+        self._register(peer_id, reader, writer)
+
+    def _register(
+        self,
+        peer_id: int,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> PeerConnection:
+        stale = self._conns.pop(peer_id, None)
+        if stale is not None:
+            stale.close()  # reconnect superseding a half-dead link
+        conn = PeerConnection(
+            peer_id,
+            reader,
+            writer,
+            config=self.config,
+            stats=self.stats,
+            on_message=self._handle,
+            on_close=self._conn_closed,
+            make_keepalive=self.servent.make_ping,
+        )
+        self._conns[peer_id] = conn
+        self.servent.connect(peer_id)
+        self.stats.connects += 1
+        conn.start()
+        return conn
+
+    def _conn_closed(self, conn: PeerConnection) -> None:
+        if self._conns.get(conn.peer_id) is conn:
+            del self._conns[conn.peer_id]
+            self.servent.disconnect(conn.peer_id)
+
+    @property
+    def connected_peers(self) -> set[int]:
+        return set(self._conns)
+
+    @property
+    def pending_frames(self) -> int:
+        """Frames sitting in send queues (the backpressure backlog)."""
+        return sum(conn.pending_frames for conn in self._conns.values())
+
+    # -- traffic ----------------------------------------------------------
+    def _handle(self, peer_id: int, header: DescriptorHeader, payload) -> None:
+        if peer_id not in self.servent.connections:
+            return  # raced with a disconnect
+        hits_before = len(self.servent.results)
+        outgoing = self.servent.handle_message(peer_id, header, payload)
+        for conn_id, frame in outgoing:
+            self._send(conn_id, frame)
+        self.stats.hits_received += len(self.servent.results) - hits_before
+
+    def _send(self, conn_id: int, frame: bytes) -> bool:
+        conn = self._conns.get(conn_id)
+        if conn is None or not conn.send(frame):
+            self.stats.frames_dropped += 1
+            return False
+        self.stats.frames_out += 1
+        return True
+
+    def issue_query(self, search: str) -> int:
+        """Originate a Query (rule-routed when rules cover this origin,
+        flooded otherwise); returns its GUID.  Hits arrive asynchronously
+        in :attr:`results`."""
+        guid, frames = self.servent.issue_query(search)
+        self.stats.queries_issued += 1
+        for conn_id, frame in frames:
+            self._send(conn_id, frame)
+        return guid
+
+    @property
+    def results(self):
+        """QueryHits that answered locally issued queries."""
+        return self.servent.results
+
+    def snapshot(self) -> dict[str, int]:
+        """Current counters (routing decisions folded in) as a dict."""
+        if isinstance(self.servent, StreamingRuleServent):
+            self.stats.queries_rule_routed = self.servent.n_rule_routed
+            self.stats.queries_flooded = self.servent.n_flooded
+            self.stats.rule_regenerations = self.servent.n_rule_regenerations
+        return self.stats.as_dict()

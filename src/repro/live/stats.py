@@ -1,0 +1,61 @@
+"""Per-node operational counters for the live servent daemon.
+
+One :class:`NodeStats` per :class:`~repro.live.node.LiveServent`; every
+field is a plain monotonically increasing counter so tests and the CLI
+can snapshot, diff and aggregate them without locking (asyncio runs the
+node single-threaded).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+
+__all__ = ["NodeStats", "combine_stats"]
+
+
+@dataclass
+class NodeStats:
+    """Counters for one live servent."""
+
+    #: complete descriptors decoded and handled from peers.
+    frames_in: int = 0
+    #: descriptors accepted into a connection's send queue.
+    frames_out: int = 0
+    #: raw bytes read from / written to sockets.
+    bytes_in: int = 0
+    bytes_out: int = 0
+    #: frames lost locally: send-queue overflow or no such connection.
+    frames_dropped: int = 0
+    #: peers dropped for sending malformed bytes.
+    protocol_errors: int = 0
+    #: successful handshakes (inbound + outbound, including re-dials).
+    connects: int = 0
+    #: successful outbound re-dials after a connection was lost.
+    reconnects: int = 0
+    #: failed outbound dial attempts (each schedules a backoff retry).
+    dial_failures: int = 0
+    #: keepalive Pings originated by this node.
+    pings_sent: int = 0
+    #: Query descriptors this node originated.
+    queries_issued: int = 0
+    #: transit Queries forwarded along learned rules / flooded for lack
+    #: of a covering rule (rule-routed nodes only; floods stay 0 + all).
+    queries_rule_routed: int = 0
+    queries_flooded: int = 0
+    #: QueryHits received for locally issued queries.
+    hits_received: int = 0
+    #: times an observed pair promoted a new routing rule (the live
+    #: equivalent of a batch rule-set regeneration).
+    rule_regenerations: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return asdict(self)
+
+
+def combine_stats(per_node: dict[int, NodeStats]) -> dict[str, int]:
+    """Sum every counter across nodes (cluster-wide totals)."""
+    totals = {f.name: 0 for f in fields(NodeStats)}
+    for stats in per_node.values():
+        for name, value in stats.as_dict().items():
+            totals[name] += value
+    return totals

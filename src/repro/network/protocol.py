@@ -37,12 +37,23 @@ __all__ = [
     "DescriptorHeader",
     "PingMessage",
     "PongMessage",
+    "ProtocolError",
     "QueryMessage",
     "QueryHitMessage",
     "ReplyRoutingTable",
     "decode_message",
     "encode_message",
 ]
+
+
+class ProtocolError(ValueError):
+    """Malformed bytes received from a peer.
+
+    Decode paths raise this (never bare ``struct.error`` or
+    ``UnicodeDecodeError``) so network code can distinguish "the remote
+    peer sent garbage — drop it" from local programming errors, while
+    existing callers that catch ``ValueError`` keep working.
+    """
 
 PAYLOAD_PING = 0x00
 PAYLOAD_PONG = 0x01
@@ -89,15 +100,22 @@ class DescriptorHeader:
     @classmethod
     def decode(cls, data: bytes) -> "DescriptorHeader":
         if len(data) < _HEADER.size:
-            raise ValueError("truncated descriptor header")
+            raise ProtocolError("truncated descriptor header")
         guid_bytes, ptype, ttl, hops, length = _HEADER.unpack_from(data)
-        return cls(
-            guid=int.from_bytes(guid_bytes, "little"),
-            payload_type=ptype,
-            ttl=ttl,
-            hops=hops,
-            payload_length=length,
-        )
+        try:
+            return cls(
+                guid=int.from_bytes(guid_bytes, "little"),
+                payload_type=ptype,
+                ttl=ttl,
+                hops=hops,
+                payload_length=length,
+            )
+        except ProtocolError:
+            raise
+        except ValueError as exc:
+            # Field validation failing on wire input (e.g. an unknown
+            # payload type byte) is the peer's fault, not ours.
+            raise ProtocolError(str(exc)) from exc
 
     def aged(self) -> "DescriptorHeader":
         """The header after one forwarding hop (TTL-1, hops+1)."""
@@ -124,7 +142,7 @@ class PingMessage:
     @classmethod
     def decode_payload(cls, data: bytes) -> "PingMessage":
         if data:
-            raise ValueError("ping carries no payload")
+            raise ProtocolError("ping carries no payload")
         return cls()
 
 
@@ -150,7 +168,7 @@ class PongMessage:
     @classmethod
     def decode_payload(cls, data: bytes) -> "PongMessage":
         if len(data) != _PONG.size:
-            raise ValueError("bad pong payload length")
+            raise ProtocolError("bad pong payload length")
         port, ip_bytes, n_files, n_kb = _PONG.unpack(data)
         return cls(port=port, ip=_unpack_ip(ip_bytes), n_files=n_files, n_kilobytes=n_kb)
 
@@ -173,9 +191,16 @@ class QueryMessage:
     @classmethod
     def decode_payload(cls, data: bytes) -> "QueryMessage":
         if len(data) < 3 or data[-1] != 0:
-            raise ValueError("bad query payload")
+            raise ProtocolError("bad query payload")
+        text = data[2:-1]
+        if b"\x00" in text:
+            raise ProtocolError("NUL inside search string")
         (min_speed,) = struct.unpack_from("<H", data)
-        return cls(min_speed=min_speed, search=data[2:-1].decode("utf-8"))
+        try:
+            search = text.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError("search string is not valid UTF-8") from exc
+        return cls(min_speed=min_speed, search=search)
 
 
 _QUERY_HIT_FIXED = struct.Struct("<BH4sI")
@@ -212,15 +237,20 @@ class QueryHitMessage:
     def decode_payload(cls, data: bytes) -> "QueryHitMessage":
         min_len = _QUERY_HIT_FIXED.size + _RESULT_FIXED.size + 2 + 16
         if len(data) < min_len:
-            raise ValueError("truncated query hit")
+            raise ProtocolError("truncated query hit")
         n_hits, port, ip_bytes, speed = _QUERY_HIT_FIXED.unpack_from(data)
         if n_hits != 1:
-            raise ValueError("this codec encodes exactly one result per hit")
+            raise ProtocolError("this codec encodes exactly one result per hit")
         offset = _QUERY_HIT_FIXED.size
         file_index, file_size = _RESULT_FIXED.unpack_from(data, offset)
         offset += _RESULT_FIXED.size
-        end = data.index(b"\x00\x00", offset)
-        name = data[offset:end].decode("utf-8")
+        try:
+            end = data.index(b"\x00\x00", offset, len(data) - 16)
+            name = data[offset:end].decode("utf-8")
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ProtocolError("malformed query-hit result record") from exc
+        if end + 2 + 16 != len(data):
+            raise ProtocolError("trailing bytes after query-hit result record")
         guid = int.from_bytes(data[-16:], "little")
         return cls(
             port=port,
@@ -255,16 +285,21 @@ def encode_message(guid: int, ttl: int, hops: int, payload) -> bytes:
 
 
 def decode_message(data: bytes) -> tuple[DescriptorHeader, object]:
-    """Parse header + payload; raises ValueError on malformed input."""
+    """Parse header + payload; raises :class:`ProtocolError` on malformed input."""
     header = DescriptorHeader.decode(data)
     body = data[_HEADER.size :]
     if len(body) != header.payload_length:
-        raise ValueError(
+        raise ProtocolError(
             f"payload length mismatch: header says {header.payload_length}, "
             f"got {len(body)}"
         )
     cls = _PAYLOAD_CLASSES[header.payload_type]
-    return header, cls.decode_payload(body)
+    try:
+        return header, cls.decode_payload(body)
+    except ProtocolError:
+        raise
+    except (ValueError, struct.error) as exc:
+        raise ProtocolError(str(exc)) from exc
 
 
 def _pack_ip(ip: str) -> bytes:
@@ -292,8 +327,10 @@ class ReplyRoutingTable:
     that connection.  This is why the paper's method preserves requester
     anonymity (no hop ever learns the origin address) and why its
     monitor node could pair queries with replies by GUID.  Capacity is
-    bounded (real servents kept minutes of state): oldest entries are
-    evicted first.
+    bounded (real servents kept minutes of state): entries are evicted
+    in insertion order, except that routing a reply refreshes its GUID's
+    entry — a query with replies still in flight is live state and must
+    not be evicted ahead of queries nobody answered.
     """
 
     def __init__(self, capacity: int = 10_000) -> None:
@@ -317,8 +354,16 @@ class ReplyRoutingTable:
         return True
 
     def route_for(self, guid: int) -> int | None:
-        """The upstream connection to forward a reply through."""
-        return self._routes.get(guid)
+        """The upstream connection to forward a reply through.
+
+        Looking a route up refreshes its eviction slot: more replies for
+        the same GUID are likely en route, so the entry must outlive
+        routes that never saw a reply.
+        """
+        upstream = self._routes.get(guid)
+        if upstream is not None:
+            self._routes.move_to_end(guid)
+        return upstream
 
     def __len__(self) -> int:
         return len(self._routes)

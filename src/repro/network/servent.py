@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.network.protocol import (
+    DescriptorHeader,
     PAYLOAD_PING,
     PAYLOAD_PONG,
     PAYLOAD_QUERY,
@@ -118,12 +119,29 @@ class Servent:
         frame = encode_message(guid, self.max_ttl, 0, PingMessage())
         return guid, [(conn, frame) for conn in sorted(self.connections)]
 
+    def make_ping(self, *, ttl: int = 1) -> bytes:
+        """One encoded Ping frame with its reply route recorded.
+
+        TTL 1 by default: a keepalive probe for a single link (the live
+        daemon's heartbeat), not a flooded neighbor discovery.
+        """
+        guid = self._fresh_guid()
+        self.ping_routes.record(guid, LOCAL)
+        return encode_message(guid, ttl, 0, PingMessage())
+
     # -- message handling -----------------------------------------------------
     def handle_frame(self, conn_id: int, data: bytes) -> list[tuple[int, bytes]]:
         """Process one incoming frame; returns outgoing (conn, frame) pairs."""
+        header, payload = decode_message(data)
+        return self.handle_message(conn_id, header, payload)
+
+    def handle_message(
+        self, conn_id: int, header: DescriptorHeader, payload
+    ) -> list[tuple[int, bytes]]:
+        """Process an already-decoded descriptor (the live daemon's entry
+        point — its stream decoder has parsed the frame once already)."""
         if conn_id not in self.connections:
             raise ValueError(f"no such connection {conn_id}")
-        header, payload = decode_message(data)
         if header.payload_type == PAYLOAD_PING:
             return self._on_ping(conn_id, header)
         if header.payload_type == PAYLOAD_QUERY:
@@ -263,8 +281,9 @@ class MonitorServent(Servent):
         self.query_log: list[QueryRecord] = []
         self.reply_log: list[ReplyRecord] = []
 
-    def handle_frame(self, conn_id: int, data: bytes) -> list[tuple[int, bytes]]:
-        header, payload = decode_message(data)
+    def handle_message(
+        self, conn_id: int, header: DescriptorHeader, payload
+    ) -> list[tuple[int, bytes]]:
         if header.payload_type == PAYLOAD_QUERY:
             self.query_log.append(
                 QueryRecord(
@@ -284,4 +303,4 @@ class MonitorServent(Servent):
                     file_name=payload.file_name,
                 )
             )
-        return super().handle_frame(conn_id, data)
+        return super().handle_message(conn_id, header, payload)

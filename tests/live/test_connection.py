@@ -1,0 +1,244 @@
+"""Connection-layer behaviour: handshake, backoff, backpressure."""
+
+import asyncio
+
+import pytest
+
+from repro.live.connection import (
+    ConnectionConfig,
+    HandshakeError,
+    PeerConnection,
+    accept_handshake,
+    backoff_delays,
+    dial_peer,
+    offer_handshake,
+)
+from repro.live.node import LiveServent
+from repro.live.stats import NodeStats
+
+
+def run(coro, timeout=20.0):
+    """Run an async test body under a hard timeout so a bug hangs the
+    test, not the suite."""
+    return asyncio.run(asyncio.wait_for(coro, timeout))
+
+
+async def free_port() -> int:
+    """A port that was just free (and is free again once we return)."""
+    server = await asyncio.start_server(lambda r, w: None, "127.0.0.1", 0)
+    port = server.sockets[0].getsockname()[1]
+    server.close()
+    await server.wait_closed()
+    return port
+
+
+class TestBackoffDelays:
+    def test_exponential_growth_capped(self):
+        config = ConnectionConfig(
+            retry_initial_delay=0.5, retry_backoff=2.0, retry_max_delay=3.0
+        )
+        gen = backoff_delays(config)
+        delays = [next(gen) for _ in range(6)]
+        assert delays == [0.5, 1.0, 2.0, 3.0, 3.0, 3.0]
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ConnectionConfig(send_queue_limit=0)
+        with pytest.raises(ValueError):
+            ConnectionConfig(retry_backoff=0.5)
+
+
+class TestHandshake:
+    def test_roundtrip_exchanges_node_ids(self):
+        async def body():
+            seen = {}
+
+            async def on_accept(reader, writer):
+                seen["peer"] = await accept_handshake(reader, writer, 7)
+                writer.close()
+
+            server = await asyncio.start_server(on_accept, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            peer = await offer_handshake(reader, writer, 3)
+            writer.close()
+            server.close()
+            await server.wait_closed()
+            assert peer == 7
+            assert seen["peer"] == 3
+
+        run(body())
+
+    def test_garbage_greeting_rejected(self):
+        async def body():
+            async def on_accept(reader, writer):
+                writer.write(b"HTTP/1.1 200 OK\n\n")
+                await writer.drain()
+
+            server = await asyncio.start_server(on_accept, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            with pytest.raises(HandshakeError):
+                await offer_handshake(reader, writer, 3)
+            writer.close()
+            server.close()
+            await server.wait_closed()
+
+        run(body())
+
+    def test_dial_peer_to_dead_port_raises(self):
+        async def body():
+            port = await free_port()
+            config = ConnectionConfig(connect_timeout=1.0)
+            with pytest.raises(OSError):
+                await dial_peer("127.0.0.1", port, 0, config)
+
+        run(body())
+
+
+class TestReconnectBackoff:
+    def test_supervisor_counts_failures_then_gives_up(self):
+        async def body():
+            port = await free_port()
+            node = LiveServent(
+                0,
+                config=ConnectionConfig(
+                    connect_timeout=0.5,
+                    retry_initial_delay=0.02,
+                    retry_backoff=2.0,
+                    retry_max_delay=0.1,
+                    max_retries=3,
+                ),
+            )
+            await node.start()
+            node.add_peer("127.0.0.1", port, peer_id=1)
+            # 3 failures at ~0.02 + 0.04 backoff between them.
+            for _ in range(200):
+                if node.stats.dial_failures >= 3:
+                    break
+                await asyncio.sleep(0.01)
+            assert node.stats.dial_failures == 3
+            await asyncio.sleep(0.15)  # past where a 4th retry would land
+            assert node.stats.dial_failures == 3  # gave up after max_retries
+            assert node.stats.connects == 0
+            await node.close()
+
+        run(body())
+
+
+class TestBackpressure:
+    def test_bounded_send_queue_drops_excess(self):
+        async def body():
+            # A server that accepts but never reads: the writer task can
+            # enqueue, so fill the queue before starting the tasks.
+            async def on_accept(reader, writer):
+                await asyncio.sleep(10)
+
+            server = await asyncio.start_server(on_accept, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            stats = NodeStats()
+            conn = PeerConnection(
+                1,
+                reader,
+                writer,
+                config=ConnectionConfig(send_queue_limit=2),
+                stats=stats,
+                on_message=lambda *a: None,
+            )
+            assert conn.send(b"one")
+            assert conn.send(b"two")
+            assert not conn.send(b"three")  # valve shut: queue full
+            assert conn.pending_frames == 2
+            conn.close()
+            server.close()
+            await server.wait_closed()
+
+        run(body())
+
+    def test_send_after_close_is_refused(self):
+        async def body():
+            async def on_accept(reader, writer):
+                pass
+
+            server = await asyncio.start_server(on_accept, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            conn = PeerConnection(
+                1,
+                reader,
+                writer,
+                config=ConnectionConfig(),
+                stats=NodeStats(),
+                on_message=lambda *a: None,
+            )
+            conn.close()
+            assert not conn.send(b"frame")
+            server.close()
+            await server.wait_closed()
+
+        run(body())
+
+
+class TestMalformedPeer:
+    def test_garbage_frames_drop_the_peer(self):
+        async def body():
+            node = LiveServent(0, config=ConnectionConfig(handshake_timeout=1.0))
+            await node.start()
+            reader, writer = await asyncio.open_connection("127.0.0.1", node.port)
+            await offer_handshake(reader, writer, 1)
+            for _ in range(100):
+                if node.connected_peers:
+                    break
+                await asyncio.sleep(0.01)
+            assert node.connected_peers == {1}
+            writer.write(b"\xde\xad\xbe\xef" * 8)  # not a descriptor
+            await writer.drain()
+            for _ in range(200):
+                if not node.connected_peers:
+                    break
+                await asyncio.sleep(0.01)
+            assert node.connected_peers == set()
+            assert node.stats.protocol_errors == 1
+            writer.close()
+            await node.close()
+
+        run(body())
+
+    def test_handshake_timeout_drops_silent_dialer(self):
+        async def body():
+            node = LiveServent(0, config=ConnectionConfig(handshake_timeout=0.05))
+            await node.start()
+            reader, writer = await asyncio.open_connection("127.0.0.1", node.port)
+            # Say nothing; the acceptor must give up quickly.
+            await asyncio.sleep(0.2)
+            assert node.connected_peers == set()
+            assert node.stats.protocol_errors == 1
+            writer.close()
+            await node.close()
+
+        run(body())
+
+
+def test_keepalive_pings_flow():
+    async def body():
+        config = ConnectionConfig(keepalive_interval=0.05, idle_timeout=0.0)
+        a = LiveServent(0, config=config)
+        b = LiveServent(1, config=config)
+        await a.start()
+        await b.start()
+        a.add_peer("127.0.0.1", b.port, peer_id=1)
+        for _ in range(300):
+            if a.stats.pings_sent >= 2 and b.stats.pings_sent >= 2:
+                break
+            await asyncio.sleep(0.01)
+        assert a.stats.pings_sent >= 2
+        assert b.stats.pings_sent >= 2
+        # keepalives are TTL-1 probes answered with Pongs, so frames flow
+        # both ways and neither side sees a protocol error.
+        assert a.stats.frames_in >= 2
+        assert a.stats.protocol_errors == 0
+        await a.close()
+        await b.close()
+
+    run(body())

@@ -1,0 +1,192 @@
+"""Codec robustness: the incremental stream decoder under hostile input.
+
+TCP gives no framing guarantees, so every test here feeds bytes at
+adversarial boundaries — one byte at a time, random chunkings, truncated
+prefixes — and malformed-input cases assert :class:`ProtocolError`
+(which live connections translate into "drop this peer")."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.live.framing import StreamDecoder
+from repro.network.protocol import (
+    PAYLOAD_QUERY,
+    PingMessage,
+    PongMessage,
+    ProtocolError,
+    QueryHitMessage,
+    QueryMessage,
+    encode_message,
+)
+
+MESSAGES = [
+    (1, 7, 0, PingMessage()),
+    (2, 5, 1, PongMessage(port=6346, ip="10.0.0.1", n_files=3, n_kilobytes=999)),
+    (3, 7, 0, QueryMessage(min_speed=0, search="kw0001 kw0002")),
+    (
+        4,
+        4,
+        3,
+        QueryHitMessage(
+            port=6346,
+            ip="10.0.0.2",
+            speed=1000,
+            file_index=0,
+            file_size=1 << 20,
+            file_name="kw0001 track0.mp3",
+            servent_guid=100_001,
+        ),
+    ),
+]
+
+
+def encode_all(messages):
+    return b"".join(encode_message(*m) for m in messages)
+
+
+class TestReassembly:
+    def test_single_message_one_byte_at_a_time(self):
+        decoder = StreamDecoder()
+        data = encode_message(9, 7, 0, QueryMessage(min_speed=0, search="abc"))
+        decoded = []
+        for i in range(len(data)):
+            out = decoder.feed(data[i : i + 1])
+            decoded.extend(out)
+            if i < len(data) - 1:
+                assert out == []  # nothing complete until the last byte
+        assert len(decoded) == 1
+        header, payload = decoded[0]
+        assert header.guid == 9
+        assert payload == QueryMessage(min_speed=0, search="abc")
+        assert decoder.pending == 0
+
+    def test_stream_of_all_payload_types_one_byte_at_a_time(self):
+        decoder = StreamDecoder()
+        decoded = []
+        for i, byte in enumerate(encode_all(MESSAGES)):
+            decoded.extend(decoder.feed(bytes([byte])))
+        assert [h.guid for h, _p in decoded] == [1, 2, 3, 4]
+        assert [type(p) for _h, p in decoded] == [
+            PingMessage,
+            PongMessage,
+            QueryMessage,
+            QueryHitMessage,
+        ]
+        assert decoder.frames_decoded == 4
+
+    def test_whole_stream_in_one_chunk(self):
+        decoder = StreamDecoder()
+        decoded = decoder.feed(encode_all(MESSAGES))
+        assert len(decoded) == 4
+        assert decoder.pending == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        searches=st.lists(
+            st.text(
+                alphabet=st.characters(
+                    min_codepoint=1,
+                    max_codepoint=0x2FF,
+                ),
+                max_size=20,
+            ),
+            min_size=1,
+            max_size=6,
+        ),
+        data=st.data(),
+    )
+    def test_roundtrip_under_random_chunking(self, searches, data):
+        messages = [
+            (i + 1, 7, 0, QueryMessage(min_speed=i, search=s))
+            for i, s in enumerate(searches)
+        ]
+        stream = encode_all(messages)
+        n_cuts = data.draw(st.integers(0, min(len(stream), 8)))
+        cuts = sorted(
+            data.draw(
+                st.lists(
+                    st.integers(0, len(stream)),
+                    min_size=n_cuts,
+                    max_size=n_cuts,
+                )
+            )
+        )
+        decoder = StreamDecoder()
+        decoded = []
+        prev = 0
+        for cut in cuts + [len(stream)]:
+            decoded.extend(decoder.feed(stream[prev:cut]))
+            prev = cut
+        assert [p.search for _h, p in decoded] == searches
+        assert [h.guid for h, _p in decoded] == [m[0] for m in messages]
+        assert decoder.pending == 0
+
+
+class TestTruncation:
+    def test_truncated_header_stays_pending(self):
+        decoder = StreamDecoder()
+        data = encode_message(5, 7, 0, PingMessage())
+        assert decoder.feed(data[:10]) == []
+        assert decoder.pending == 10
+        assert len(decoder.feed(data[10:])) == 1
+
+    def test_truncated_payload_stays_pending(self):
+        decoder = StreamDecoder()
+        data = encode_message(5, 7, 0, QueryMessage(min_speed=0, search="abcdef"))
+        assert decoder.feed(data[:-2]) == []  # header + partial payload
+        assert decoder.pending == len(data) - 2
+        assert len(decoder.feed(data[-2:])) == 1
+
+
+class TestMalformedInput:
+    def test_protocol_error_is_value_error(self):
+        assert issubclass(ProtocolError, ValueError)
+
+    def test_nul_inside_search_string_rejected(self):
+        # The encoder refuses embedded NULs, so craft the frame by hand:
+        # a Query payload whose criteria contain one mid-string.
+        payload = b"\x00\x00" + b"ab\x00cd" + b"\x00"
+        header = bytes(16) + bytes([PAYLOAD_QUERY, 7, 0]) + len(payload).to_bytes(
+            4, "little"
+        )
+        with pytest.raises(ProtocolError):
+            StreamDecoder().feed(header + payload)
+
+    def test_oversized_payload_length_rejected_before_payload_arrives(self):
+        decoder = StreamDecoder(max_payload_length=64)
+        header = bytes(16) + bytes([PAYLOAD_QUERY, 7, 0]) + (1 << 20).to_bytes(
+            4, "little"
+        )
+        # Only the header has arrived — the decoder must refuse to wait
+        # for a megabyte rather than buffer it.
+        with pytest.raises(ProtocolError):
+            decoder.feed(header)
+
+    def test_unknown_payload_type_rejected(self):
+        frame = bytes(16) + bytes([0x42, 7, 0]) + (0).to_bytes(4, "little")
+        with pytest.raises(ProtocolError):
+            StreamDecoder().feed(frame)
+
+    def test_bad_pong_length_is_protocol_error_not_struct_error(self):
+        from repro.network.protocol import PAYLOAD_PONG
+
+        payload = b"\x01\x02\x03"  # pong payload must be 14 bytes
+        frame = (
+            bytes(16)
+            + bytes([PAYLOAD_PONG, 7, 0])
+            + len(payload).to_bytes(4, "little")
+            + payload
+        )
+        with pytest.raises(ProtocolError):
+            StreamDecoder().feed(frame)
+
+    def test_non_utf8_search_rejected(self):
+        payload = b"\x00\x00" + b"\xff\xfe" + b"\x00"
+        frame = (
+            bytes(16)
+            + bytes([PAYLOAD_QUERY, 7, 0])
+            + len(payload).to_bytes(4, "little")
+            + payload
+        )
+        with pytest.raises(ProtocolError):
+            StreamDecoder().feed(frame)

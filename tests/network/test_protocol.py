@@ -10,6 +10,7 @@ from repro.network.protocol import (
     PingMessage,
     PongMessage,
     QueryHitMessage,
+    ProtocolError,
     QueryMessage,
     ReplyRoutingTable,
     decode_message,
@@ -152,3 +153,85 @@ class TestReplyRoutingTable:
     def test_capacity_validation(self):
         with pytest.raises(ValueError):
             ReplyRoutingTable(capacity=0)
+
+    def test_routing_a_reply_refreshes_eviction_order(self):
+        """Regression: an entry still carrying live reply traffic must not
+        be the first one evicted just because it was recorded earliest."""
+        table = ReplyRoutingTable(capacity=3)
+        table.record(1, 10)
+        table.record(2, 11)
+        table.record(3, 12)
+        assert table.route_for(1) == 10  # touch guid 1: now most recent
+        table.record(4, 13)  # evicts guid 2, the stalest entry
+        assert table.route_for(1) == 10
+        assert table.route_for(2) is None
+        assert table.route_for(3) == 12
+        assert table.route_for(4) == 13
+
+    def test_route_for_miss_does_not_disturb_order(self):
+        table = ReplyRoutingTable(capacity=2)
+        table.record(1, 10)
+        table.record(2, 11)
+        assert table.route_for(99) is None
+        table.record(3, 12)
+        assert table.route_for(1) is None  # guid 1 was still the stalest
+
+
+class TestProtocolError:
+    def test_is_value_error_subclass(self):
+        assert issubclass(ProtocolError, ValueError)
+
+    def test_truncated_header(self):
+        with pytest.raises(ProtocolError):
+            DescriptorHeader.decode(b"\x00" * 10)
+
+    def test_unknown_payload_type(self):
+        raw = bytes(16) + bytes([0x99, 7, 0]) + (0).to_bytes(4, "little")
+        with pytest.raises(ProtocolError):
+            DescriptorHeader.decode(raw)
+
+    def test_truncated_frame(self):
+        data = encode_message(1, 7, 0, QueryMessage(min_speed=0, search="ab"))
+        with pytest.raises(ProtocolError):
+            decode_message(data[:-1])
+
+    def test_short_pong_payload_is_protocol_error(self):
+        frame = (
+            bytes(16)
+            + bytes([0x01, 7, 0])  # Pong wants 14 payload bytes
+            + (3).to_bytes(4, "little")
+            + b"\x00\x01\x02"
+        )
+        with pytest.raises(ProtocolError):
+            decode_message(frame)
+
+    def test_nul_in_search_criteria(self):
+        payload = b"\x00\x00" + b"a\x00b" + b"\x00"
+        frame = (
+            bytes(16)
+            + bytes([PAYLOAD_QUERY, 7, 0])
+            + len(payload).to_bytes(4, "little")
+            + payload
+        )
+        with pytest.raises(ProtocolError):
+            decode_message(frame)
+
+    def test_query_hit_trailing_garbage(self):
+        hit = QueryHitMessage(
+            port=6346,
+            ip="10.0.0.1",
+            speed=0,
+            file_index=0,
+            file_size=1,
+            file_name="x",
+            servent_guid=7,
+        )
+        payload = hit.encode_payload() + b"junk"
+        frame = (
+            bytes(16)
+            + bytes([0x81, 7, 0])
+            + len(payload).to_bytes(4, "little")
+            + payload
+        )
+        with pytest.raises(ProtocolError):
+            decode_message(frame)
