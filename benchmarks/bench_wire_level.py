@@ -4,23 +4,41 @@ Runs keyword workloads over byte-framed servent networks — vanilla
 flooding vs :class:`RuleRoutedServent` — and reports frames per query.
 This is the §I deployment story end to end: "it can be deployed in nodes
 in current systems without requiring that all nodes support this method."
+
+Also the observability cost gate: the same workload with query tracing
+attached to every servent versus the default disabled path (``tracer is
+None`` guards), reported as a ratio.  The disabled path must stay
+no-op-cheap — that is the contract that lets the live daemon carry
+instrumentation hooks unconditionally.
 """
 
+import time
+
 import numpy as np
-import pytest
 
 from benchmarks.conftest import register_report
 from repro.network.topology import random_regular
 from repro.network.wirenet import WireNetwork
+from repro.obs.tracing import QueryTracer
 
 VOCAB = [
     "alpha", "bravo", "cedar", "delta", "ember", "flint", "gale", "harbor",
 ]
 
 
-def _run(rule_routed: bool, seed: int = 11, n_nodes: int = 40):
+def _run(
+    rule_routed: bool,
+    seed: int = 11,
+    n_nodes: int = 40,
+    *,
+    tracer: QueryTracer | None = None,
+):
     topo = random_regular(n_nodes, 4, rng=np.random.default_rng(seed))
     net = WireNetwork(topo, rule_routed=rule_routed)
+    if tracer is not None:
+        for node_id, servent in enumerate(net.servents):
+            servent.tracer = tracer
+            servent.trace_node = node_id
     net.stock_random_libraries(np.random.default_rng(seed + 1), vocabulary=VOCAB)
     if rule_routed:
         net.run_workload(
@@ -49,3 +67,46 @@ def test_wire_level_rule_routing(benchmark):
     )
     assert routed["frames_per_query"] < vanilla["frames_per_query"]
     assert routed["answer_rate"] > vanilla["answer_rate"] - 0.25
+
+
+def test_wire_level_instrumentation_overhead(benchmark):
+    """Gate: the disabled instrumentation path must stay no-op-cheap.
+
+    Times the identical wire-level workload with tracing off (the
+    ``tracer is None`` guards every deployment pays) and with a live
+    :class:`QueryTracer` recording every hop, taking the best of several
+    repeats to shed scheduler noise.  Asserts the *disabled* path is not
+    materially slower than the fully traced one — i.e. the guards
+    themselves cost nothing that this bench can see — and reports the
+    enabled/disabled ratio.
+    """
+
+    def best_of(fn, repeats=3):
+        times = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - t0)
+        return min(times)
+
+    def compare():
+        off = best_of(lambda: _run(rule_routed=True))
+        tracer = QueryTracer(max_traces=4096)
+        on = best_of(lambda: _run(rule_routed=True, tracer=tracer))
+        return off, on, tracer
+
+    off, on, tracer = benchmark.pedantic(compare, rounds=1, iterations=1)
+    ratio = on / off if off > 0 else float("inf")
+    register_report(
+        "wire-level instrumentation overhead (tracing on vs off)\n"
+        "-------------------------------------------------------\n"
+        f"disabled (tracer=None) : {off * 1e3:8.2f} ms\n"
+        f"enabled  (QueryTracer) : {on * 1e3:8.2f} ms\n"
+        f"enabled/disabled ratio : {ratio:.3f}x "
+        f"({len(tracer)} traces retained)"
+    )
+    assert len(tracer) > 0  # the enabled run really recorded hops
+    # Generous bound: disabled must not be slower than enabled by more
+    # than scheduler noise — the guards are attribute checks, nothing
+    # else.  (Tighter relative bounds flake on shared CI runners.)
+    assert off <= on * 1.25

@@ -21,6 +21,10 @@ Commands
 
 Use ``--seed`` to vary the seed and ``--full`` for the paper's full
 365-block horizon (equivalent to ``REPRO_FULL_SCALE=1``).
+
+Reports and tables go to stdout; diagnostics go through the structured
+logger (stderr) — tune with ``--log-level`` and ``--log-json`` (see
+``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -30,7 +34,11 @@ import os
 import sys
 import time
 
+from repro.obs.logging import configure_logging, get_logger
+
 __all__ = ["main", "build_parser"]
+
+_log = get_logger("cli")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -48,6 +56,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--full",
         action="store_true",
         help="run at the paper's full scale (365 blocks; slow)",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default="info",
+        help="structured-log threshold on stderr (default: info)",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit logs as JSON lines instead of plain text",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -113,6 +132,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECS",
         help="run this long then exit (0 = until interrupted)",
     )
+    live_node.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve Prometheus /metrics and /healthz on this port "
+        "(0 = ephemeral; default: disabled)",
+    )
 
     live_cluster = sub.add_parser(
         "live-cluster", help="boot a loopback live cluster and drive queries"
@@ -136,6 +163,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     live_cluster.add_argument(
         "--per-node", action="store_true", help="print per-node counters"
+    )
+    live_cluster.add_argument(
+        "--metrics-dump",
+        metavar="PATH",
+        default=None,
+        help="write a Prometheus /metrics snapshot of the cluster to PATH "
+        "after the workload (with --compare, one file per mode)",
+    )
+    live_cluster.add_argument(
+        "--show-trace",
+        action="store_true",
+        help="print the hop-by-hop trace of one sample query per mode",
     )
     return parser
 
@@ -181,8 +220,18 @@ def _run_live_node(args) -> int:
         try:
             peers.append((host or "127.0.0.1", int(port)))
         except ValueError:
-            print(f"bad --connect value {spec!r}; expected HOST:PORT")
+            _log.error(
+                "bad --connect value; expected HOST:PORT", extra={"value": spec}
+            )
             return 2
+
+    registry = tracer = None
+    if args.metrics_port is not None:
+        from repro.obs.registry import MetricsRegistry
+        from repro.obs.tracing import QueryTracer
+
+        registry = MetricsRegistry()
+        tracer = QueryTracer()
 
     async def run() -> None:
         node = LiveServent(
@@ -191,10 +240,22 @@ def _run_live_node(args) -> int:
             port=args.port,
             library=library,
             rule_routed=not args.flood,
+            registry=registry,
+            tracer=tracer,
+            obs_port=args.metrics_port,
         )
         await node.start()
         mode = "flooding" if args.flood else "rule-routed"
-        print(f"{mode} servent {args.node_id} listening on {node.host}:{node.port}")
+        _log.info(
+            "servent listening",
+            extra={
+                "mode": mode,
+                "node": args.node_id,
+                "host": node.host,
+                "port": node.port,
+                "metrics_port": node.obs_port,
+            },
+        )
         for host, port in peers:
             node.add_peer(host, port)
         try:
@@ -214,6 +275,31 @@ def _run_live_node(args) -> int:
     return 0
 
 
+def _print_sample_trace(cluster, label: str, *, stream=None) -> None:
+    """Show one query's hop-by-hop path: the last answered query of the
+    run (every hop visible end to end), or the last issued one if the
+    workload answered nothing."""
+    stream = stream or sys.stdout
+    sample = None
+    for node_id, term, guid in reversed(cluster.issued):
+        trace = cluster.trace(guid)
+        if trace is not None and trace.answered:
+            sample = (node_id, term, guid)
+            break
+    if sample is None and cluster.issued:
+        sample = cluster.issued[-1]
+    if sample is None:
+        print(f"{label}: no queries were issued, nothing to trace", file=stream)
+        return
+    node_id, term, guid = sample
+    print(
+        f"{label}: trace of {term!r} from node {node_id} "
+        f"(guid {guid:#x}):",
+        file=stream,
+    )
+    print(cluster.format_trace(guid), file=stream)
+
+
 def _run_live_cluster(args) -> int:
     import asyncio
 
@@ -226,7 +312,7 @@ def _run_live_cluster(args) -> int:
     seed = args.seed if args.seed is not None else 20060814
     rng = np.random.default_rng(seed)
     if args.nodes < 2:
-        print("need at least 2 nodes")
+        _log.error("need at least 2 nodes", extra={"nodes": args.nodes})
         return 2
     if args.topology == "star":
         topology = Topology(args.nodes, [(0, i) for i in range(1, args.nodes)])
@@ -239,15 +325,30 @@ def _run_live_cluster(args) -> int:
         args.nodes, vocabulary, args.queries, rng, origins=origins
     )
 
-    async def run_one(rule_routed: bool):
+    observe = bool(args.metrics_dump) or args.show_trace
+
+    async def run_one(label: str, rule_routed: bool, n_modes: int):
         async with LiveCluster(
             topology,
             rule_routed=rule_routed,
             top_k=args.top_k,
             max_ttl=args.max_ttl,
+            observe=observe,
         ) as cluster:
             cluster.stock_partitioned_library(vocabulary)
             summary = await cluster.run_plan(plan)
+            if args.metrics_dump:
+                path = args.metrics_dump
+                if n_modes > 1:
+                    path = f"{path}.{label}"
+                with open(path, "w", encoding="utf-8") as fh:
+                    fh.write(cluster.render_metrics())
+                _log.info(
+                    "metrics snapshot written",
+                    extra={"path": path, "mode": label},
+                )
+            if args.show_trace:
+                _print_sample_trace(cluster, label)
             return summary, cluster.totals(), cluster.node_stats()
 
     async def run() -> None:
@@ -256,7 +357,9 @@ def _run_live_cluster(args) -> int:
             modes.append(("flooding", False))
         results = {}
         for label, rule_routed in modes:
-            summary, totals, per_node = await run_one(rule_routed)
+            summary, totals, per_node = await run_one(
+                label, rule_routed, len(modes)
+            )
             results[label] = (summary, totals)
             print(f"{label}: {topology.n_nodes} nodes, {len(plan)} queries")
             for key in (
@@ -312,6 +415,7 @@ def _run_live_cluster(args) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    configure_logging(level=args.log_level, json_lines=args.log_json)
     if args.full:
         os.environ["REPRO_FULL_SCALE"] = "1"
 
@@ -330,8 +434,13 @@ def main(argv: list[str] | None = None) -> int:
         results = []
         for experiment_id in ids:
             if experiment_id not in EXPERIMENTS:
-                known = ", ".join(EXPERIMENTS)
-                print(f"unknown experiment {experiment_id!r}; known: {known}")
+                _log.error(
+                    "unknown experiment",
+                    extra={
+                        "experiment": experiment_id,
+                        "known": ", ".join(EXPERIMENTS),
+                    },
+                )
                 return 2
             t0 = time.time()
             n_seeds = getattr(args, "seeds", 0)
@@ -356,7 +465,7 @@ def main(argv: list[str] | None = None) -> int:
                 os.makedirs(csv_dir, exist_ok=True)
                 csv_path = os.path.join(csv_dir, f"{experiment_id}.csv")
                 result.save_series(csv_path)
-                print(f"series written to {csv_path}")
+                _log.info("series written", extra={"path": csv_path})
             _print_result(result, chart=chart)
             status = "OK" if result.all_within_band else "OUT OF BAND"
             print(f"[{experiment_id}] {status} in {time.time() - t0:.1f}s\n")
@@ -368,7 +477,7 @@ def main(argv: list[str] | None = None) -> int:
 
             with open(markdown_path, "w", encoding="utf-8") as fh:
                 fh.write(build_markdown_report(results))
-            print(f"markdown report written to {markdown_path}")
+            _log.info("markdown report written", extra={"path": markdown_path})
         return 1 if failures else 0
 
     if args.command == "live-node":

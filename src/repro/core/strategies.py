@@ -11,13 +11,15 @@ confidence pruning) through the common base class.
 from __future__ import annotations
 
 import abc
+from time import perf_counter
 from typing import Sequence
 
-from repro.core.evaluation import ruleset_test
+from repro.core.evaluation import RulesetTestResult, ruleset_test
 from repro.core.generation import generate_ruleset
 from repro.core.rules import RuleSet
 from repro.core.runner import StrategyRun, TrialResult
 from repro.core.thresholds import RollingThreshold
+from repro.obs.registry import get_global_registry
 from repro.trace.blocks import PairBlock
 
 __all__ = [
@@ -27,6 +29,21 @@ __all__ = [
     "LazySlidingWindow",
     "AdaptiveSlidingWindow",
 ]
+
+
+def _observe_block_timing(phase: str, strategy: str, seconds: float) -> None:
+    """Record one per-block mining/test duration in the global registry.
+
+    Block granularity (10k pairs per observation at paper scale) keeps
+    the instrumentation cost invisible next to the work it measures;
+    :func:`repro.experiments.report.offline_timings_section` surfaces
+    the distributions in the markdown report.
+    """
+    get_global_registry().histogram(
+        f"repro_offline_{phase}_seconds",
+        f"Per-block {phase} duration in the offline simulator.",
+        ("strategy",),
+    ).labels(strategy).observe(seconds)
 
 
 class RulesetStrategy(abc.ABC):
@@ -48,12 +65,21 @@ class RulesetStrategy(abc.ABC):
             raise ValueError("min_support_count must be >= 1")
 
     def _generate(self, block: PairBlock) -> RuleSet:
-        return generate_ruleset(
+        t0 = perf_counter()
+        ruleset = generate_ruleset(
             block,
             min_support_count=self.min_support_count,
             top_k=self.top_k,
             min_confidence=self.min_confidence,
         )
+        _observe_block_timing("mine", self.name, perf_counter() - t0)
+        return ruleset
+
+    def _test(self, ruleset: RuleSet, block: PairBlock) -> RulesetTestResult:
+        t0 = perf_counter()
+        result = ruleset_test(ruleset, block)
+        _observe_block_timing("test", self.name, perf_counter() - t0)
+        return result
 
     @abc.abstractmethod
     def run(self, blocks: Sequence[PairBlock]) -> StrategyRun:
@@ -84,7 +110,7 @@ class StaticRuleset(RulesetStrategy):
             trials.append(
                 TrialResult(
                     block_index=block.index,
-                    result=ruleset_test(ruleset, block),
+                    result=self._test(ruleset, block),
                     fresh_ruleset=(i == 1),
                     ruleset_size=len(ruleset),
                 )
@@ -107,7 +133,7 @@ class SlidingWindow(RulesetStrategy):
             trials.append(
                 TrialResult(
                     block_index=blocks[b].index,
-                    result=ruleset_test(ruleset, blocks[b]),
+                    result=self._test(ruleset, blocks[b]),
                     fresh_ruleset=True,
                     ruleset_size=len(ruleset),
                 )
@@ -142,7 +168,7 @@ class LazySlidingWindow(RulesetStrategy):
             trials.append(
                 TrialResult(
                     block_index=blocks[b].index,
-                    result=ruleset_test(ruleset, blocks[b]),
+                    result=self._test(ruleset, blocks[b]),
                     fresh_ruleset=fresh,
                     ruleset_size=len(ruleset),
                 )
@@ -198,7 +224,7 @@ class AdaptiveSlidingWindow(RulesetStrategy):
         for b in range(1, len(blocks)):
             ct = coverage_threshold.current()
             st = success_threshold.current()
-            result = ruleset_test(ruleset, blocks[b])
+            result = self._test(ruleset, blocks[b])
             trials.append(
                 TrialResult(
                     block_index=blocks[b].index,

@@ -26,11 +26,13 @@ success are the prequential tallies, so the strategy plugs into the same
 from __future__ import annotations
 
 from collections import deque
+from time import perf_counter
 from typing import Sequence
 
 from repro.core.evaluation import RulesetTestResult
 from repro.core.runner import StrategyRun, TrialResult
 from repro.mining.streaming import StreamingPairCounter
+from repro.obs.registry import get_global_registry
 from repro.trace.blocks import PairBlock
 
 __all__ = ["StreamingRules"]
@@ -224,7 +226,13 @@ class StreamingRules:
         ):
             counts.push(source, replier)
         trials = []
+        timings = get_global_registry().histogram(
+            "repro_offline_test_seconds",
+            "Per-block test duration in the offline simulator.",
+            ("strategy",),
+        ).labels(self.name)
         for block in blocks[1:]:
+            t0 = perf_counter()
             n_total = len(block)
             n_covered = 0
             n_successful = 0
@@ -236,6 +244,7 @@ class StreamingRules:
                     if counts.matches(source, replier):
                         n_successful += 1
                 counts.push(source, replier)
+            timings.observe(perf_counter() - t0)
             trials.append(
                 TrialResult(
                     block_index=block.index,

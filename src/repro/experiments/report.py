@@ -11,8 +11,13 @@ from typing import Iterable
 
 from repro.experiments.results import ExperimentResult
 from repro.metrics.ascii_chart import sparkline
+from repro.obs.registry import MetricsRegistry, get_global_registry
 
-__all__ = ["result_to_markdown", "build_markdown_report"]
+__all__ = [
+    "build_markdown_report",
+    "offline_timings_section",
+    "result_to_markdown",
+]
 
 
 def result_to_markdown(result: ExperimentResult) -> str:
@@ -42,6 +47,50 @@ def result_to_markdown(result: ExperimentResult) -> str:
     return "\n".join(lines)
 
 
+def offline_timings_section(registry: MetricsRegistry | None = None) -> str:
+    """The offline simulator's per-block timings as a markdown section.
+
+    The strategies record one observation per block they mine or test
+    into the global metrics registry
+    (``repro_offline_{mine,test}_seconds{strategy=...}``); this renders
+    whatever has accumulated so far — the rule-set maintenance cost the
+    paper trades against routing quality, now measured instead of
+    assumed.  Returns an empty string when nothing has been recorded.
+    """
+    registry = registry or get_global_registry()
+    rows: list[tuple[str, str, int, float, float]] = []
+    for phase in ("mine", "test"):
+        family = registry.family(f"repro_offline_{phase}_seconds")
+        if family is None:
+            continue
+        for (strategy,), hist in sorted(family.children().items()):
+            if hist.count:
+                rows.append(
+                    (
+                        strategy,
+                        phase,
+                        hist.count,
+                        hist.sum,
+                        1e3 * hist.sum / hist.count,
+                    )
+                )
+    if not rows:
+        return ""
+    lines = [
+        "## Offline per-block timings",
+        "",
+        "| strategy | phase | blocks | total s | mean ms/block |",
+        "|---|---|---|---|---|",
+    ]
+    rows.sort()
+    for strategy, phase, count, total, mean_ms in rows:
+        lines.append(
+            f"| {strategy} | {phase} | {count} | {total:.3f} | {mean_ms:.3f} |"
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
 def build_markdown_report(
     results: Iterable[ExperimentResult], *, title: str = "Reproduction report"
 ) -> str:
@@ -56,4 +105,7 @@ def build_markdown_report(
     lines.append("")
     for result in results:
         lines.append(result_to_markdown(result))
+    timings = offline_timings_section()
+    if timings:
+        lines.append(timings)
     return "\n".join(lines)

@@ -14,6 +14,13 @@ online by :class:`repro.core.streaming.StreamingRules`.
 * :mod:`~repro.live.cluster` — loopback N-node harness + workloads;
 * :mod:`~repro.live.stats` — per-node operational counters.
 
+Observability (see :mod:`repro.obs` and ``docs/observability.md``): a
+node built with a metrics registry exports Prometheus series and can
+serve ``/metrics`` + ``/healthz`` over HTTP (``obs_port=``); a cluster
+built with ``observe=True`` shares one registry and one query tracer
+across its nodes, so ``render_metrics()`` scrapes everything at once and
+``format_trace(guid)`` reconstructs a query's hop-by-hop path.
+
 Run one node with ``python -m repro live-node``; race rule routing
 against flooding over real sockets with ``python -m repro live-cluster``.
 """

@@ -23,6 +23,8 @@ import asyncio
 from repro.live.connection import ConnectionConfig
 from repro.live.node import LiveServent
 from repro.live.stats import NodeStats, combine_stats
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracing import QueryTracer, format_trace
 from repro.network.servent import SharedFile
 from repro.network.topology import Topology
 from repro.utils.rng import as_generator
@@ -107,18 +109,34 @@ class LiveCluster:
         host: str = "127.0.0.1",
         config: ConnectionConfig | None = None,
         rule_kwargs: dict | None = None,
+        observe: bool = False,
+        registry: MetricsRegistry | None = None,
+        tracer: QueryTracer | None = None,
     ) -> None:
         self.topology = topology
         self.host = host
         self.config = config or harness_config()
         self.rule_routed = rule_routed
+        # One registry and one tracer shared by every node: per-node
+        # series are separated by the `node` label, and a query's trace
+        # accumulates events from every node it crosses — which is what
+        # makes hop-by-hop reconstruction possible.
+        if observe:
+            registry = registry if registry is not None else MetricsRegistry()
+            tracer = tracer if tracer is not None else QueryTracer()
+        self.registry = registry
+        self.tracer = tracer
         self._node_kwargs = dict(
             rule_routed=rule_routed,
             top_k=top_k,
             max_ttl=max_ttl,
             config=self.config,
+            registry=registry,
+            tracer=tracer,
         )
         self._rule_kwargs = dict(rule_kwargs or {})
+        #: GUIDs of queries issued through :meth:`query`, in issue order.
+        self.issued: list[tuple[int, str, int]] = []
         self.nodes: list[LiveServent] = [
             self._make_node(node) for node in range(topology.n_nodes)
         ]
@@ -266,6 +284,34 @@ class LiveCluster:
     def node_stats(self) -> dict[int, dict[str, int]]:
         return {node.node_id: node.snapshot() for node in self.nodes}
 
+    # -- observability ----------------------------------------------------
+    def render_metrics(self) -> str:
+        """The whole cluster's metrics (Prometheus text), freshly synced.
+
+        Every node shares one registry, so one render covers the cluster
+        with per-node series separated by the ``node`` label.  Raises
+        ``RuntimeError`` unless the cluster was built with
+        ``observe=True`` (or an explicit registry).
+        """
+        if self.registry is None:
+            raise RuntimeError("cluster built without a metrics registry")
+        for node in self.nodes:
+            node.sync_metrics()
+        return self.registry.render()
+
+    def trace(self, guid: int):
+        """The :class:`~repro.obs.tracing.QueryTrace` for one GUID."""
+        if self.tracer is None:
+            raise RuntimeError("cluster built without a tracer")
+        return self.tracer.trace(guid)
+
+    def format_trace(self, guid: int) -> str:
+        """Human-readable hop-by-hop path of one query."""
+        trace = self.trace(guid)
+        if trace is None:
+            return f"no trace for guid {guid:#x}"
+        return format_trace(trace)
+
     def totals(self) -> dict[str, int]:
         per_node = {
             node.node_id: NodeStats(**node.snapshot()) for node in self.nodes
@@ -279,9 +325,13 @@ class LiveCluster:
         """Issue one query and wait out the traffic; returns hits received."""
         node = self.nodes[node_id]
         before = len(node.results)
-        node.issue_query(term)
+        guid = node.issue_query(term)
+        self.issued.append((node_id, term, guid))
         await self.quiesce(timeout=quiesce_timeout)
-        return len(node.results) - before
+        hits = len(node.results) - before
+        if hits == 0 and self.tracer is not None:
+            self.tracer.record(guid, node_id, "timeout")
+        return hits
 
     async def run_plan(
         self,

@@ -37,10 +37,13 @@ from __future__ import annotations
 
 import asyncio
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable, Iterator
 
 from repro.live.framing import DEFAULT_MAX_PAYLOAD, StreamDecoder
 from repro.live.stats import NodeStats
+from repro.obs.instruments import NodeInstruments
+from repro.obs.logging import RateLimiter, get_logger
 from repro.network.protocol import DescriptorHeader, ProtocolError
 
 __all__ = [
@@ -56,6 +59,12 @@ __all__ = [
 _CONNECT_LINE = b"GNUTELLA CONNECT/0.4"
 _OK_LINE = b"GNUTELLA OK"
 _HANDSHAKE_LIMIT = 512
+
+_log = get_logger("live.connection")
+#: Protocol errors and send-queue drops are peer-triggered, so a broken
+#: or hostile peer must not be able to flood the log: one line per peer
+#: per window, with the suppressed count reported when the key re-opens.
+_log_limiter = RateLimiter(5.0)
 
 
 class HandshakeError(ProtocolError):
@@ -85,6 +94,9 @@ class ConnectionConfig:
     max_retries: int | None = None
     #: largest descriptor payload accepted from a peer.
     max_payload_length: int = DEFAULT_MAX_PAYLOAD
+    #: a write drain slower than this counts as a stall (metrics only;
+    #: a stalling peer is backpressure, not an error).
+    drain_stall_threshold: float = 0.1
 
     def __post_init__(self) -> None:
         if self.send_queue_limit < 1:
@@ -199,12 +211,15 @@ class PeerConnection:
         on_message: Callable[[int, DescriptorHeader, object], None],
         on_close: Callable[["PeerConnection"], None] | None = None,
         make_keepalive: Callable[[], bytes | None] | None = None,
+        instruments: NodeInstruments | None = None,
     ) -> None:
         self.peer_id = peer_id
         self._reader = reader
         self._writer = writer
         self._config = config
         self._stats = stats
+        self._instr = instruments
+        self._timed = instruments is not None and instruments.enabled
         self._on_message = on_message
         self._on_close = on_close
         self._make_keepalive = make_keepalive
@@ -276,11 +291,27 @@ class PeerConnection:
                 if not chunk:
                     break  # EOF: peer went away
                 self._stats.bytes_in += len(chunk)
-                for header, payload in self._decoder.feed(chunk):
+                if self._timed:
+                    t0 = perf_counter()
+                    frames = self._decoder.feed(chunk)
+                    self._instr.observe_decode(perf_counter() - t0)
+                else:
+                    frames = self._decoder.feed(chunk)
+                for header, payload in frames:
                     self._on_message(self.peer_id, header, payload)
                     self._stats.frames_in += 1
-        except ProtocolError:
+        except ProtocolError as exc:
             self._stats.protocol_errors += 1
+            suppressed = _log_limiter.allow(("protocol_error", self.peer_id))
+            if suppressed is not None:
+                _log.warning(
+                    "dropping peer after protocol error",
+                    extra={
+                        "peer": self.peer_id,
+                        "error": str(exc),
+                        "suppressed": suppressed,
+                    },
+                )
         except (asyncio.TimeoutError, OSError, asyncio.CancelledError):
             pass
         finally:
@@ -294,7 +325,16 @@ class PeerConnection:
                     break
                 self._writer.write(frame)
                 self._stats.bytes_out += len(frame)
-                await self._writer.drain()
+                if self._timed:
+                    t0 = perf_counter()
+                    await self._writer.drain()
+                    if (
+                        perf_counter() - t0
+                        > self._config.drain_stall_threshold
+                    ):
+                        self._instr.drain_stalls.inc()
+                else:
+                    await self._writer.drain()
         except (OSError, asyncio.CancelledError):
             pass
         finally:

@@ -22,6 +22,7 @@ same overlay.
 from __future__ import annotations
 
 import asyncio
+from time import perf_counter
 
 from repro.core.streaming import StreamingRules
 from repro.live.connection import (
@@ -32,6 +33,10 @@ from repro.live.connection import (
     dial_peer,
 )
 from repro.live.stats import NodeStats
+from repro.obs.http import ObsHttpServer
+from repro.obs.instruments import NodeInstruments
+from repro.obs.logging import RateLimiter, bind_node, get_logger
+from repro.obs.registry import MetricsRegistry
 from repro.network.protocol import (
     PAYLOAD_QUERY,
     PAYLOAD_QUERY_HIT,
@@ -43,6 +48,9 @@ from repro.network.protocol import (
 from repro.network.servent import LOCAL, Servent, SharedFile
 
 __all__ = ["LiveServent", "StreamingRuleServent"]
+
+_log = get_logger("live.node")
+_log_limiter = RateLimiter(5.0)
 
 
 class StreamingRuleServent(Servent):
@@ -60,6 +68,8 @@ class StreamingRuleServent(Servent):
         *,
         rules: StreamingRules,
         top_k: int = 2,
+        stats: NodeStats | None = None,
+        instruments: NodeInstruments | None = None,
         **kwargs,
     ) -> None:
         super().__init__(servent_guid, **kwargs)
@@ -67,9 +77,26 @@ class StreamingRuleServent(Servent):
             raise ValueError("top_k must be >= 1")
         self.counts = rules.make_counts()
         self.top_k = top_k
-        self.n_rule_routed = 0
-        self.n_flooded = 0
-        self.n_rule_regenerations = 0
+        #: Routing decisions are tallied *here*, as they happen, into the
+        #: owning node's :class:`NodeStats` (or a private one when run
+        #: standalone) — a mid-run scrape must see current counters, not
+        #: values back-filled at snapshot time.
+        self.stats = stats if stats is not None else NodeStats()
+        self._instr = instruments
+        self._time_regen = instruments is not None and instruments.enabled
+
+    # Legacy counter names, now views over the eagerly updated stats.
+    @property
+    def n_rule_routed(self) -> int:
+        return self.stats.queries_rule_routed
+
+    @property
+    def n_flooded(self) -> int:
+        return self.stats.queries_flooded
+
+    @property
+    def n_rule_regenerations(self) -> int:
+        return self.stats.rule_regenerations
 
     def _targets(self, antecedent: int, exclude: int | None) -> list[int]:
         """Live rule consequents for ``antecedent``, best first, capped
@@ -87,9 +114,14 @@ class StreamingRuleServent(Servent):
         if targets:
             keep = set(targets)
             frames = [(conn, frame) for conn, frame in frames if conn in keep]
-            self.n_rule_routed += 1
+            self.stats.queries_rule_routed += 1
+            if self.tracer is not None:
+                for conn, _frame in frames:
+                    self.tracer.record(
+                        guid, self._trace_id, "rule_routed", peer=conn
+                    )
         else:
-            self.n_flooded += 1
+            self.stats.queries_flooded += 1
         return guid, frames
 
     def _forward(self, from_conn: int, header, payload) -> list[tuple[int, bytes]]:
@@ -97,9 +129,14 @@ class StreamingRuleServent(Servent):
             return super()._forward(from_conn, header, payload)
         targets = self._targets(from_conn, exclude=from_conn)
         if not targets:
-            self.n_flooded += 1
+            self.stats.queries_flooded += 1
             return super()._forward(from_conn, header, payload)  # flood
-        self.n_rule_routed += 1
+        self.stats.queries_rule_routed += 1
+        if self.tracer is not None:
+            for conn in targets:
+                self.tracer.record(
+                    header.guid, self._trace_id, "rule_routed", peer=conn
+                )
         aged = header.aged()
         frame = encode_message(aged.guid, aged.ttl, aged.hops, payload)
         return [(conn, frame) for conn in targets]
@@ -111,8 +148,19 @@ class StreamingRuleServent(Servent):
                 # §III-B's learning event, fed straight into the §VI
                 # streaming counts: a query from `upstream` (or LOCAL)
                 # was satisfied through `conn_id`.
-                if self.counts.push(upstream, conn_id):
-                    self.n_rule_regenerations += 1
+                if self._time_regen:
+                    t0 = perf_counter()
+                    promoted = self.counts.push(upstream, conn_id)
+                    if promoted:
+                        # the push that crossed the threshold *is* the
+                        # live equivalent of a batch regeneration
+                        self._instr.observe_rule_regeneration(
+                            perf_counter() - t0
+                        )
+                else:
+                    promoted = self.counts.push(upstream, conn_id)
+                if promoted:
+                    self.stats.rule_regenerations += 1
         return super()._route_back(routes, conn_id, header, payload)
 
 
@@ -131,6 +179,10 @@ class LiveServent:
         top_k: int = 2,
         max_ttl: int = 7,
         config: ConnectionConfig | None = None,
+        registry: MetricsRegistry | None = None,
+        tracer=None,
+        obs_port: int | None = None,
+        obs_host: str | None = None,
     ) -> None:
         if node_id < 0:
             raise ValueError("node_id must be non-negative")
@@ -139,6 +191,11 @@ class LiveServent:
         self.port = port
         self.config = config or ConnectionConfig()
         self.stats = NodeStats()
+        self.registry = registry
+        self.tracer = tracer
+        self.instruments = (
+            NodeInstruments(registry, node_id) if registry is not None else None
+        )
         guid = 100_000 + node_id
         if rule_routed:
             self.servent: Servent = StreamingRuleServent(
@@ -148,10 +205,24 @@ class LiveServent:
                 top_k=top_k,
                 library=library,
                 max_ttl=max_ttl,
+                stats=self.stats,
+                instruments=self.instruments,
             )
         else:
             self.servent = Servent(guid, library=library, max_ttl=max_ttl)
+        self.servent.tracer = tracer
+        self.servent.trace_node = node_id
         self._server: asyncio.Server | None = None
+        self._obs_server: ObsHttpServer | None = None
+        if obs_port is not None:
+            if registry is None:
+                raise ValueError("obs_port requires a metrics registry")
+            self._obs_server = ObsHttpServer(
+                render=self.render_metrics,
+                health=self.health,
+                host=obs_host if obs_host is not None else host,
+                port=obs_port,
+            )
         self._conns: dict[int, PeerConnection] = {}
         self._supervisors: dict[tuple[str, int], asyncio.Task] = {}
         self._closed = False
@@ -159,10 +230,28 @@ class LiveServent:
     # -- lifecycle --------------------------------------------------------
     async def start(self) -> None:
         """Bind and listen; ``port=0`` resolves to the ephemeral port."""
-        self._server = await asyncio.start_server(
-            self._accept, self.host, self.port
-        )
-        self.port = self._server.sockets[0].getsockname()[1]
+        with bind_node(self.node_id):
+            self._server = await asyncio.start_server(
+                self._accept, self.host, self.port
+            )
+            self.port = self._server.sockets[0].getsockname()[1]
+            if self._obs_server is not None:
+                await self._obs_server.start()
+                _log.info(
+                    "metrics endpoint up",
+                    extra={
+                        "url": f"http://{self._obs_server.host}:"
+                        f"{self._obs_server.port}/metrics"
+                    },
+                )
+            _log.info(
+                "listening", extra={"host": self.host, "port": self.port}
+            )
+
+    @property
+    def obs_port(self) -> int | None:
+        """The resolved ``/metrics`` port, when the endpoint is enabled."""
+        return self._obs_server.port if self._obs_server is not None else None
 
     async def close(self) -> None:
         """Stop supervising, stop listening, drop every peer."""
@@ -174,6 +263,8 @@ class LiveServent:
                 *self._supervisors.values(), return_exceptions=True
             )
         self._supervisors.clear()
+        if self._obs_server is not None:
+            await self._obs_server.close()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -181,6 +272,7 @@ class LiveServent:
         for conn in list(self._conns.values()):
             conn.close()
         await asyncio.sleep(0)  # let cancelled connection tasks unwind
+        _log.info("closed", extra={"node": self.node_id})
 
     @property
     def closed(self) -> bool:
@@ -198,9 +290,10 @@ class LiveServent:
         key = (host, port)
         if key in self._supervisors or self._closed:
             return
-        self._supervisors[key] = asyncio.create_task(
-            self._supervise(host, port, peer_id)
-        )
+        with bind_node(self.node_id):
+            self._supervisors[key] = asyncio.create_task(
+                self._supervise(host, port, peer_id)
+            )
 
     async def _supervise(
         self, host: str, port: int, expected_id: int | None
@@ -208,6 +301,8 @@ class LiveServent:
         ever_connected = False
         delays = backoff_delays(self.config)
         failures = 0
+        instr = self.instruments
+        peer_label = expected_id if expected_id is not None else f"{host}:{port}"
         try:
             while not self._closed:
                 try:
@@ -220,26 +315,58 @@ class LiveServent:
                             f"expected node {expected_id} at {host}:{port}, "
                             f"found {peer_id}"
                         )
-                except (OSError, ProtocolError, asyncio.TimeoutError):
+                except (OSError, ProtocolError, asyncio.TimeoutError) as exc:
                     self.stats.dial_failures += 1
                     failures += 1
+                    suppressed = _log_limiter.allow(
+                        ("dial", self.node_id, host, port)
+                    )
+                    if suppressed is not None:
+                        _log.warning(
+                            "dial failed",
+                            extra={
+                                "target": f"{host}:{port}",
+                                "error": str(exc) or type(exc).__name__,
+                                "failures": failures,
+                                "suppressed": suppressed,
+                            },
+                        )
                     if (
                         self.config.max_retries is not None
                         and failures >= self.config.max_retries
                     ):
+                        _log.error(
+                            "giving up on peer",
+                            extra={
+                                "target": f"{host}:{port}",
+                                "failures": failures,
+                            },
+                        )
                         return
-                    await asyncio.sleep(next(delays))
+                    delay = next(delays)
+                    if instr is not None:
+                        instr.set_backoff(peer_label, delay)
+                    await asyncio.sleep(delay)
                     continue
                 failures = 0
                 delays = backoff_delays(self.config)  # reset after success
+                if instr is not None:
+                    instr.set_backoff(peer_label, 0.0)
                 conn = self._register(peer_id, reader, writer)
                 if ever_connected:
                     self.stats.reconnects += 1
+                    _log.info(
+                        "reconnected",
+                        extra={"peer": peer_id, "target": f"{host}:{port}"},
+                    )
                 ever_connected = True
                 await conn.wait_closed()
                 if self._closed:
                     return
-                await asyncio.sleep(next(delays))
+                delay = next(delays)
+                if instr is not None:
+                    instr.set_backoff(peer_label, delay)
+                await asyncio.sleep(delay)
         except asyncio.CancelledError:
             pass
 
@@ -251,11 +378,22 @@ class LiveServent:
                 accept_handshake(reader, writer, self.node_id),
                 self.config.handshake_timeout,
             )
-        except (ProtocolError, asyncio.TimeoutError, OSError):
+        except (ProtocolError, asyncio.TimeoutError, OSError) as exc:
             self.stats.protocol_errors += 1
+            suppressed = _log_limiter.allow(("handshake", self.node_id))
+            if suppressed is not None:
+                with bind_node(self.node_id):
+                    _log.warning(
+                        "inbound handshake failed",
+                        extra={
+                            "error": str(exc) or type(exc).__name__,
+                            "suppressed": suppressed,
+                        },
+                    )
             writer.close()
             return
-        self._register(peer_id, reader, writer)
+        with bind_node(self.node_id):
+            self._register(peer_id, reader, writer)
 
     def _register(
         self,
@@ -275,10 +413,12 @@ class LiveServent:
             on_message=self._handle,
             on_close=self._conn_closed,
             make_keepalive=self.servent.make_ping,
+            instruments=self.instruments,
         )
         self._conns[peer_id] = conn
         self.servent.connect(peer_id)
         self.stats.connects += 1
+        _log.debug("peer connected", extra={"peer": peer_id})
         conn.start()
         return conn
 
@@ -310,6 +450,16 @@ class LiveServent:
         conn = self._conns.get(conn_id)
         if conn is None or not conn.send(frame):
             self.stats.frames_dropped += 1
+            suppressed = _log_limiter.allow(("drop", self.node_id, conn_id))
+            if suppressed is not None:
+                _log.debug(
+                    "frame dropped",
+                    extra={
+                        "peer": conn_id,
+                        "reason": "no_connection" if conn is None else "queue_full",
+                        "suppressed": suppressed,
+                    },
+                )
             return False
         self.stats.frames_out += 1
         return True
@@ -330,9 +480,46 @@ class LiveServent:
         return self.servent.results
 
     def snapshot(self) -> dict[str, int]:
-        """Current counters (routing decisions folded in) as a dict."""
-        if isinstance(self.servent, StreamingRuleServent):
-            self.stats.queries_rule_routed = self.servent.n_rule_routed
-            self.stats.queries_flooded = self.servent.n_flooded
-            self.stats.rule_regenerations = self.servent.n_rule_regenerations
+        """Current counters as a dict.
+
+        Routing decisions are tallied into :attr:`stats` eagerly by
+        :class:`StreamingRuleServent` (which shares this node's stats
+        object), so a snapshot — or a live ``/metrics`` scrape — is
+        accurate mid-run with no back-filling step.
+        """
         return self.stats.as_dict()
+
+    # -- observability ----------------------------------------------------
+    def sync_metrics(self) -> None:
+        """Mirror snapshot-style series into the metrics registry.
+
+        Called at scrape time (by :meth:`render_metrics` and the cluster
+        harness) so steady-state traffic pays nothing for the counters a
+        scraper reads.
+        """
+        if self.instruments is None:
+            return
+        counts = getattr(self.servent, "counts", None)
+        self.instruments.sync(
+            self.stats,
+            pending_frames=self.pending_frames,
+            connected_peers=len(self._conns),
+            n_rules=counts.n_rules() if counts is not None else None,
+        )
+
+    def render_metrics(self) -> str:
+        """The node's registry in Prometheus text format, freshly synced."""
+        if self.registry is None:
+            return ""
+        self.sync_metrics()
+        return self.registry.render()
+
+    def health(self) -> dict:
+        """The ``/healthz`` document: liveness plus a peering summary."""
+        return {
+            "status": "closing" if self._closed else "ok",
+            "node": self.node_id,
+            "port": self.port,
+            "peers": sorted(self._conns),
+            "pending_frames": self.pending_frames,
+        }

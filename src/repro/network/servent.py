@@ -81,6 +81,12 @@ class Servent:
         self.ip = ip or render_ip(servent_guid % (1 << 31))
         self.port = port
         self.max_ttl = max_ttl
+        #: optional :class:`~repro.obs.tracing.QueryTracer`; ``None`` keeps
+        #: every hot path at a single attribute-is-None check.
+        self.tracer = None
+        #: overlay node id used in trace events (owners that know a
+        #: friendlier identity than the GUID set this).
+        self.trace_node: int | None = None
         self.connections: set[int] = set()
         self.query_routes = ReplyRoutingTable()
         self.ping_routes = ReplyRoutingTable()
@@ -97,6 +103,11 @@ class Servent:
     def disconnect(self, conn_id: int) -> None:
         self.connections.discard(conn_id)
 
+    # -- tracing -----------------------------------------------------------
+    @property
+    def _trace_id(self) -> int:
+        return self.trace_node if self.trace_node is not None else self.servent_guid
+
     # -- local actions ------------------------------------------------------
     def _fresh_guid(self) -> int:
         guid = self._next_guid
@@ -107,6 +118,8 @@ class Servent:
         """Originate a Query; returns (guid, outgoing frames)."""
         guid = self._fresh_guid()
         self.query_routes.record(guid, LOCAL)
+        if self.tracer is not None:
+            self.tracer.record(guid, self._trace_id, "issued", info=search)
         frame = encode_message(
             guid, self.max_ttl, 0, QueryMessage(min_speed=0, search=search)
         )
@@ -169,9 +182,23 @@ class Servent:
     def _on_query(self, conn_id: int, header, query: QueryMessage) -> list[tuple[int, bytes]]:
         out: list[tuple[int, bytes]] = []
         if not self.query_routes.record(header.guid, conn_id):
+            if self.tracer is not None:
+                self.tracer.record(
+                    header.guid, self._trace_id, "duplicate", peer=conn_id
+                )
             return out  # duplicate GUID: drop (keeps the original route)
+        if self.tracer is not None:
+            self.tracer.record(
+                header.guid,
+                self._trace_id,
+                "received",
+                peer=conn_id,
+                info=f"ttl={header.ttl} hops={header.hops}",
+            )
+        n_matched = 0
         for shared in self.library:
             if shared.matches(query.search):
+                n_matched += 1
                 hit = QueryHitMessage(
                     port=self.port,
                     ip=self.ip,
@@ -184,19 +211,31 @@ class Servent:
                 out.append(
                     (conn_id, encode_message(header.guid, self.max_ttl, 0, hit))
                 )
+        if n_matched and self.tracer is not None:
+            self.tracer.record(
+                header.guid,
+                self._trace_id,
+                "hit",
+                info=f"{n_matched} file(s)",
+            )
         out.extend(self._forward(conn_id, header, query))
         return out
 
     def _forward(self, from_conn: int, header, payload) -> list[tuple[int, bytes]]:
+        is_query = header.payload_type == PAYLOAD_QUERY
         if header.ttl <= 1:
+            if is_query and self.tracer is not None:
+                self.tracer.record(header.guid, self._trace_id, "ttl_expired")
             return []
         aged = header.aged()
         frame = encode_message(aged.guid, aged.ttl, aged.hops, payload)
-        return [
-            (conn, frame)
-            for conn in sorted(self.connections)
-            if conn != from_conn
-        ]
+        targets = [conn for conn in sorted(self.connections) if conn != from_conn]
+        if is_query and self.tracer is not None:
+            for conn in targets:
+                self.tracer.record(
+                    header.guid, self._trace_id, "flooded", peer=conn
+                )
+        return [(conn, frame) for conn in targets]
 
     def _route_back(self, routes: ReplyRoutingTable, conn_id: int, header, payload):
         upstream = routes.route_for(header.guid)
@@ -205,9 +244,17 @@ class Servent:
         if upstream == LOCAL:
             if header.payload_type == PAYLOAD_QUERY_HIT:
                 self.results.append(payload)
+                if self.tracer is not None:
+                    self.tracer.record(
+                        header.guid, self._trace_id, "delivered", peer=conn_id
+                    )
             return []
         if header.ttl <= 0:
             return []
+        if header.payload_type == PAYLOAD_QUERY_HIT and self.tracer is not None:
+            self.tracer.record(
+                header.guid, self._trace_id, "hit_routed", peer=upstream
+            )
         return [
             (
                 upstream,
@@ -255,6 +302,11 @@ class RuleRoutedServent(Servent):
         ]
         if not consequents:
             return super()._forward(from_conn, header, payload)  # flood
+        if self.tracer is not None:
+            for conn in consequents:
+                self.tracer.record(
+                    header.guid, self._trace_id, "rule_routed", peer=conn
+                )
         aged = header.aged()
         frame = encode_message(aged.guid, aged.ttl, aged.hops, payload)
         return [(conn, frame) for conn in consequents]

@@ -1,0 +1,76 @@
+"""Observability: metrics, structured logging, and query tracing.
+
+The paper's premise is that a node watches its own traffic; this package
+makes that watching operational for the whole stack:
+
+* :mod:`repro.obs.registry` — dependency-free labeled counters, gauges
+  and fixed-bucket histograms with a Prometheus text-format writer and a
+  no-op :class:`~repro.obs.registry.NullRegistry` for the disabled path;
+* :mod:`repro.obs.instruments` — per-node pre-bound metric handles used
+  by the live daemon (hot-path histograms, scrape-time counter syncs);
+* :mod:`repro.obs.logging` — JSON-lines structured logging with ambient
+  node/peer contextvars and per-key rate limiting;
+* :mod:`repro.obs.tracing` — GUID-keyed hop-by-hop query traces with
+  TTL-bounded retention;
+* :mod:`repro.obs.http` — an asyncio ``/metrics`` + ``/healthz``
+  endpoint servable from a running :class:`~repro.live.node.LiveServent`.
+
+See ``docs/observability.md`` for metric names, label conventions and
+the trace lifecycle.
+"""
+
+from repro.obs.http import ObsHttpServer
+from repro.obs.instruments import NodeInstruments
+from repro.obs.logging import (
+    JsonFormatter,
+    PlainFormatter,
+    RateLimiter,
+    bind_node,
+    bind_peer,
+    configure_logging,
+    get_logger,
+    node_id_var,
+    peer_id_var,
+)
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    NullRegistry,
+    NULL_REGISTRY,
+    get_global_registry,
+    reset_global_registry,
+)
+from repro.obs.tracing import (
+    NULL_TRACER,
+    NullTracer,
+    QueryTrace,
+    QueryTracer,
+    TraceEvent,
+    format_trace,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "JsonFormatter",
+    "MetricsRegistry",
+    "NodeInstruments",
+    "NullRegistry",
+    "NullTracer",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "ObsHttpServer",
+    "PlainFormatter",
+    "QueryTrace",
+    "QueryTracer",
+    "RateLimiter",
+    "TraceEvent",
+    "bind_node",
+    "bind_peer",
+    "configure_logging",
+    "format_trace",
+    "get_global_registry",
+    "get_logger",
+    "node_id_var",
+    "peer_id_var",
+    "reset_global_registry",
+]

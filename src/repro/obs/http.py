@@ -1,0 +1,148 @@
+"""A minimal asyncio HTTP/1.1 endpoint for scraping one live node.
+
+Serves exactly what an operations loop needs and nothing else:
+
+* ``GET /metrics``  — the node's registry in Prometheus text format
+  (``text/plain; version=0.0.4``), after calling the optional ``render``
+  hook so snapshot-style series (α, ρ, queue depths, NodeStats mirrors)
+  are synced at scrape time;
+* ``GET /healthz``  — a small JSON liveness document from the ``health``
+  hook (HTTP 200 while the node is up, 503 once it is closing).
+
+Implemented directly on :mod:`asyncio` streams — no web framework, in
+keeping with the repo's no-new-dependencies rule.  Connections are
+close-after-response and the request head is size-capped, so a confused
+peer poking the port cannot pin memory or sockets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Callable
+
+__all__ = ["ObsHttpServer"]
+
+_MAX_REQUEST_HEAD = 8192
+_READ_TIMEOUT = 5.0
+
+
+class ObsHttpServer:
+    """Serve ``/metrics`` and ``/healthz`` for one registry."""
+
+    def __init__(
+        self,
+        *,
+        render: Callable[[], str],
+        health: Callable[[], dict] | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._render = render
+        self._health = health or (lambda: {"status": "ok"})
+        self.host = host
+        self.port = port
+        self._server: asyncio.Server | None = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    @property
+    def running(self) -> bool:
+        return self._server is not None
+
+    # ------------------------------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            head = await asyncio.wait_for(
+                reader.readuntil(b"\r\n\r\n"), _READ_TIMEOUT
+            )
+        except (
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+            asyncio.TimeoutError,
+            OSError,
+        ):
+            writer.close()
+            return
+        try:
+            if len(head) > _MAX_REQUEST_HEAD:
+                await self._respond(writer, 431, "text/plain", "head too large\n")
+                return
+            request_line = head.split(b"\r\n", 1)[0].decode("latin-1")
+            parts = request_line.split(" ")
+            if len(parts) != 3:
+                await self._respond(writer, 400, "text/plain", "bad request\n")
+                return
+            method, target, _version = parts
+            path = target.split("?", 1)[0]
+            if method not in ("GET", "HEAD"):
+                await self._respond(
+                    writer, 405, "text/plain", "method not allowed\n"
+                )
+                return
+            if path == "/metrics":
+                await self._respond(
+                    writer,
+                    200,
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    self._render(),
+                    include_body=method == "GET",
+                )
+            elif path == "/healthz":
+                doc = self._health()
+                status = 200 if doc.get("status", "ok") == "ok" else 503
+                await self._respond(
+                    writer,
+                    status,
+                    "application/json",
+                    json.dumps(doc) + "\n",
+                    include_body=method == "GET",
+                )
+            else:
+                await self._respond(writer, 404, "text/plain", "not found\n")
+        except (OSError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    @staticmethod
+    async def _respond(
+        writer: asyncio.StreamWriter,
+        status: int,
+        content_type: str,
+        body: str,
+        *,
+        include_body: bool = True,
+    ) -> None:
+        reason = {
+            200: "OK",
+            400: "Bad Request",
+            404: "Not Found",
+            405: "Method Not Allowed",
+            431: "Request Header Fields Too Large",
+            503: "Service Unavailable",
+        }.get(status, "OK")
+        payload = body.encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        writer.write(head + (payload if include_body else b""))
+        await writer.drain()

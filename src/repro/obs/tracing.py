@@ -1,0 +1,209 @@
+"""GUID-keyed hop-by-hop query tracing.
+
+A Gnutella query is born with a GUID, fans out hop by hop, and its hits
+retrace the GUID route backwards — so the GUID *is* the trace id.
+:class:`QueryTracer` collects :class:`TraceEvent` records from every
+servent that touches a descriptor (one shared tracer per cluster, or one
+per node) and can reconstruct the full path of any query: where it was
+issued, which nodes received it at which TTL, whether each hop
+rule-routed or flooded it, where it matched a file, and how the hit
+travelled back.
+
+Event kinds used by the instrumented stack:
+
+========== ==========================================================
+``issued``       query originated at ``node``
+``received``     query arrived at ``node`` from ``peer``
+``duplicate``    query arrived again over another path and was dropped
+``rule_routed``  forwarded along learned rules to ``targets``
+``flooded``      forwarded to every other connection (no covering rule)
+``ttl_expired``  not forwarded: TTL exhausted at ``node``
+``hit``          matched ``info`` in the local library of ``node``
+``hit_routed``   hit passed backwards through ``node`` towards ``peer``
+``delivered``    hit reached the originating node
+``timeout``      harness marker: the query quiesced with no hit
+========== ==========================================================
+
+Retention is TTL-bounded on both axes: at most ``max_traces`` distinct
+GUIDs are kept (oldest evicted first) and whole traces expire ``ttl``
+seconds after their last event, so a long-running daemon's tracer is a
+ring buffer, not a leak.  :data:`NULL_TRACER` is the disabled twin whose
+``record`` is a no-op; hot paths guard with ``tracer is not None`` or
+call the null object unconditionally.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "QueryTrace",
+    "QueryTracer",
+    "TraceEvent",
+    "format_trace",
+]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One step in a query's life, as seen by one node."""
+
+    ts: float
+    node: int
+    kind: str
+    peer: int | None = None
+    info: str = ""
+
+    def render(self, t0: float) -> str:
+        parts = [f"+{self.ts - t0:8.4f}s", f"node {self.node:<4}", self.kind]
+        if self.peer is not None:
+            arrow = "->" if self.kind in ("rule_routed", "flooded", "hit_routed") else "<-"
+            parts.append(f"{arrow} {self.peer}")
+        if self.info:
+            parts.append(f"[{self.info}]")
+        return "  ".join(parts)
+
+
+@dataclass
+class QueryTrace:
+    """Every recorded event for one GUID, in arrival order."""
+
+    guid: int
+    events: list[TraceEvent] = field(default_factory=list)
+
+    @property
+    def started(self) -> float:
+        return self.events[0].ts if self.events else 0.0
+
+    @property
+    def last_event(self) -> float:
+        return self.events[-1].ts if self.events else 0.0
+
+    @property
+    def answered(self) -> bool:
+        return any(e.kind == "delivered" for e in self.events)
+
+    @property
+    def hops(self) -> int:
+        """Distinct nodes the query itself reached."""
+        return len(
+            {e.node for e in self.events if e.kind in ("issued", "received")}
+        )
+
+    def kinds(self) -> list[str]:
+        return [e.kind for e in self.events]
+
+
+class QueryTracer:
+    """Bounded, GUID-keyed store of in-flight and recent query traces."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        *,
+        max_traces: int = 1024,
+        ttl: float = 300.0,
+        clock=time.monotonic,
+    ) -> None:
+        if max_traces < 1:
+            raise ValueError("max_traces must be >= 1")
+        if ttl <= 0:
+            raise ValueError("ttl must be positive")
+        self.max_traces = max_traces
+        self.ttl = ttl
+        self._clock = clock
+        self._traces: "OrderedDict[int, QueryTrace]" = OrderedDict()
+
+    def record(
+        self,
+        guid: int,
+        node: int,
+        kind: str,
+        *,
+        peer: int | None = None,
+        info: str = "",
+    ) -> None:
+        """Append one event to the GUID's trace (creating it on first use)."""
+        now = self._clock()
+        trace = self._traces.get(guid)
+        if trace is None:
+            self._evict(now)
+            trace = self._traces[guid] = QueryTrace(guid)
+        trace.events.append(TraceEvent(now, node, kind, peer, info))
+
+    def _evict(self, now: float) -> None:
+        """Drop expired traces, then the oldest beyond ``max_traces - 1``."""
+        expired = [
+            guid
+            for guid, trace in self._traces.items()
+            if now - trace.last_event > self.ttl
+        ]
+        for guid in expired:
+            del self._traces[guid]
+        while len(self._traces) >= self.max_traces:
+            self._traces.popitem(last=False)
+
+    # -- queries -----------------------------------------------------------
+    def trace(self, guid: int) -> QueryTrace | None:
+        return self._traces.get(guid)
+
+    def guids(self) -> list[int]:
+        """Known GUIDs, oldest first."""
+        return list(self._traces)
+
+    def answered_guids(self) -> list[int]:
+        return [g for g, t in self._traces.items() if t.answered]
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+    def format(self, guid: int) -> str:
+        trace = self.trace(guid)
+        if trace is None:
+            return f"no trace for guid {guid}"
+        return format_trace(trace)
+
+
+def format_trace(trace: QueryTrace) -> str:
+    """A human-readable hop-by-hop rendering of one query trace."""
+    outcome = "answered" if trace.answered else "unanswered"
+    header = (
+        f"query {trace.guid:#x}: {len(trace.events)} events over "
+        f"{trace.hops} nodes ({outcome})"
+    )
+    t0 = trace.started
+    lines = [header]
+    lines.extend("  " + event.render(t0) for event in trace.events)
+    return "\n".join(lines)
+
+
+class NullTracer:
+    """Tracing disabled: record() is a no-op, lookups find nothing."""
+
+    enabled = False
+
+    def record(self, guid, node, kind, *, peer=None, info="") -> None:
+        pass
+
+    def trace(self, guid) -> QueryTrace | None:
+        return None
+
+    def guids(self) -> list[int]:
+        return []
+
+    def answered_guids(self) -> list[int]:
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+    def format(self, guid) -> str:
+        return "tracing disabled"
+
+
+NULL_TRACER = NullTracer()

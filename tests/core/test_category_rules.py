@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.category_rules import (
     CategorizedBlock,
-    CategoryRuleSet,
     categorize_queries,
     category_ruleset_test,
     generate_category_ruleset,

@@ -5,7 +5,6 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.generation import generate_ruleset, pack_pair_keys
-from repro.trace.blocks import PairBlock
 from tests.conftest import make_block
 
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.experiments.config import DEFAULT_SCALE, FULL_SCALE, current_scale
-from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+from repro.experiments.registry import EXPERIMENTS, get_experiment
 
 
 class TestRegistry:

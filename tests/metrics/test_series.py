@@ -22,6 +22,16 @@ class TestMovingAverage:
     def test_empty(self):
         assert moving_average([], 3).size == 0
 
+    def test_window_larger_than_series(self):
+        # Every output averages the whole available prefix.
+        out = moving_average([4.0, 8.0], 100)
+        np.testing.assert_allclose(out, [4.0, 6.0])
+
+    def test_constant_series_is_fixed_point(self):
+        np.testing.assert_allclose(
+            moving_average([0.7] * 5, 3), [0.7] * 5
+        )
+
     def test_rejects_bad_window(self):
         with pytest.raises(ValueError):
             moving_average([1.0], 0)
@@ -41,6 +51,12 @@ class TestDecayHalfwayPoint:
     def test_none_for_empty(self):
         assert decay_halfway_point([]) is None
 
+    def test_none_for_constant_series(self):
+        assert decay_halfway_point([0.6] * 10) is None
+
+    def test_single_element_never_halves(self):
+        assert decay_halfway_point([1.0]) is None
+
 
 class TestSawtoothDepth:
     def test_known_sawtooth(self):
@@ -58,3 +74,12 @@ class TestSawtoothDepth:
     def test_rejects_bad_period(self):
         with pytest.raises(ValueError):
             sawtooth_depth([1.0, 2.0], 0)
+
+    def test_period_one_is_always_flat(self):
+        # Each span is a single sample, so peak == trough everywhere.
+        assert sawtooth_depth([0.9, 0.1, 0.5], 1) == pytest.approx(0.0)
+
+    def test_empty_series_is_nan(self):
+        import math
+
+        assert math.isnan(sawtooth_depth([], 3))

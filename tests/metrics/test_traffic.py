@@ -1,7 +1,5 @@
 """Tests for repro.metrics.traffic."""
 
-import pytest
-
 from repro.metrics.traffic import QueryOutcome, TrafficStats
 
 

@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.network.protocol import decode_message, PAYLOAD_PONG, PAYLOAD_QUERY_HIT
-from repro.network.servent import LOCAL, MonitorServent, Servent, SharedFile
+from repro.network.protocol import decode_message, PAYLOAD_PONG
+from repro.network.servent import MonitorServent, Servent, SharedFile
 
 
 def wire_line(n=3, libraries=None):

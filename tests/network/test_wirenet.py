@@ -1,7 +1,6 @@
 """Tests for repro.network.wirenet (wire-level network harness)."""
 
 import numpy as np
-import pytest
 
 from repro.network.topology import random_regular
 from repro.network.wirenet import WireNetwork

@@ -1,0 +1,161 @@
+"""Tests for the asyncio /metrics + /healthz endpoint."""
+
+import asyncio
+import json
+
+from repro.obs.http import ObsHttpServer
+
+
+def run(coro, timeout=30.0):
+    return asyncio.run(asyncio.wait_for(coro, timeout))
+
+
+async def _request(port: int, raw: bytes) -> bytes:
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(raw)
+    await writer.drain()
+    response = await reader.read()
+    writer.close()
+    return response
+
+
+def _split(response: bytes) -> tuple[str, str]:
+    head, _, body = response.partition(b"\r\n\r\n")
+    return head.decode("latin-1"), body.decode("utf-8")
+
+
+class TestEndpoints:
+    def test_metrics_calls_render_hook(self):
+        async def body():
+            calls = []
+
+            def render():
+                calls.append(1)
+                return "repro_up 1\n"
+
+            server = ObsHttpServer(render=render)
+            await server.start()
+            try:
+                response = await _request(
+                    server.port, b"GET /metrics HTTP/1.1\r\n\r\n"
+                )
+            finally:
+                await server.close()
+            head, payload = _split(response)
+            assert "200 OK" in head
+            assert "text/plain; version=0.0.4" in head
+            assert payload == "repro_up 1\n"
+            assert calls == [1]
+
+        run(body())
+
+    def test_healthz_ok_and_degraded(self):
+        async def body():
+            doc = {"status": "ok", "node": 3}
+            server = ObsHttpServer(render=lambda: "", health=lambda: doc)
+            await server.start()
+            try:
+                ok = await _request(
+                    server.port, b"GET /healthz HTTP/1.1\r\n\r\n"
+                )
+                doc["status"] = "closing"
+                degraded = await _request(
+                    server.port, b"GET /healthz HTTP/1.1\r\n\r\n"
+                )
+            finally:
+                await server.close()
+            head, payload = _split(ok)
+            assert "200 OK" in head
+            assert "application/json" in head
+            assert json.loads(payload)["node"] == 3
+            head, _payload = _split(degraded)
+            assert "503" in head
+
+        run(body())
+
+    def test_head_omits_body_but_keeps_length(self):
+        async def body():
+            server = ObsHttpServer(render=lambda: "abc\n")
+            await server.start()
+            try:
+                response = await _request(
+                    server.port, b"HEAD /metrics HTTP/1.1\r\n\r\n"
+                )
+            finally:
+                await server.close()
+            head, payload = _split(response)
+            assert "Content-Length: 4" in head
+            assert payload == ""
+
+        run(body())
+
+    def test_query_string_ignored(self):
+        async def body():
+            server = ObsHttpServer(render=lambda: "x\n")
+            await server.start()
+            try:
+                response = await _request(
+                    server.port, b"GET /metrics?debug=1 HTTP/1.1\r\n\r\n"
+                )
+            finally:
+                await server.close()
+            assert b"200 OK" in response
+
+        run(body())
+
+
+class TestErrors:
+    def test_unknown_path_404(self):
+        async def body():
+            server = ObsHttpServer(render=lambda: "")
+            await server.start()
+            try:
+                response = await _request(
+                    server.port, b"GET /nope HTTP/1.1\r\n\r\n"
+                )
+            finally:
+                await server.close()
+            assert b"404" in response
+
+        run(body())
+
+    def test_post_405(self):
+        async def body():
+            server = ObsHttpServer(render=lambda: "")
+            await server.start()
+            try:
+                response = await _request(
+                    server.port, b"POST /metrics HTTP/1.1\r\n\r\n"
+                )
+            finally:
+                await server.close()
+            assert b"405" in response
+
+        run(body())
+
+    def test_malformed_request_line_400(self):
+        async def body():
+            server = ObsHttpServer(render=lambda: "")
+            await server.start()
+            try:
+                response = await _request(server.port, b"GARBAGE\r\n\r\n")
+            finally:
+                await server.close()
+            assert b"400" in response
+
+        run(body())
+
+
+class TestLifecycle:
+    def test_ephemeral_port_resolved_and_close_idempotent(self):
+        async def body():
+            server = ObsHttpServer(render=lambda: "")
+            assert not server.running
+            await server.start()
+            assert server.running
+            assert server.port > 0
+            await server.close()
+            assert not server.running
+            await server.close()  # second close is a no-op
+
+        run(body())

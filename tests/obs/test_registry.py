@@ -1,0 +1,211 @@
+"""Tests for the metrics registry and Prometheus exposition."""
+
+import math
+
+import pytest
+
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    NULL_REGISTRY,
+    MetricsRegistry,
+    NullRegistry,
+    get_global_registry,
+    reset_global_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = MetricsRegistry().counter("c_total", "h").labels()
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative_increment(self):
+        c = MetricsRegistry().counter("c_total", "h").labels()
+        with pytest.raises(ValueError):
+            c.inc(-1.0)
+
+    def test_set_total_overwrites(self):
+        c = MetricsRegistry().counter("c_total", "h").labels()
+        c.inc(10)
+        c.set_total(4)
+        assert c.value == 4.0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("g", "h").labels()
+        g.set(5.0)
+        g.inc(2.0)
+        g.dec(3.0)
+        assert g.value == 4.0
+
+    def test_set_function_wins_at_read_time(self):
+        g = MetricsRegistry().gauge("g", "h").labels()
+        g.set(1.0)
+        g.set_function(lambda: 42.0)
+        assert g.value == 42.0
+        g.set_function(None)
+        assert g.value == 1.0
+
+
+class TestHistogram:
+    def test_observe_fills_correct_bucket(self):
+        h = (
+            MetricsRegistry()
+            .histogram("h_seconds", "h", buckets=(0.1, 1.0))
+            .labels()
+        )
+        h.observe(0.05)  # <= 0.1
+        h.observe(0.5)  # <= 1.0
+        h.observe(5.0)  # overflow
+        assert h.count == 3
+        assert h.sum == pytest.approx(5.55)
+        assert h.cumulative() == [(0.1, 1), (1.0, 2), (math.inf, 3)]
+
+    def test_default_buckets_cover_microseconds(self):
+        h = MetricsRegistry().histogram("h_seconds", "h").labels()
+        assert h.buckets == DEFAULT_BUCKETS
+        h.observe(2e-6)
+        assert h.counts[1] == 1  # the 5e-6 bucket
+
+    def test_boundary_value_lands_in_bucket(self):
+        h = (
+            MetricsRegistry()
+            .histogram("h_seconds", "h", buckets=(1.0,))
+            .labels()
+        )
+        h.observe(1.0)
+        assert h.cumulative() == [(1.0, 1), (math.inf, 1)]
+
+
+class TestFamilies:
+    def test_children_are_cached(self):
+        family = MetricsRegistry().counter("c_total", "h", ("node",))
+        assert family.labels("1") is family.labels("1")
+        assert family.labels("1") is not family.labels("2")
+
+    def test_keyword_labels(self):
+        family = MetricsRegistry().counter(
+            "c_total", "h", ("node", "direction")
+        )
+        assert family.labels(node="3", direction="in") is family.labels(
+            "3", "in"
+        )
+
+    def test_wrong_label_count_raises(self):
+        family = MetricsRegistry().counter("c_total", "h", ("node",))
+        with pytest.raises(ValueError):
+            family.labels("1", "2")
+
+    def test_mixed_positional_and_keyword_raises(self):
+        family = MetricsRegistry().counter("c_total", "h", ("a", "b"))
+        with pytest.raises(ValueError):
+            family.labels("1", b="2")
+
+    def test_reregistration_returns_same_family(self):
+        registry = MetricsRegistry()
+        first = registry.counter("c_total", "h", ("node",))
+        assert registry.counter("c_total", "other help", ("node",)) is first
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x", "h")
+        with pytest.raises(ValueError):
+            registry.gauge("x", "h")
+
+    def test_label_schema_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x", "h", ("node",))
+        with pytest.raises(ValueError):
+            registry.counter("x", "h", ("peer",))
+
+    def test_family_lookup(self):
+        registry = MetricsRegistry()
+        family = registry.gauge("g", "h")
+        assert registry.family("g") is family
+        assert registry.family("missing") is None
+
+
+class TestRender:
+    def test_help_type_and_sample_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_frames_total", "Frames.", ("node",)).labels(
+            "0"
+        ).inc(7)
+        text = registry.render()
+        assert "# HELP repro_frames_total Frames." in text
+        assert "# TYPE repro_frames_total counter" in text
+        assert 'repro_frames_total{node="0"} 7' in text
+        assert text.endswith("\n")
+
+    def test_unlabeled_sample_has_no_braces(self):
+        registry = MetricsRegistry()
+        registry.gauge("g", "h").labels().set(1.5)
+        assert "\ng 1.5\n" in registry.render()
+
+    def test_histogram_exposition(self):
+        registry = MetricsRegistry()
+        registry.histogram(
+            "d_seconds", "h", ("node",), buckets=(0.5,)
+        ).labels("2").observe(0.1)
+        text = registry.render()
+        assert 'd_seconds_bucket{node="2",le="0.5"} 1' in text
+        assert 'd_seconds_bucket{node="2",le="+Inf"} 1' in text
+        assert 'd_seconds_sum{node="2"} 0.1' in text
+        assert 'd_seconds_count{node="2"} 1' in text
+
+    def test_label_value_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "h", ("who",)).labels('a"b\\c\nd').inc()
+        assert 'c_total{who="a\\"b\\\\c\\nd"} 1' in registry.render()
+
+    def test_help_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "line one\nline two")
+        assert "# HELP c_total line one\\nline two" in registry.render()
+
+    def test_families_render_sorted_by_name(self):
+        registry = MetricsRegistry()
+        registry.counter("z_total", "h").labels().inc()
+        registry.counter("a_total", "h").labels().inc()
+        text = registry.render()
+        assert text.index("a_total") < text.index("z_total")
+
+
+class TestNullRegistry:
+    def test_disabled_flag(self):
+        assert MetricsRegistry().enabled is True
+        assert NullRegistry().enabled is False
+
+    def test_instruments_noop_without_error(self):
+        registry = NullRegistry()
+        c = registry.counter("c_total", "h", ("node",)).labels("1")
+        c.inc()
+        c.set_total(5)
+        g = registry.gauge("g", "h").labels()
+        g.set(1)
+        g.inc()
+        g.dec()
+        h = registry.histogram("h_seconds", "h").labels()
+        h.observe(0.2)
+        assert c.value == 0.0
+
+    def test_render_empty_and_family_none(self):
+        registry = NullRegistry()
+        registry.counter("c_total", "h").labels().inc()
+        assert registry.render() == ""
+        assert registry.family("c_total") is None
+
+    def test_shared_instance(self):
+        assert NULL_REGISTRY.enabled is False
+
+
+class TestGlobalRegistry:
+    def test_reset_swaps_instance(self):
+        first = get_global_registry()
+        second = reset_global_registry()
+        assert second is get_global_registry()
+        assert second is not first

@@ -1,0 +1,126 @@
+"""Tests for GUID-keyed query tracing."""
+
+import pytest
+
+from repro.obs.tracing import (
+    NULL_TRACER,
+    NullTracer,
+    QueryTracer,
+    format_trace,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestRecording:
+    def test_events_accumulate_in_order(self):
+        tracer = QueryTracer(clock=FakeClock())
+        tracer.record(0xAB, 0, "issued", info="kw1")
+        tracer.record(0xAB, 0, "rule_routed", peer=1)
+        tracer.record(0xAB, 1, "received", peer=0)
+        trace = tracer.trace(0xAB)
+        assert trace.kinds() == ["issued", "rule_routed", "received"]
+        assert trace.events[0].info == "kw1"
+        assert trace.events[1].peer == 1
+
+    def test_unknown_guid(self):
+        tracer = QueryTracer()
+        assert tracer.trace(0x99) is None
+        assert "no trace" in tracer.format(0x99)
+
+    def test_answered_and_hops(self):
+        tracer = QueryTracer()
+        tracer.record(1, 0, "issued")
+        tracer.record(1, 1, "received", peer=0)
+        tracer.record(1, 1, "hit")
+        assert not tracer.trace(1).answered
+        assert tracer.trace(1).hops == 2
+        tracer.record(1, 0, "delivered", peer=1)
+        assert tracer.trace(1).answered
+        assert tracer.answered_guids() == [1]
+
+    def test_guids_oldest_first(self):
+        tracer = QueryTracer()
+        tracer.record(2, 0, "issued")
+        tracer.record(1, 0, "issued")
+        assert tracer.guids() == [2, 1]
+        assert len(tracer) == 2
+
+
+class TestRetention:
+    def test_max_traces_evicts_oldest(self):
+        tracer = QueryTracer(max_traces=2)
+        for guid in (1, 2, 3):
+            tracer.record(guid, 0, "issued")
+        assert tracer.guids() == [2, 3]
+
+    def test_ttl_expires_stale_traces(self):
+        clock = FakeClock()
+        tracer = QueryTracer(ttl=10.0, clock=clock)
+        tracer.record(1, 0, "issued")
+        clock.now = 5.0
+        tracer.record(2, 0, "issued")  # 1 is 5s stale: kept
+        assert tracer.trace(1) is not None
+        clock.now = 14.0
+        tracer.record(3, 0, "issued")  # 1 is 14s stale: expired; 2 is 9s: kept
+        assert tracer.trace(1) is None
+        assert tracer.trace(2) is not None
+
+    def test_activity_refreshes_ttl(self):
+        clock = FakeClock()
+        tracer = QueryTracer(ttl=10.0, clock=clock)
+        tracer.record(1, 0, "issued")
+        clock.now = 8.0
+        tracer.record(1, 1, "received", peer=0)  # last_event := 8.0
+        clock.now = 15.0
+        tracer.record(2, 0, "issued")
+        assert tracer.trace(1) is not None
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            QueryTracer(max_traces=0)
+        with pytest.raises(ValueError):
+            QueryTracer(ttl=0.0)
+
+
+class TestFormatting:
+    def test_format_shows_path_and_outcome(self):
+        clock = FakeClock()
+        tracer = QueryTracer(clock=clock)
+        tracer.record(0xFF, 3, "issued", info="kw2")
+        clock.now = 0.25
+        tracer.record(0xFF, 0, "received", peer=3, info="ttl=7 hops=0")
+        clock.now = 0.5
+        tracer.record(0xFF, 3, "delivered", peer=0)
+        text = tracer.format(0xFF)
+        assert "query 0xff:" in text
+        assert "(answered)" in text
+        assert "issued" in text and "[kw2]" in text
+        assert "<- 3" in text  # received renders an inbound arrow
+        assert "+  0.2500s" in text
+        assert text == format_trace(tracer.trace(0xFF))
+
+    def test_outbound_arrow_for_forwarding_kinds(self):
+        tracer = QueryTracer()
+        tracer.record(1, 0, "flooded", peer=4)
+        assert "-> 4" in tracer.format(1)
+        assert "(unanswered)" in tracer.format(1)
+
+
+class TestNullTracer:
+    def test_noop_everything(self):
+        tracer = NullTracer()
+        tracer.record(1, 0, "issued")
+        assert tracer.trace(1) is None
+        assert tracer.guids() == []
+        assert tracer.answered_guids() == []
+        assert len(tracer) == 0
+        assert tracer.format(1) == "tracing disabled"
+        assert NULL_TRACER.enabled is False
+        assert QueryTracer().enabled is True

@@ -28,7 +28,11 @@ class TestCommands:
 
     def test_unknown_experiment(self, capsys):
         assert main(["run", "fig99"]) == 2
-        assert "unknown experiment" in capsys.readouterr().out
+        # usage errors are diagnostics: structured log on stderr, not
+        # mixed into the stdout report stream.
+        captured = capsys.readouterr()
+        assert "unknown experiment" in captured.err
+        assert "unknown experiment" not in captured.out
 
     def test_run_fig1(self, capsys):
         assert main(["run", "fig1"]) == 0

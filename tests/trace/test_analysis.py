@@ -1,6 +1,5 @@
 """Tests for repro.trace.analysis."""
 
-import numpy as np
 import pytest
 
 from repro.trace.analysis import coverage_ceiling, profile_block, source_turnover
