@@ -1,0 +1,41 @@
+"""Machine-readable benchmark output.
+
+Every bench module's timings land in a ``BENCH_<name>.json`` so CI can
+upload them as artifacts (and trend them) without scraping terminal
+text.  Files are written to ``$BENCH_OUTPUT_DIR`` when set, else the
+current directory.
+
+Two producers share this helper:
+
+* ``benchmarks/conftest.py`` groups the pytest-benchmark results by
+  bench module after a run and emits one file per module
+  (``bench_mining.py`` -> ``BENCH_mining.json``).
+* ``python -m benchmarks.bench_mining`` (the serial-vs-parallel replay
+  gate) emits ``BENCH_mining_gate.json`` directly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+__all__ = ["bench_output_dir", "emit_bench_json"]
+
+
+def bench_output_dir() -> str:
+    """Directory BENCH_*.json files are written to."""
+    return os.environ.get("BENCH_OUTPUT_DIR") or os.getcwd()
+
+
+def emit_bench_json(name: str, payload: dict) -> str:
+    """Write ``BENCH_<name>.json`` and return its path.
+
+    ``payload`` must be JSON-serialisable apart from stray objects, which
+    are stringified rather than rejected — a bench run should never die
+    on its own reporting.
+    """
+    path = os.path.join(bench_output_dir(), f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump({"name": name, **payload}, fh, indent=2, default=str)
+        fh.write("\n")
+    return path

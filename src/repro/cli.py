@@ -9,6 +9,10 @@ Commands
     paper-vs-measured tables (plus ASCII charts for figure experiments).
 ``all``
     Run the complete registry in order.
+``bench-all``
+    Time every registered experiment through the parallel engine and
+    write a machine-readable ``BENCH_bench_all.json`` (see
+    ``docs/performance.md``).
 ``trace``
     Print the descriptive profile of a freshly generated trace prefix.
 ``live-node``
@@ -70,6 +74,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    workers_help = (
+        "run through the parallel experiment engine: N>1 fans out over a "
+        "process pool with shared-memory trace blocks, N=1 runs in-process "
+        "with the trace memo and ruleset cache (default: plain serial)"
+    )
     sub.add_parser("list", help="list registered experiments")
     run = sub.add_parser("run", help="run one or more experiments")
     run.add_argument("experiment_ids", nargs="+", metavar="EXPERIMENT")
@@ -89,12 +98,38 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also export each experiment's series as DIR/<id>.csv",
     )
+    run.add_argument("--workers", type=int, default=0, metavar="N", help=workers_help)
     all_cmd = sub.add_parser("all", help="run every registered experiment")
     all_cmd.add_argument(
         "--markdown",
         metavar="PATH",
         default=None,
         help="also write a markdown reproduction report to PATH",
+    )
+    all_cmd.add_argument(
+        "--workers", type=int, default=0, metavar="N", help=workers_help
+    )
+
+    bench_all = sub.add_parser(
+        "bench-all",
+        help="time every registered experiment through the engine and "
+        "write a machine-readable BENCH_*.json",
+    )
+    bench_all.add_argument(
+        "--workers", type=int, default=0, metavar="N", help=workers_help
+    )
+    bench_all.add_argument(
+        "--json",
+        metavar="PATH",
+        default="BENCH_bench_all.json",
+        help="where to write the timing/cache JSON (default: %(default)s)",
+    )
+    bench_all.add_argument(
+        "--only",
+        action="append",
+        default=[],
+        metavar="EXPERIMENT",
+        help="restrict to these experiment ids (repeatable; default: all)",
     )
     trace = sub.add_parser("trace", help="profile a generated trace prefix")
     trace.add_argument("--blocks", type=int, default=5, help="blocks to profile")
@@ -429,27 +464,49 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command in ("run", "all"):
         ids = list(EXPERIMENTS) if args.command == "all" else args.experiment_ids
+        unknown = [i for i in ids if i not in EXPERIMENTS]
+        if unknown:
+            _log.error(
+                "unknown experiment",
+                extra={
+                    "experiment": ", ".join(unknown),
+                    "known": ", ".join(EXPERIMENTS),
+                },
+            )
+            return 2
         chart = not getattr(args, "no_chart", False)
+        workers = getattr(args, "workers", 0)
+        n_seeds = getattr(args, "seeds", 0)
         failures = 0
         results = []
+        engine_outcomes = {}
+        if workers > 0 and not (n_seeds and n_seeds > 1):
+            from repro.parallel.engine import run_experiments
+
+            kwargs = {} if args.seed is None else {"seed": args.seed}
+            engine_run = run_experiments(ids, workers=workers, **kwargs)
+            engine_outcomes = {o.experiment_id: o for o in engine_run.outcomes}
+            _log.info(
+                "engine run complete",
+                extra={
+                    "workers": engine_run.workers,
+                    "seconds": round(engine_run.seconds, 2),
+                    "shared_traces": engine_run.shared_traces,
+                    "cache_hit_rate": round(
+                        engine_run.cache.get("hit_rate", 0.0), 3
+                    ),
+                },
+            )
         for experiment_id in ids:
-            if experiment_id not in EXPERIMENTS:
-                _log.error(
-                    "unknown experiment",
-                    extra={
-                        "experiment": experiment_id,
-                        "known": ", ".join(EXPERIMENTS),
-                    },
-                )
-                return 2
             t0 = time.time()
-            n_seeds = getattr(args, "seeds", 0)
             if n_seeds and n_seeds > 1:
                 from repro.experiments.multi import run_seed_sweep
 
                 base = args.seed if args.seed is not None else 20060814
                 sweep = run_seed_sweep(
-                    experiment_id, seeds=range(base, base + n_seeds)
+                    experiment_id,
+                    seeds=range(base, base + n_seeds),
+                    workers=workers,
                 )
                 print(sweep.report())
                 status = "OK" if sweep.all_in_band else "OUT OF BAND"
@@ -457,8 +514,14 @@ def main(argv: list[str] | None = None) -> int:
                 if not sweep.all_in_band:
                     failures += 1
                 continue
-            kwargs = {} if args.seed is None else {"seed": args.seed}
-            result = run_experiment(experiment_id, **kwargs)
+            if experiment_id in engine_outcomes:
+                outcome = engine_outcomes[experiment_id]
+                result = outcome.result
+                elapsed = outcome.seconds
+            else:
+                kwargs = {} if args.seed is None else {"seed": args.seed}
+                result = run_experiment(experiment_id, **kwargs)
+                elapsed = time.time() - t0
             results.append(result)
             csv_dir = getattr(args, "csv", None)
             if csv_dir and result.series:
@@ -468,7 +531,7 @@ def main(argv: list[str] | None = None) -> int:
                 _log.info("series written", extra={"path": csv_path})
             _print_result(result, chart=chart)
             status = "OK" if result.all_within_band else "OUT OF BAND"
-            print(f"[{experiment_id}] {status} in {time.time() - t0:.1f}s\n")
+            print(f"[{experiment_id}] {status} in {elapsed:.1f}s\n")
             if not result.all_within_band:
                 failures += 1
         markdown_path = getattr(args, "markdown", None)
@@ -478,6 +541,67 @@ def main(argv: list[str] | None = None) -> int:
             with open(markdown_path, "w", encoding="utf-8") as fh:
                 fh.write(build_markdown_report(results))
             _log.info("markdown report written", extra={"path": markdown_path})
+        return 1 if failures else 0
+
+    if args.command == "bench-all":
+        import json
+
+        from repro.parallel.engine import run_experiments
+
+        ids = args.only or list(EXPERIMENTS)
+        unknown = [i for i in ids if i not in EXPERIMENTS]
+        if unknown:
+            _log.error(
+                "unknown experiment",
+                extra={
+                    "experiment": ", ".join(unknown),
+                    "known": ", ".join(EXPERIMENTS),
+                },
+            )
+            return 2
+        kwargs = {} if args.seed is None else {"seed": args.seed}
+        engine_run = run_experiments(ids, workers=args.workers, **kwargs)
+        width = max(len(o.experiment_id) for o in engine_run.outcomes)
+        failures = 0
+        rows = []
+        for outcome in engine_run.outcomes:
+            ok = outcome.result.all_within_band
+            if not ok:
+                failures += 1
+            print(
+                f"{outcome.experiment_id.ljust(width)}  "
+                f"{outcome.seconds:7.2f}s  pid={outcome.pid}  "
+                f"{'OK' if ok else 'OUT OF BAND'}"
+            )
+            rows.append(
+                {
+                    "experiment_id": outcome.experiment_id,
+                    "seconds": outcome.seconds,
+                    "pid": outcome.pid,
+                    "within_band": ok,
+                }
+            )
+        cache = dict(engine_run.cache)
+        print(
+            f"total: {engine_run.seconds:.2f}s wall "
+            f"({engine_run.prewarm_seconds:.2f}s trace prewarm), "
+            f"{engine_run.workers} worker(s), "
+            f"{engine_run.shared_traces} shared trace(s), "
+            f"ruleset cache hit rate {cache.get('hit_rate', 0.0):.1%}"
+        )
+        payload = {
+            "name": "bench_all",
+            "workers": engine_run.workers,
+            "wall_seconds": engine_run.seconds,
+            "prewarm_seconds": engine_run.prewarm_seconds,
+            "shared_traces": engine_run.shared_traces,
+            "ruleset_cache": cache,
+            "experiments": rows,
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        _log.info("bench json written", extra={"path": args.json})
         return 1 if failures else 0
 
     if args.command == "live-node":

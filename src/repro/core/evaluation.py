@@ -19,7 +19,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.generation import pack_pair_keys
 from repro.core.rules import RuleSet
 from repro.trace.blocks import PairBlock
 
@@ -27,6 +26,7 @@ __all__ = [
     "RulesetTestResult",
     "ruleset_test",
     "ruleset_test_random_subset",
+    "ruleset_test_random_subset_reference",
     "ruleset_test_reference",
 ]
 
@@ -72,7 +72,7 @@ def ruleset_test(ruleset: RuleSet, block: PairBlock) -> RulesetTestResult:
     n_covered = int(covered.sum())
     if n_covered == 0:
         return RulesetTestResult(n_total=n_total, n_covered=0, n_successful=0)
-    keys = pack_pair_keys(block.sources, block.repliers)
+    keys = block.packed_keys()
     # pair_key_array is sorted; searchsorted membership is O(n log r).
     rule_keys = ruleset.pair_key_array
     pos = np.searchsorted(rule_keys, keys)
@@ -96,6 +96,61 @@ def ruleset_test_random_subset(
     is among ``k`` consequents drawn uniformly (without replacement) from
     the antecedent's rules — the stochastic counterpart to top-k, used by
     the ``topk-ablation`` comparison.
+
+    Vectorized: for a covered query whose replier *is* one of its source's
+    ``m`` consequents, the replier lands in a uniform ``k``-subset with
+    probability ``k/m``, independently per query — so one Bernoulli draw
+    per matched query replaces the per-query ``rng.choice`` of the
+    reference loop (:func:`ruleset_test_random_subset_reference`).  The
+    two implementations are distributionally identical (exactly equal
+    whenever ``k`` covers every antecedent's consequent list) but consume
+    the RNG stream differently.
+    """
+    from repro.utils.rng import as_generator
+
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    rng = as_generator(rng)
+    n_total = len(block)
+    if n_total == 0 or len(ruleset) == 0:
+        return RulesetTestResult(n_total=n_total, n_covered=0, n_successful=0)
+    antes = ruleset.sorted_antecedent_array
+    pos = np.searchsorted(antes, block.sources)
+    pos[pos == len(antes)] = len(antes) - 1
+    covered = antes[pos] == block.sources
+    n_covered = int(covered.sum())
+    if n_covered == 0:
+        return RulesetTestResult(n_total=n_total, n_covered=0, n_successful=0)
+    # Consequent-list length m for each covered query's source.
+    m = ruleset.consequent_count_array[pos[covered]]
+    # Exact-rule matches among covered queries (same membership test as
+    # ruleset_test).
+    keys = block.packed_keys()[covered]
+    rule_keys = ruleset.pair_key_array
+    kpos = np.searchsorted(rule_keys, keys)
+    kpos[kpos == len(rule_keys)] = len(rule_keys) - 1
+    matched = rule_keys[kpos] == keys
+    # Matched & m <= k: always chosen.  Matched & m > k: in the subset
+    # with probability k/m.  Unmatched: never.
+    certain = matched & (m <= k)
+    stochastic = matched & (m > k)
+    n_successful = int(certain.sum())
+    n_stochastic = int(stochastic.sum())
+    if n_stochastic:
+        draws = rng.random(n_stochastic)
+        n_successful += int((draws * m[stochastic] < k).sum())
+    return RulesetTestResult(
+        n_total=n_total, n_covered=n_covered, n_successful=n_successful
+    )
+
+
+def ruleset_test_random_subset_reference(
+    ruleset: RuleSet, block: PairBlock, *, k: int, rng=None
+) -> RulesetTestResult:
+    """Pure-Python random-subset RULESET-TEST (reference implementation).
+
+    Draws an explicit uniform ``k``-subset per covered query; the property
+    tests check :func:`ruleset_test_random_subset` against it.
     """
     from repro.utils.rng import as_generator
 

@@ -25,33 +25,30 @@ from collections import Counter
 import numpy as np
 
 from repro.core.rules import Rule, RuleSet
-from repro.trace.blocks import PairBlock
+from repro.trace.blocks import PairBlock, scan_id_range
 
 __all__ = ["generate_ruleset", "pack_pair_keys"]
 
-_ID_LIMIT = 1 << 31
 
-
-def pack_pair_keys(sources: np.ndarray, repliers: np.ndarray) -> np.ndarray:
+def pack_pair_keys(
+    sources: np.ndarray, repliers: np.ndarray, *, validate: bool = True
+) -> np.ndarray:
     """Pack parallel (source, replier) id arrays into single int64 keys.
 
     Ids must be in ``[0, 2**31)`` so the packed key is collision-free.
+    ``validate=False`` skips the min/max range scan — only pass it when the
+    arrays were already checked (e.g. via :meth:`PairBlock.validate_ids`,
+    which runs the scan once per block instead of on every call).
     """
     sources = np.asarray(sources, dtype=np.int64)
     repliers = np.asarray(repliers, dtype=np.int64)
-    if sources.size and (
-        sources.min() < 0
-        or repliers.min() < 0
-        or sources.max() >= _ID_LIMIT
-        or repliers.max() >= _ID_LIMIT
-    ):
-        raise ValueError("node ids must be in [0, 2**31) for key packing")
+    if validate:
+        scan_id_range(sources, repliers)
     return (sources << 32) | repliers
 
 
 def _counts_numpy(block: PairBlock) -> tuple[np.ndarray, np.ndarray]:
-    keys = pack_pair_keys(block.sources, block.repliers)
-    return np.unique(keys, return_counts=True)
+    return np.unique(block.packed_keys(), return_counts=True)
 
 
 def _source_totals_numpy(block: PairBlock) -> dict[int, int]:

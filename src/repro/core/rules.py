@@ -57,6 +57,14 @@ class RuleSet:
             for r in lst
         ]
         self._pair_keys = np.asarray(sorted(keys), dtype=np.int64)
+        order = np.argsort(self._ante_array, kind="stable")
+        self._ante_sorted = self._ante_array[order]
+        counts = np.fromiter(
+            (len(lst) for lst in by_ante.values()),
+            dtype=np.int64,
+            count=len(by_ante),
+        )
+        self._ante_counts_sorted = counts[order]
 
     # -- construction -------------------------------------------------------
     @classmethod
@@ -118,6 +126,17 @@ class RuleSet:
     def pair_key_array(self) -> np.ndarray:
         """Sorted int64 array of (antecedent << 32) | consequent keys."""
         return self._pair_keys
+
+    @property
+    def sorted_antecedent_array(self) -> np.ndarray:
+        """Sorted int64 array of antecedents (for searchsorted lookups)."""
+        return self._ante_sorted
+
+    @property
+    def consequent_count_array(self) -> np.ndarray:
+        """Consequents per antecedent, aligned with
+        :attr:`sorted_antecedent_array`."""
+        return self._ante_counts_sorted
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"RuleSet(rules={len(self)}, antecedents={self.n_antecedents})"

@@ -15,7 +15,6 @@ from time import perf_counter
 from typing import Sequence
 
 from repro.core.evaluation import RulesetTestResult, ruleset_test
-from repro.core.generation import generate_ruleset
 from repro.core.rules import RuleSet
 from repro.core.runner import StrategyRun, TrialResult
 from repro.core.thresholds import RollingThreshold
@@ -65,8 +64,14 @@ class RulesetStrategy(abc.ABC):
             raise ValueError("min_support_count must be >= 1")
 
     def _generate(self, block: PairBlock) -> RuleSet:
+        # Route through the content-addressed ruleset cache when one is
+        # installed (repro.parallel.cache); with no cache this is plain
+        # GENERATE-RULESET, and because mining is deterministic the cached
+        # and uncached paths return identical rule sets.
+        from repro.parallel.cache import cached_generate_ruleset
+
         t0 = perf_counter()
-        ruleset = generate_ruleset(
+        ruleset = cached_generate_ruleset(
             block,
             min_support_count=self.min_support_count,
             top_k=self.top_k,

@@ -34,7 +34,7 @@ def run_topk_ablation(
     import numpy as np
 
     from repro.core.evaluation import ruleset_test_random_subset
-    from repro.core.generation import generate_ruleset
+    from repro.parallel.cache import cached_generate_ruleset
     from repro.utils.rng import as_generator
 
     scale = current_scale()
@@ -58,7 +58,10 @@ def run_topk_ablation(
     rng = as_generator(seed + 1)
     random_successes = []
     for b in range(1, len(blocks)):
-        ruleset = generate_ruleset(blocks[b - 1])
+        # Cached: the top_k=None sweep above already mined these blocks
+        # with identical parameters, so with the engine's ruleset cache
+        # active this replay is hit-only.
+        ruleset = cached_generate_ruleset(blocks[b - 1])
         result = ruleset_test_random_subset(ruleset, blocks[b], k=2, rng=rng)
         random_successes.append(result.success)
     successes["random-2"] = float(np.mean(random_successes))

@@ -23,7 +23,7 @@ from repro.experiments.results import ExperimentResult
 from repro.metrics.report import ComparisonRow
 from repro.metrics.series import sawtooth_depth
 from repro.trace.blocks import blocks_from_arrays
-from repro.workload.tracegen import MonitorTraceConfig, MonitorTraceGenerator
+from repro.workload.tracegen import MonitorTraceConfig
 
 __all__ = [
     "generate_trace_blocks",
@@ -45,13 +45,18 @@ def generate_trace_blocks(
     seed: int = DEFAULT_SEED,
     config: MonitorTraceConfig | None = None,
 ):
-    """Generate ``n_blocks`` blocks of the calibrated synthetic trace."""
+    """Generate ``n_blocks`` blocks of the calibrated synthetic trace.
+
+    Goes through :func:`repro.parallel.provider.provide_pair_columns`, so
+    when the experiment engine has installed a trace provider (in-process
+    memo or shared-memory view) the identical arrays are served instead
+    of regenerated; with no provider this is plain generation.
+    """
+    from repro.parallel.provider import provide_pair_columns
+
     cfg = config or MonitorTraceConfig()
-    gen = MonitorTraceGenerator(cfg, seed=seed)
-    arrays = gen.generate_pair_arrays(n_blocks * cfg.block_size)
-    return blocks_from_arrays(
-        arrays.source, arrays.replier, block_size=cfg.block_size
-    )
+    sources, repliers = provide_pair_columns(cfg, seed, n_blocks * cfg.block_size)
+    return blocks_from_arrays(sources, repliers, block_size=cfg.block_size)
 
 
 # ---------------------------------------------------------------------------
@@ -138,17 +143,16 @@ def run_fig2_block_sizes(
     *, seed: int = DEFAULT_SEED, block_sizes: tuple[int, ...] = (5_000, 10_000, 20_000, 50_000)
 ) -> ExperimentResult:
     """Fig. 2: Sliding Window coverage is similar across block sizes."""
+    from repro.parallel.provider import provide_pair_columns
+
     scale = current_scale()
     cfg = MonitorTraceConfig()
-    gen = MonitorTraceGenerator(cfg, seed=seed)
-    arrays = gen.generate_pair_arrays(scale.n_pairs_blocksweep)
+    sources, repliers = provide_pair_columns(cfg, seed, scale.n_pairs_blocksweep)
     rows = []
     series: dict[str, list[float]] = {}
     coverages = {}
     for block_size in block_sizes:
-        blocks = blocks_from_arrays(
-            arrays.source, arrays.replier, block_size=block_size
-        )
+        blocks = blocks_from_arrays(sources, repliers, block_size=block_size)
         if len(blocks) < 2:
             continue
         run = SlidingWindow().run(blocks)

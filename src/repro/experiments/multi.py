@@ -65,20 +65,40 @@ class SweepResult:
         return "\n".join(lines)
 
 
-def run_seed_sweep(experiment_id: str, *, seeds, **kwargs) -> SweepResult:
+def run_seed_sweep(
+    experiment_id: str, *, seeds, workers: int = 0, **kwargs
+) -> SweepResult:
     """Run ``experiment_id`` for each seed and aggregate its rows.
 
     Rows are matched by label across runs; experiments whose row sets vary
     by seed (none do today) would raise a ValueError.
-    """
-    from repro.experiments.registry import run_experiment
 
+    ``workers`` fans the per-seed trials out through the parallel
+    experiment engine (``repro.parallel``): >1 uses a process pool with
+    shared-memory trace blocks, 1 runs in-process with the trace memo and
+    ruleset cache, 0 (default) is the plain serial path.  All modes
+    produce identical trials (same seeds, deterministic replay).
+    """
     seeds = tuple(int(s) for s in seeds)
     if not seeds:
         raise ValueError("need at least one seed")
-    results: list[ExperimentResult] = [
-        run_experiment(experiment_id, seed=seed, **kwargs) for seed in seeds
-    ]
+    if workers > 0:
+        from repro.parallel.engine import ExperimentTask, ParallelExperimentEngine
+
+        engine = ParallelExperimentEngine(workers)
+        run = engine.run(
+            [
+                ExperimentTask(experiment_id, {"seed": seed, **kwargs})
+                for seed in seeds
+            ]
+        )
+        results: list[ExperimentResult] = run.results
+    else:
+        from repro.experiments.registry import run_experiment
+
+        results = [
+            run_experiment(experiment_id, seed=seed, **kwargs) for seed in seeds
+        ]
     labels = [row.label for row in results[0].rows]
     for result in results[1:]:
         if [row.label for row in result.rows] != labels:

@@ -26,6 +26,24 @@ class ExperimentResult:
         """True when every banded row is inside its acceptance band."""
         return all(row.within_band is not False for row in self.rows)
 
+    def payload(self) -> dict:
+        """Fully comparable snapshot of everything this result carries.
+
+        Used to assert that serial and parallel (engine) runs of the same
+        experiment are bit-identical: rows, series values, and extras
+        (repr'd, since extras may hold arbitrary objects) all participate.
+        """
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "rows": [
+                (row.label, row.paper, row.measured, row.band)
+                for row in self.rows
+            ],
+            "series": {name: list(values) for name, values in self.series.items()},
+            "extras": {name: repr(value) for name, value in self.extras.items()},
+        }
+
     def report(self) -> str:
         return format_table(f"{self.experiment_id}: {self.title}", self.rows)
 

@@ -1,0 +1,74 @@
+"""repro.parallel — parallel experiment engine, shared-memory trace
+transport, and the content-addressed ruleset cache.
+
+Layering note: :mod:`repro.core.strategies` consults
+:mod:`repro.parallel.cache` on its mining path, while
+:mod:`repro.parallel.engine` sits *above* the experiment registry.  This
+package init therefore resolves its exports lazily so importing the
+low-level cache never drags the engine (and with it the whole experiment
+layer) into the import graph.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "AttachedTraceStore",
+    "CachingTraceProvider",
+    "EngineRun",
+    "ExperimentTask",
+    "ParallelExperimentEngine",
+    "RulesetCache",
+    "SharedMemoryTraceProvider",
+    "SharedTraceStore",
+    "TaskOutcome",
+    "TraceHandle",
+    "cached_generate_ruleset",
+    "configure_ruleset_cache",
+    "disable_ruleset_cache",
+    "get_ruleset_cache",
+    "provide_pair_columns",
+    "ruleset_cache",
+    "run_experiments",
+    "trace_key",
+]
+
+_CACHE_NAMES = {
+    "RulesetCache",
+    "cached_generate_ruleset",
+    "configure_ruleset_cache",
+    "disable_ruleset_cache",
+    "get_ruleset_cache",
+    "ruleset_cache",
+}
+_SHM_NAMES = {"AttachedTraceStore", "SharedTraceStore", "TraceHandle"}
+_PROVIDER_NAMES = {
+    "CachingTraceProvider",
+    "SharedMemoryTraceProvider",
+    "provide_pair_columns",
+    "trace_key",
+}
+_ENGINE_NAMES = {
+    "EngineRun",
+    "ExperimentTask",
+    "ParallelExperimentEngine",
+    "TaskOutcome",
+    "run_experiments",
+}
+
+
+def __getattr__(name: str):
+    if name in _CACHE_NAMES:
+        from repro.parallel import cache as module
+    elif name in _SHM_NAMES:
+        from repro.parallel import shm as module
+    elif name in _PROVIDER_NAMES:
+        from repro.parallel import provider as module
+    elif name in _ENGINE_NAMES:
+        from repro.parallel import engine as module
+    else:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    return getattr(module, name)
+
+
+def __dir__():
+    return sorted(__all__)

@@ -1,0 +1,211 @@
+"""Content-addressed LRU cache of GENERATE-RULESET results.
+
+Sweeps revisit the same ``(block, mining-params)`` combination dozens of
+times: every strategy re-mines the blocks Sliding Window already mined,
+the topk-ablation's random-subset replay re-mines each block with the
+default parameters, and multi-seed trials repeat whole figure runs.
+Mining is deterministic, so the second and later visits are pure waste.
+
+:class:`RulesetCache` memoizes :func:`repro.core.generation.generate_ruleset`
+keyed by ``(block fingerprint, min_support_count, top_k, min_confidence)``.
+The block fingerprint is a content hash (:meth:`PairBlock.fingerprint`),
+so a cache entry is invalidated by *construction* whenever block contents
+change — there is no staleness to manage, only capacity (a bounded LRU).
+
+Hit/miss/eviction counters are surfaced through :mod:`repro.obs` as
+``repro_ruleset_cache_{hits,misses,evictions}_total`` and mirrored in
+:meth:`RulesetCache.stats` so parallel workers can report them to the
+parent process (each worker has its own registry).
+
+The cache is installed process-wide with :func:`configure_ruleset_cache`
+(or the :func:`ruleset_cache` context manager);
+:meth:`~repro.core.strategies.RulesetStrategy._generate` and the ablation
+replays consult :func:`cached_generate_ruleset`, which falls through to
+plain generation when no cache is active — the serial path stays
+bit-identical to the uncached one because generation is deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.core.generation import generate_ruleset
+from repro.core.rules import RuleSet
+from repro.obs.registry import get_global_registry
+from repro.trace.blocks import PairBlock
+
+__all__ = [
+    "RulesetCache",
+    "cached_generate_ruleset",
+    "configure_ruleset_cache",
+    "disable_ruleset_cache",
+    "get_ruleset_cache",
+    "ruleset_cache",
+]
+
+DEFAULT_CACHE_SIZE = 512
+
+
+class RulesetCache:
+    """Bounded LRU of mined rule sets keyed by content + mining params."""
+
+    def __init__(self, maxsize: int = DEFAULT_CACHE_SIZE) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = int(maxsize)
+        self._entries: OrderedDict[tuple, RuleSet] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        registry = get_global_registry()
+        self._hit_counter = registry.counter(
+            "repro_ruleset_cache_hits_total",
+            "GENERATE-RULESET calls served from the content-addressed cache.",
+        ).labels()
+        self._miss_counter = registry.counter(
+            "repro_ruleset_cache_misses_total",
+            "GENERATE-RULESET calls that had to mine.",
+        ).labels()
+        self._eviction_counter = registry.counter(
+            "repro_ruleset_cache_evictions_total",
+            "Rule sets dropped by the cache's LRU bound.",
+        ).labels()
+        self._size_gauge = registry.gauge(
+            "repro_ruleset_cache_size",
+            "Rule sets currently held by the content-addressed cache.",
+        ).labels()
+
+    @staticmethod
+    def key_for(
+        block: PairBlock,
+        *,
+        min_support_count: int,
+        top_k: int | None,
+        min_confidence: float,
+    ) -> tuple:
+        return (
+            block.fingerprint(),
+            int(min_support_count),
+            top_k,
+            float(min_confidence),
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get_or_generate(
+        self,
+        block: PairBlock,
+        *,
+        min_support_count: int = 10,
+        top_k: int | None = None,
+        min_confidence: float = 0.0,
+    ) -> RuleSet:
+        """Return the cached rule set for this content/params, mining on miss."""
+        key = self.key_for(
+            block,
+            min_support_count=min_support_count,
+            top_k=top_k,
+            min_confidence=min_confidence,
+        )
+        cached = self._entries.get(key)
+        if cached is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            self._hit_counter.inc()
+            return cached
+        self.misses += 1
+        self._miss_counter.inc()
+        ruleset = generate_ruleset(
+            block,
+            min_support_count=min_support_count,
+            top_k=top_k,
+            min_confidence=min_confidence,
+        )
+        self._entries[key] = ruleset
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            self._eviction_counter.inc()
+        self._size_gauge.set(len(self._entries))
+        return ruleset
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict[str, float]:
+        """Picklable snapshot (workers ship this back to the parent)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": len(self._entries),
+            "hit_rate": self.hit_rate,
+        }
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._size_gauge.set(0)
+
+
+#: process-wide active cache (None = caching disabled, plain generation).
+_ACTIVE: RulesetCache | None = None
+
+
+def configure_ruleset_cache(maxsize: int = DEFAULT_CACHE_SIZE) -> RulesetCache:
+    """Install (and return) a fresh process-wide ruleset cache."""
+    global _ACTIVE
+    _ACTIVE = RulesetCache(maxsize)
+    return _ACTIVE
+
+
+def disable_ruleset_cache() -> None:
+    """Remove the process-wide cache; generation goes back to mining."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def get_ruleset_cache() -> RulesetCache | None:
+    """The active process-wide cache, or None when caching is off."""
+    return _ACTIVE
+
+
+@contextmanager
+def ruleset_cache(maxsize: int = DEFAULT_CACHE_SIZE) -> Iterator[RulesetCache]:
+    """Scoped cache installation (restores the previous cache on exit)."""
+    global _ACTIVE
+    previous = _ACTIVE
+    cache = RulesetCache(maxsize)
+    _ACTIVE = cache
+    try:
+        yield cache
+    finally:
+        _ACTIVE = previous
+
+
+def cached_generate_ruleset(
+    block: PairBlock,
+    *,
+    min_support_count: int = 10,
+    top_k: int | None = None,
+    min_confidence: float = 0.0,
+) -> RuleSet:
+    """GENERATE-RULESET through the active cache (plain mining when off)."""
+    cache = _ACTIVE
+    if cache is None:
+        return generate_ruleset(
+            block,
+            min_support_count=min_support_count,
+            top_k=top_k,
+            min_confidence=min_confidence,
+        )
+    return cache.get_or_generate(
+        block,
+        min_support_count=min_support_count,
+        top_k=top_k,
+        min_confidence=min_confidence,
+    )

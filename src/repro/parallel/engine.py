@@ -1,0 +1,288 @@
+"""Process-pool experiment engine.
+
+Fans figure runners, ablation sweep points and multi-seed trials out
+across ``ProcessPoolExecutor`` workers.  Two redundancies dominate a
+serial sweep, and the engine removes both:
+
+* **Trace regeneration** — every trace-driven runner regenerates the
+  same synthetic trace (same config/seed/length).  The parent generates
+  each needed spec once, publishes it through
+  :class:`~repro.parallel.shm.SharedTraceStore`, and workers consume
+  zero-copy :class:`~repro.trace.blocks.PairBlock` views instead of
+  re-generating (or having arrays pickled into every task).
+* **Re-mining** — strategies and sweep points re-run GENERATE-RULESET on
+  blocks already mined with identical parameters; each worker carries a
+  process-wide content-addressed
+  :class:`~repro.parallel.cache.RulesetCache` and ships its hit/miss
+  counters back with every task result.
+
+Mining, testing and trace generation are all deterministic, so engine
+runs produce bit-identical :class:`~repro.experiments.results.ExperimentResult`
+payloads to the serial path — ``workers <= 1`` runs in-process (no pool)
+with the same provider + cache installed, which is also the fastest mode
+on a single-core host.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Sequence
+
+from repro.experiments.config import DEFAULT_SEED, current_scale
+from repro.experiments.results import ExperimentResult
+from repro.parallel.cache import (
+    DEFAULT_CACHE_SIZE,
+    configure_ruleset_cache,
+    get_ruleset_cache,
+    ruleset_cache,
+)
+from repro.parallel.provider import (
+    CachingTraceProvider,
+    SharedMemoryTraceProvider,
+    _generate_columns,
+    clear_trace_provider,
+    current_trace_provider,
+    install_trace_provider,
+    trace_key,
+)
+from repro.parallel.shm import AttachedTraceStore, SharedTraceStore
+from repro.workload.tracegen import MonitorTraceConfig
+
+__all__ = [
+    "ExperimentTask",
+    "TaskOutcome",
+    "EngineRun",
+    "ParallelExperimentEngine",
+    "run_experiments",
+]
+
+#: trace-driven experiment ids that consume ``scale.n_blocks`` blocks of
+#: the default config/seed trace (the common spec most sweeps share).
+_N_BLOCKS_IDS = frozenset(
+    {
+        "fig1",
+        "fig3",
+        "fig4",
+        "adaptive-history",
+        "streaming",
+        "prune-ablation",
+        "confidence-ablation",
+        "topk-ablation",
+    }
+)
+
+
+@dataclass(frozen=True)
+class ExperimentTask:
+    """One unit of engine work: a registered experiment id + kwargs."""
+
+    experiment_id: str
+    kwargs: dict = field(default_factory=dict)
+
+    @property
+    def seed(self) -> int:
+        return int(self.kwargs.get("seed", DEFAULT_SEED))
+
+
+@dataclass
+class TaskOutcome:
+    """What one worker task returned."""
+
+    experiment_id: str
+    result: ExperimentResult
+    seconds: float
+    pid: int
+    cache_stats: dict | None
+
+
+@dataclass
+class EngineRun:
+    """All outcomes of one engine invocation plus engine-level telemetry."""
+
+    outcomes: list[TaskOutcome]
+    workers: int
+    seconds: float
+    prewarm_seconds: float
+    shared_traces: int
+    cache: dict[str, float]
+
+    @property
+    def results(self) -> list[ExperimentResult]:
+        return [o.result for o in self.outcomes]
+
+
+def _trace_specs(task: ExperimentTask) -> list[tuple]:
+    """(config, seed, n_pairs) specs a task will request, for prewarming."""
+    scale = current_scale()
+    cfg = MonitorTraceConfig()
+    seed = task.seed
+    if task.experiment_id in _N_BLOCKS_IDS:
+        return [(cfg, seed, scale.n_blocks * cfg.block_size)]
+    if task.experiment_id == "static":
+        return [(cfg, seed, scale.n_blocks_static * cfg.block_size)]
+    if task.experiment_id == "fig2":
+        return [(cfg, seed, scale.n_pairs_blocksweep)]
+    return []  # overlay-driven experiments generate no monitor trace
+
+
+def _run_one(task: ExperimentTask) -> TaskOutcome:
+    from repro.experiments.registry import run_experiment
+
+    t0 = perf_counter()
+    result = run_experiment(task.experiment_id, **task.kwargs)
+    cache = get_ruleset_cache()
+    return TaskOutcome(
+        experiment_id=task.experiment_id,
+        result=result,
+        seconds=perf_counter() - t0,
+        pid=os.getpid(),
+        cache_stats=cache.stats() if cache is not None else None,
+    )
+
+
+def _worker_init(handles, cache_size: int, full_scale_env: str | None) -> None:
+    """Pool initializer: scale env, shared traces, per-process cache."""
+    if full_scale_env is None:
+        os.environ.pop("REPRO_FULL_SCALE", None)
+    else:
+        os.environ["REPRO_FULL_SCALE"] = full_scale_env
+    install_trace_provider(SharedMemoryTraceProvider(AttachedTraceStore(handles)))
+    configure_ruleset_cache(cache_size)
+
+
+def _aggregate_cache(outcomes: Sequence[TaskOutcome]) -> dict[str, float]:
+    """Sum each worker process's final cache snapshot.
+
+    Cache counters are cumulative per process; tasks on one worker run
+    sequentially, so the last snapshot per pid carries that worker's
+    totals.
+    """
+    latest: dict[int, dict] = {}
+    for outcome in outcomes:
+        if outcome.cache_stats is not None:
+            latest[outcome.pid] = outcome.cache_stats
+    totals = {"hits": 0.0, "misses": 0.0, "evictions": 0.0}
+    for stats in latest.values():
+        for key in totals:
+            totals[key] += stats.get(key, 0)
+    lookups = totals["hits"] + totals["misses"]
+    totals["hit_rate"] = totals["hits"] / lookups if lookups else 0.0
+    return totals
+
+
+class ParallelExperimentEngine:
+    """Runs experiment tasks with shared traces and cached mining.
+
+    ``workers <= 1`` keeps everything in-process (provider + cache, no
+    pool); ``workers > 1`` prewarms shared-memory traces and fans tasks
+    out over a ``ProcessPoolExecutor``.
+    """
+
+    def __init__(
+        self,
+        workers: int = 0,
+        *,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        prewarm: bool = True,
+    ) -> None:
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.workers = int(workers)
+        self.cache_size = int(cache_size)
+        self.prewarm = bool(prewarm)
+
+    # -- public API ---------------------------------------------------------
+    def run_ids(
+        self, experiment_ids: Sequence[str], *, seed: int | None = None, **kwargs: Any
+    ) -> EngineRun:
+        common = dict(kwargs)
+        if seed is not None:
+            common["seed"] = seed
+        return self.run(
+            [ExperimentTask(experiment_id, dict(common)) for experiment_id in experiment_ids]
+        )
+
+    def run(self, tasks: Sequence[ExperimentTask]) -> EngineRun:
+        tasks = list(tasks)
+        t0 = perf_counter()
+        if self.workers <= 1:
+            run = self._run_in_process(tasks)
+        else:
+            run = self._run_pooled(tasks)
+        run.seconds = perf_counter() - t0
+        return run
+
+    # -- serial (in-process) mode -------------------------------------------
+    def _run_in_process(self, tasks: list[ExperimentTask]) -> EngineRun:
+        previous_provider = current_trace_provider()
+        provider = CachingTraceProvider()
+        install_trace_provider(provider)
+        try:
+            with ruleset_cache(self.cache_size):
+                outcomes = [_run_one(task) for task in tasks]
+        finally:
+            if previous_provider is None:
+                clear_trace_provider()
+            else:
+                install_trace_provider(previous_provider)
+        return EngineRun(
+            outcomes=outcomes,
+            workers=max(self.workers, 1),
+            seconds=0.0,
+            prewarm_seconds=0.0,
+            shared_traces=provider.misses,
+            cache=_aggregate_cache(outcomes),
+        )
+
+    # -- pooled mode ---------------------------------------------------------
+    def _prewarm_store(
+        self, tasks: list[ExperimentTask], store: SharedTraceStore
+    ) -> None:
+        for task in tasks:
+            for config, seed, n_pairs in _trace_specs(task):
+                key = trace_key(config, seed, n_pairs)
+                if key not in store.handles():
+                    sources, repliers = _generate_columns(config, seed, n_pairs)
+                    store.put(key, sources, repliers)
+
+    def _run_pooled(self, tasks: list[ExperimentTask]) -> EngineRun:
+        with SharedTraceStore() as store:
+            t0 = perf_counter()
+            if self.prewarm:
+                self._prewarm_store(tasks, store)
+            prewarm_seconds = perf_counter() - t0
+            n_traces = len(store)
+            with ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_worker_init,
+                initargs=(
+                    store.handles(),
+                    self.cache_size,
+                    os.environ.get("REPRO_FULL_SCALE"),
+                ),
+            ) as pool:
+                futures = [pool.submit(_run_one, task) for task in tasks]
+                outcomes = [future.result() for future in futures]
+        return EngineRun(
+            outcomes=outcomes,
+            workers=self.workers,
+            seconds=0.0,
+            prewarm_seconds=prewarm_seconds,
+            shared_traces=n_traces,
+            cache=_aggregate_cache(outcomes),
+        )
+
+
+def run_experiments(
+    experiment_ids: Sequence[str],
+    *,
+    workers: int = 0,
+    seed: int | None = None,
+    cache_size: int = DEFAULT_CACHE_SIZE,
+) -> EngineRun:
+    """One-call convenience wrapper used by the CLI and benchmarks."""
+    engine = ParallelExperimentEngine(workers, cache_size=cache_size)
+    return engine.run_ids(experiment_ids, seed=seed)

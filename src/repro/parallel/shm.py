@@ -1,0 +1,145 @@
+"""Shared-memory transport for trace pair columns.
+
+The experiment engine fans tasks out to ``ProcessPoolExecutor`` workers.
+A full-scale trace is tens of megabytes of int64 columns; pickling it
+into every task would dominate the task cost, so the parent writes each
+generated trace's ``(source, replier)`` columns into one
+``multiprocessing.shared_memory`` segment and ships workers a tiny
+picklable :class:`TraceHandle` instead.  Workers map the segment and
+build zero-copy numpy views — and the :class:`~repro.trace.blocks.PairBlock`
+slices the experiments consume are views of those views.
+
+Lifecycle: the parent (:class:`SharedTraceStore`) owns every segment and
+unlinks them in :meth:`close`; workers only attach.  Worker-side
+attachments are deliberately unregistered from the multiprocessing
+resource tracker — the parent's unlink is authoritative, and without the
+unregister every worker exit would log spurious leak warnings.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+__all__ = ["TraceHandle", "SharedTraceStore", "AttachedTraceStore"]
+
+_ITEMSIZE = np.dtype(np.int64).itemsize
+
+
+@dataclass(frozen=True)
+class TraceHandle:
+    """Picklable reference to one trace's columns in shared memory.
+
+    The segment holds ``n_pairs`` int64 sources followed by ``n_pairs``
+    int64 repliers.
+    """
+
+    shm_name: str
+    n_pairs: int
+
+
+def _views(buf, n_pairs: int) -> tuple[np.ndarray, np.ndarray]:
+    sources = np.ndarray((n_pairs,), dtype=np.int64, buffer=buf, offset=0)
+    repliers = np.ndarray(
+        (n_pairs,), dtype=np.int64, buffer=buf, offset=n_pairs * _ITEMSIZE
+    )
+    return sources, repliers
+
+
+class SharedTraceStore:
+    """Parent-side owner of shared trace segments, keyed by trace spec."""
+
+    def __init__(self) -> None:
+        self._segments: dict[object, shared_memory.SharedMemory] = {}
+        self._handles: dict[object, TraceHandle] = {}
+
+    def put(self, key: object, sources: np.ndarray, repliers: np.ndarray) -> TraceHandle:
+        """Copy one trace's columns into a fresh shared segment."""
+        if key in self._handles:
+            return self._handles[key]
+        sources = np.ascontiguousarray(sources, dtype=np.int64)
+        repliers = np.ascontiguousarray(repliers, dtype=np.int64)
+        if sources.shape != repliers.shape or sources.ndim != 1:
+            raise ValueError("trace columns must be matching 1-D arrays")
+        n_pairs = len(sources)
+        shm = shared_memory.SharedMemory(
+            create=True, size=max(2 * n_pairs * _ITEMSIZE, 1)
+        )
+        src_view, rep_view = _views(shm.buf, n_pairs)
+        src_view[:] = sources
+        rep_view[:] = repliers
+        self._segments[key] = shm
+        handle = TraceHandle(shm_name=shm.name, n_pairs=n_pairs)
+        self._handles[key] = handle
+        return handle
+
+    def arrays(self, key: object) -> tuple[np.ndarray, np.ndarray]:
+        """Zero-copy views of a stored trace (parent-side reuse)."""
+        shm = self._segments[key]
+        return _views(shm.buf, self._handles[key].n_pairs)
+
+    def handles(self) -> dict[object, TraceHandle]:
+        """Picklable {trace key: handle} map for worker initializers."""
+        return dict(self._handles)
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def close(self) -> None:
+        """Release and unlink every owned segment."""
+        for shm in self._segments.values():
+            try:
+                shm.close()
+                shm.unlink()
+            except FileNotFoundError:  # already unlinked (double close)
+                pass
+        self._segments.clear()
+        self._handles.clear()
+
+    def __enter__(self) -> "SharedTraceStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class AttachedTraceStore:
+    """Worker-side view of the parent's shared trace segments."""
+
+    def __init__(self, handles: dict[object, TraceHandle]) -> None:
+        self._handles = dict(handles)
+        self._attached: dict[object, shared_memory.SharedMemory] = {}
+
+    def keys(self):
+        return self._handles.keys()
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._handles
+
+    def arrays(self, key: object) -> tuple[np.ndarray, np.ndarray]:
+        """Zero-copy (sources, repliers) views for one trace key."""
+        handle = self._handles[key]
+        shm = self._attached.get(key)
+        if shm is None:
+            shm = shared_memory.SharedMemory(name=handle.shm_name)
+            # The parent owns the segment.  Under spawn/forkserver each
+            # worker runs its own resource tracker, which would unlink the
+            # segment when the worker exits — out from under the parent —
+            # so the attachment must be unregistered.  Under fork the
+            # tracker process is shared with the parent and unregistering
+            # here would instead drop the parent's own registration.
+            if multiprocessing.get_start_method(allow_none=True) != "fork":
+                try:
+                    resource_tracker.unregister(shm._name, "shared_memory")
+                except Exception:  # pragma: no cover - tracker internals
+                    pass
+            self._attached[key] = shm
+        return _views(shm.buf, handle.n_pairs)
+
+    def close(self) -> None:
+        for shm in self._attached.values():
+            shm.close()
+        self._attached.clear()

@@ -10,13 +10,33 @@ or the full pipeline's pair table.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.store.table import Table
 
-__all__ = ["PairBlock", "partition_pairs", "blocks_from_arrays"]
+__all__ = ["PairBlock", "partition_pairs", "blocks_from_arrays", "scan_id_range"]
+
+#: node ids must stay below this for (source << 32) | replier key packing.
+ID_LIMIT = 1 << 31
+
+
+def scan_id_range(sources: np.ndarray, repliers: np.ndarray) -> None:
+    """Check both id arrays fit the packed-key id range (``[0, 2**31)``).
+
+    This is the min/max scan that used to run inside ``pack_pair_keys`` on
+    every call; callers that operate on a :class:`PairBlock` should go
+    through :meth:`PairBlock.packed_keys`, which runs it once per block.
+    """
+    if sources.size and (
+        sources.min() < 0
+        or repliers.min() < 0
+        or sources.max() >= ID_LIMIT
+        or repliers.max() >= ID_LIMIT
+    ):
+        raise ValueError("node ids must be in [0, 2**31) for key packing")
 
 
 @dataclass(frozen=True)
@@ -51,6 +71,53 @@ class PairBlock:
     def pairs(self) -> np.ndarray:
         """(n, 2) array of [source, replier] rows (copy)."""
         return np.stack([self.sources, self.repliers], axis=1)
+
+    # -- memoized derived views --------------------------------------------
+    # A block is immutable, so its packed keys, id-range check, and content
+    # fingerprint are computed at most once and cached on the instance.
+    # Replay sweeps hit the same blocks dozens of times (every strategy and
+    # sweep point re-mines / re-tests them), so these were measurable
+    # per-call costs on the hot path.
+
+    def validate_ids(self) -> None:
+        """Check ids fit the packed-key range; runs the scan once per block."""
+        if "_ids_validated" not in self.__dict__:
+            scan_id_range(
+                np.asarray(self.sources, dtype=np.int64),
+                np.asarray(self.repliers, dtype=np.int64),
+            )
+            object.__setattr__(self, "_ids_validated", True)
+
+    def packed_keys(self) -> np.ndarray:
+        """Memoized ``(source << 32) | replier`` int64 keys for this block."""
+        cached = self.__dict__.get("_packed_keys")
+        if cached is None:
+            self.validate_ids()
+            sources = np.asarray(self.sources, dtype=np.int64)
+            repliers = np.asarray(self.repliers, dtype=np.int64)
+            cached = (sources << 32) | repliers
+            object.__setattr__(self, "_packed_keys", cached)
+        return cached
+
+    def fingerprint(self) -> str:
+        """Content address of this block (hash of both id columns).
+
+        Two blocks with identical (source, replier) columns share a
+        fingerprint regardless of their ``index``, which is what makes
+        the ruleset cache content-addressed rather than positional.
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            digest = hashlib.blake2b(digest_size=16)
+            digest.update(
+                np.ascontiguousarray(self.sources, dtype=np.int64).tobytes()
+            )
+            digest.update(
+                np.ascontiguousarray(self.repliers, dtype=np.int64).tobytes()
+            )
+            cached = digest.hexdigest()
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
 
 
 def blocks_from_arrays(

@@ -24,6 +24,36 @@ class TestPackPairKeys:
         with pytest.raises(ValueError):
             pack_pair_keys(ok, -big)
 
+    def test_validate_false_skips_range_scan(self, monkeypatch):
+        import repro.core.generation as generation
+
+        calls = []
+        monkeypatch.setattr(
+            generation, "scan_id_range", lambda *args: calls.append(1)
+        )
+        sources = np.array([1, 2], dtype=np.int64)
+        pack_pair_keys(sources, sources)
+        assert len(calls) == 1
+        pack_pair_keys(sources, sources, validate=False)
+        assert len(calls) == 1
+
+    def test_repeated_mining_scans_block_ids_once(self, small_block, monkeypatch):
+        """Regression: the id-range scan used to run on every
+        pack_pair_keys call; it is now cached per block, so re-mining the
+        same block must not repeat it."""
+        import repro.trace.blocks as blocks_module
+
+        calls = []
+        real_scan = blocks_module.scan_id_range
+        monkeypatch.setattr(
+            blocks_module,
+            "scan_id_range",
+            lambda *args: calls.append(1) or real_scan(*args),
+        )
+        for _ in range(3):
+            generate_ruleset(small_block, min_support_count=1)
+        assert len(calls) == 1
+
 
 class TestGenerateRuleset:
     def test_counts_from_small_block(self, small_block):

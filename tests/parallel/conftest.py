@@ -1,0 +1,20 @@
+"""Fixtures for the parallel-engine tests.
+
+The cache and trace provider are process-wide singletons; every test
+here must leave them as it found them (off), or later tests would see
+stale rulesets/traces.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parallel.cache import disable_ruleset_cache
+from repro.parallel.provider import clear_trace_provider
+
+
+@pytest.fixture(autouse=True)
+def _clean_process_state():
+    yield
+    disable_ruleset_cache()
+    clear_trace_provider()

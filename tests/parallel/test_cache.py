@@ -1,0 +1,161 @@
+"""Tests for the content-addressed ruleset cache (repro.parallel.cache)."""
+
+import pickle
+
+import pytest
+
+from repro.core.generation import generate_ruleset
+from repro.parallel.cache import (
+    RulesetCache,
+    cached_generate_ruleset,
+    configure_ruleset_cache,
+    disable_ruleset_cache,
+    get_ruleset_cache,
+    ruleset_cache,
+)
+from tests.conftest import make_block
+
+
+def block_a(index=0):
+    return make_block([(1, 10)] * 15 + [(2, 20)] * 12 + [(3, 30)] * 11, index=index)
+
+
+def block_b():
+    return make_block([(4, 40)] * 15 + [(5, 50)] * 12, index=0)
+
+
+def block_c():
+    return make_block([(6, 60)] * 20, index=0)
+
+
+class TestAccounting:
+    def test_miss_then_hit(self):
+        cache = RulesetCache()
+        block = block_a()
+        first = cache.get_or_generate(block)
+        assert (cache.hits, cache.misses) == (0, 1)
+        second = cache.get_or_generate(block)
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert second is first  # a hit returns the cached object itself
+        assert cache.hit_rate == 0.5
+        assert len(cache) == 1
+
+    def test_identical_content_distinct_objects_hit(self):
+        """The key is a content hash, not object identity or block index."""
+        cache = RulesetCache()
+        cache.get_or_generate(block_a(index=0))
+        cache.get_or_generate(block_a(index=7))
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_content_change_misses(self):
+        cache = RulesetCache()
+        cache.get_or_generate(block_a())
+        changed = make_block([(1, 10)] * 15 + [(2, 20)] * 12 + [(3, 31)] * 11)
+        cache.get_or_generate(changed)
+        assert (cache.hits, cache.misses) == (0, 2)
+
+    @pytest.mark.parametrize(
+        "params",
+        [
+            {"min_support_count": 5},
+            {"top_k": 1},
+            {"min_confidence": 0.5},
+        ],
+    )
+    def test_param_change_misses(self, params):
+        cache = RulesetCache()
+        block = block_a()
+        cache.get_or_generate(block)
+        cache.get_or_generate(block, **params)
+        assert (cache.hits, cache.misses) == (0, 2)
+
+    def test_cached_result_equals_plain_generation(self):
+        cache = RulesetCache()
+        block = block_a()
+        cached = cache.get_or_generate(block, min_support_count=5, top_k=2)
+        plain = generate_ruleset(block, min_support_count=5, top_k=2)
+        assert [(r.antecedent, r.consequent) for r in cached] == [
+            (r.antecedent, r.consequent) for r in plain
+        ]
+
+    def test_stats_snapshot_is_picklable(self):
+        cache = RulesetCache()
+        cache.get_or_generate(block_a())
+        cache.get_or_generate(block_a())
+        stats = pickle.loads(pickle.dumps(cache.stats()))
+        assert stats == {
+            "hits": 1,
+            "misses": 1,
+            "evictions": 0,
+            "size": 1,
+            "hit_rate": 0.5,
+        }
+
+    def test_empty_cache_hit_rate(self):
+        assert RulesetCache().hit_rate == 0.0
+
+
+class TestLRU:
+    def test_eviction_at_capacity(self):
+        cache = RulesetCache(maxsize=2)
+        cache.get_or_generate(block_a())
+        cache.get_or_generate(block_b())
+        cache.get_or_generate(block_c())
+        assert cache.evictions == 1
+        assert len(cache) == 2
+        # Oldest entry (block_a) was dropped; block_c is still cached.
+        cache.get_or_generate(block_c())
+        assert cache.hits == 1
+        cache.get_or_generate(block_a())
+        assert cache.misses == 4
+
+    def test_hit_refreshes_recency(self):
+        cache = RulesetCache(maxsize=2)
+        cache.get_or_generate(block_a())
+        cache.get_or_generate(block_b())
+        cache.get_or_generate(block_a())  # hit: block_a becomes most recent
+        cache.get_or_generate(block_c())  # evicts block_b, not block_a
+        cache.get_or_generate(block_a())
+        assert cache.hits == 2
+
+    def test_clear(self):
+        cache = RulesetCache()
+        cache.get_or_generate(block_a())
+        cache.clear()
+        assert len(cache) == 0
+        cache.get_or_generate(block_a())
+        assert cache.misses == 2
+
+    def test_rejects_bad_maxsize(self):
+        with pytest.raises(ValueError):
+            RulesetCache(maxsize=0)
+
+
+class TestProcessWideInstallation:
+    def test_disabled_by_default(self):
+        assert get_ruleset_cache() is None
+        # Falls through to plain generation with no counters anywhere.
+        rs = cached_generate_ruleset(block_a())
+        assert len(rs) > 0
+
+    def test_configure_and_disable(self):
+        cache = configure_ruleset_cache(maxsize=8)
+        assert get_ruleset_cache() is cache
+        cached_generate_ruleset(block_a())
+        cached_generate_ruleset(block_a())
+        assert (cache.hits, cache.misses) == (1, 1)
+        disable_ruleset_cache()
+        assert get_ruleset_cache() is None
+
+    def test_context_manager_restores_previous(self):
+        outer = configure_ruleset_cache()
+        with ruleset_cache() as inner:
+            assert get_ruleset_cache() is inner
+            assert inner is not outer
+        assert get_ruleset_cache() is outer
+
+    def test_context_manager_restores_none(self):
+        disable_ruleset_cache()
+        with ruleset_cache():
+            assert get_ruleset_cache() is not None
+        assert get_ruleset_cache() is None

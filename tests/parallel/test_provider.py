@@ -1,0 +1,101 @@
+"""Tests for the trace providers (repro.parallel.provider)."""
+
+import dataclasses
+
+import numpy as np
+
+from repro.parallel.provider import (
+    CachingTraceProvider,
+    SharedMemoryTraceProvider,
+    clear_trace_provider,
+    current_trace_provider,
+    install_trace_provider,
+    provide_pair_columns,
+    trace_key,
+)
+from repro.parallel.shm import AttachedTraceStore, SharedTraceStore
+from repro.workload.tracegen import MonitorTraceConfig, MonitorTraceGenerator
+
+CFG = MonitorTraceConfig()
+
+
+class TestTraceKey:
+    def test_same_spec_same_key(self):
+        assert trace_key(CFG, 1, 1000) == trace_key(MonitorTraceConfig(), 1, 1000)
+
+    def test_differs_by_each_component(self):
+        base = trace_key(CFG, 1, 1000)
+        assert trace_key(CFG, 2, 1000) != base
+        assert trace_key(CFG, 1, 2000) != base
+        other_cfg = dataclasses.replace(CFG, block_size=CFG.block_size + 1)
+        assert trace_key(other_cfg, 1, 1000) != base
+
+    def test_longer_trace_is_not_a_superset(self):
+        """The reason n_pairs is part of the key: the generator pre-draws
+        its gap sequence, so a longer trace diverges from a shorter one
+        rather than extending it."""
+        short = MonitorTraceGenerator(CFG, seed=1).generate_pair_arrays(1000)
+        long = MonitorTraceGenerator(CFG, seed=1).generate_pair_arrays(2000)
+        assert not np.array_equal(long.source[:1000], short.source)
+
+
+class TestCachingTraceProvider:
+    def test_memoizes_by_spec(self):
+        provider = CachingTraceProvider()
+        first = provider.pair_columns(CFG, 1, 1000)
+        second = provider.pair_columns(CFG, 1, 1000)
+        assert (provider.hits, provider.misses) == (1, 1)
+        assert second[0] is first[0]  # served the same arrays, no regen
+        provider.pair_columns(CFG, 2, 1000)
+        assert provider.misses == 2
+
+    def test_columns_match_direct_generation(self):
+        provider = CachingTraceProvider()
+        sources, repliers = provider.pair_columns(CFG, 3, 1500)
+        arrays = MonitorTraceGenerator(CFG, seed=3).generate_pair_arrays(1500)
+        np.testing.assert_array_equal(sources, arrays.source)
+        np.testing.assert_array_equal(repliers, arrays.replier)
+
+    def test_warm_prefills(self):
+        provider = CachingTraceProvider()
+        provider.warm(CFG, 1, 1000)
+        provider.pair_columns(CFG, 1, 1000)
+        assert (provider.hits, provider.misses) == (1, 1)
+
+
+class TestSharedMemoryTraceProvider:
+    def test_serves_shared_then_falls_back(self):
+        arrays = MonitorTraceGenerator(CFG, seed=1).generate_pair_arrays(1000)
+        key = trace_key(CFG, 1, 1000)
+        with SharedTraceStore() as store:
+            store.put(key, arrays.source, arrays.replier)
+            attached = AttachedTraceStore(store.handles())
+            try:
+                provider = SharedMemoryTraceProvider(attached)
+                sources, _ = provider.pair_columns(CFG, 1, 1000)
+                np.testing.assert_array_equal(sources, arrays.source)
+                assert provider.shared_hits == 1
+                # Spec the parent did not pre-generate: local fallback.
+                provider.pair_columns(CFG, 9, 500)
+                assert provider.shared_hits == 1
+                assert provider._local.misses == 1
+            finally:
+                attached.close()
+
+
+class TestProcessWideProvider:
+    def test_none_by_default(self):
+        assert current_trace_provider() is None
+
+    def test_provided_columns_bit_identical_to_direct(self):
+        direct = provide_pair_columns(CFG, 5, 1200)
+        provider = CachingTraceProvider()
+        install_trace_provider(provider)
+        try:
+            served = provide_pair_columns(CFG, 5, 1200)
+        finally:
+            clear_trace_provider()
+        np.testing.assert_array_equal(served[0], direct[0])
+        np.testing.assert_array_equal(served[1], direct[1])
+        assert provider.misses == 1
+        assert current_trace_provider() is None

@@ -1,0 +1,93 @@
+"""Tests for the shared-memory trace transport (repro.parallel.shm)."""
+
+import pickle
+
+import numpy as np
+import pytest
+from multiprocessing import shared_memory
+
+from repro.parallel.shm import AttachedTraceStore, SharedTraceStore, TraceHandle
+
+
+def columns(n=100, seed=0):
+    rng = np.random.default_rng(seed)
+    return (
+        rng.integers(0, 50, size=n).astype(np.int64),
+        rng.integers(100, 150, size=n).astype(np.int64),
+    )
+
+
+class TestSharedTraceStore:
+    def test_round_trip(self):
+        sources, repliers = columns()
+        with SharedTraceStore() as store:
+            handle = store.put("spec", sources, repliers)
+            assert handle.n_pairs == 100
+            assert len(store) == 1
+            out_sources, out_repliers = store.arrays("spec")
+            np.testing.assert_array_equal(out_sources, sources)
+            np.testing.assert_array_equal(out_repliers, repliers)
+
+    def test_put_copies(self):
+        """Mutating the input after put must not change the stored trace."""
+        sources, repliers = columns()
+        with SharedTraceStore() as store:
+            store.put("spec", sources, repliers)
+            sources[:] = -1
+            assert store.arrays("spec")[0][0] != -1
+
+    def test_duplicate_put_is_idempotent(self):
+        sources, repliers = columns()
+        with SharedTraceStore() as store:
+            first = store.put("spec", sources, repliers)
+            second = store.put("spec", sources + 1, repliers)
+            assert second is first
+            assert len(store) == 1
+
+    def test_rejects_mismatched_columns(self):
+        sources, repliers = columns()
+        with SharedTraceStore() as store:
+            with pytest.raises(ValueError):
+                store.put("spec", sources, repliers[:-1])
+
+    def test_close_unlinks_segments(self):
+        sources, repliers = columns()
+        store = SharedTraceStore()
+        handle = store.put("spec", sources, repliers)
+        store.close()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=handle.shm_name)
+        store.close()  # idempotent
+
+    def test_empty_trace(self):
+        empty = np.array([], dtype=np.int64)
+        with SharedTraceStore() as store:
+            handle = store.put("spec", empty, empty)
+            assert handle.n_pairs == 0
+            assert len(store.arrays("spec")[0]) == 0
+
+
+class TestAttachedTraceStore:
+    def test_handles_are_picklable(self):
+        sources, repliers = columns()
+        with SharedTraceStore() as store:
+            store.put("spec", sources, repliers)
+            handles = pickle.loads(pickle.dumps(store.handles()))
+            assert handles == {"spec": TraceHandle(handles["spec"].shm_name, 100)}
+
+    def test_attached_arrays_match(self):
+        sources, repliers = columns()
+        with SharedTraceStore() as store:
+            store.put("spec", sources, repliers)
+            attached = AttachedTraceStore(store.handles())
+            try:
+                assert "spec" in attached
+                assert "other" not in attached
+                out_sources, out_repliers = attached.arrays("spec")
+                np.testing.assert_array_equal(out_sources, sources)
+                np.testing.assert_array_equal(out_repliers, repliers)
+                # Second call reuses the attachment.
+                again, _ = attached.arrays("spec")
+                np.testing.assert_array_equal(again, sources)
+            finally:
+                attached.close()

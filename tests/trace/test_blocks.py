@@ -33,6 +33,75 @@ class TestPairBlock:
             )
 
 
+class TestPairBlockMemoization:
+    def test_packed_keys_values_and_reuse(self, small_block):
+        keys = small_block.packed_keys()
+        np.testing.assert_array_equal(
+            keys, (small_block.sources << np.int64(32)) | small_block.repliers
+        )
+        assert small_block.packed_keys() is keys  # computed once
+
+    def test_validate_ids_scans_once(self, small_block, monkeypatch):
+        import repro.trace.blocks as blocks_module
+
+        calls = []
+        real_scan = blocks_module.scan_id_range
+        monkeypatch.setattr(
+            blocks_module,
+            "scan_id_range",
+            lambda *args: calls.append(1) or real_scan(*args),
+        )
+        small_block.validate_ids()
+        small_block.validate_ids()
+        small_block.validate_ids()
+        assert len(calls) == 1
+
+    def test_validate_ids_rejects_out_of_range(self):
+        from repro.trace.blocks import ID_LIMIT
+
+        bad = PairBlock(
+            sources=np.array([ID_LIMIT], dtype=np.int64),
+            repliers=np.array([1], dtype=np.int64),
+        )
+        with pytest.raises(ValueError):
+            bad.validate_ids()
+        with pytest.raises(ValueError):
+            PairBlock(
+                sources=np.array([1], dtype=np.int64),
+                repliers=np.array([-1], dtype=np.int64),
+            ).validate_ids()
+
+    def test_fingerprint_is_content_addressed(self, small_block):
+        clone = PairBlock(
+            sources=small_block.sources.copy(),
+            repliers=small_block.repliers.copy(),
+            index=99,  # index is metadata, not content
+        )
+        assert clone.fingerprint() == small_block.fingerprint()
+        changed = PairBlock(
+            sources=small_block.sources.copy(),
+            repliers=np.where(
+                np.arange(len(small_block)) == 3, 77, small_block.repliers
+            ).astype(np.int64),
+        )
+        assert changed.fingerprint() != small_block.fingerprint()
+
+    def test_fingerprint_distinguishes_column_roles(self):
+        """Swapping sources and repliers must change the fingerprint."""
+        a = PairBlock(
+            sources=np.array([1, 2], dtype=np.int64),
+            repliers=np.array([3, 4], dtype=np.int64),
+        )
+        b = PairBlock(
+            sources=np.array([3, 4], dtype=np.int64),
+            repliers=np.array([1, 2], dtype=np.int64),
+        )
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_fingerprint_memoized(self, small_block):
+        assert small_block.fingerprint() is small_block.fingerprint()
+
+
 class TestBlocksFromArrays:
     def test_partition_sizes(self):
         sources = np.arange(25, dtype=np.int64)
