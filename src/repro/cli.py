@@ -22,6 +22,10 @@ Commands
     Boot a loopback cluster of live servents over real sockets, drive a
     workload through it, and (with ``--compare``) race association
     routing against flooding on identical topology and queries.
+``chaos-soak``
+    Run a loopback cluster under a seeded fault-injection plan (peer
+    crashes, partitions, stream corruption, stalls) and audit teardown
+    / reconnect / accounting invariants; exits non-zero if any fails.
 
 Use ``--seed`` to vary the seed and ``--full`` for the paper's full
 365-block horizon (equivalent to ``REPRO_FULL_SCALE=1``).
@@ -210,6 +214,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--show-trace",
         action="store_true",
         help="print the hop-by-hop trace of one sample query per mode",
+    )
+
+    chaos = sub.add_parser(
+        "chaos-soak",
+        help="batter a loopback live cluster with a seeded fault plan "
+        "and audit its invariants",
+    )
+    chaos.add_argument("--nodes", type=int, default=8)
+    chaos.add_argument("--degree", type=int, default=3)
+    chaos.add_argument(
+        "--plan",
+        choices=("crash-restart", "partition-heal", "mixed"),
+        default="mixed",
+        help="which seeded fault schedule to run (default: %(default)s)",
+    )
+    chaos.add_argument(
+        "--flood",
+        action="store_true",
+        help="flooding servents (default: rule-routed)",
+    )
+    chaos.add_argument(
+        "--warmup-queries",
+        type=int,
+        default=30,
+        help="queries to train rules before faults start",
+    )
+    chaos.add_argument(
+        "--time-scale",
+        type=float,
+        default=1.0,
+        help="stretch (>1) or compress (<1) the plan's activation times",
+    )
+    chaos.add_argument(
+        "--report",
+        metavar="PATH",
+        default=None,
+        help="also write the full soak report as JSON to PATH",
     )
     return parser
 
@@ -448,6 +489,31 @@ def _run_live_cluster(args) -> int:
     return 0
 
 
+def _run_chaos_soak(args) -> int:
+    from repro.faults import chaos_soak
+
+    if args.nodes < 2:
+        _log.error("need at least 2 nodes", extra={"nodes": args.nodes})
+        return 2
+    seed = args.seed if args.seed is not None else 20060814
+    report = chaos_soak(
+        args.plan,
+        n_nodes=args.nodes,
+        degree=args.degree,
+        seed=seed,
+        rule_routed=not args.flood,
+        warmup_queries=args.warmup_queries,
+        time_scale=args.time_scale,
+    )
+    print(report.format())
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            fh.write(report.to_json())
+            fh.write("\n")
+        _log.info("soak report written", extra={"path": args.report})
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     configure_logging(level=args.log_level, json_lines=args.log_json)
@@ -609,6 +675,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "live-cluster":
         return _run_live_cluster(args)
+
+    if args.command == "chaos-soak":
+        return _run_chaos_soak(args)
 
     if args.command == "trace":
         from repro.trace.analysis import coverage_ceiling, profile_block, source_turnover

@@ -1,0 +1,56 @@
+"""Deterministic fault injection for the live stack and the simulators.
+
+The paper's adaptive routing exists *because* overlays churn — peers
+crash, links stall, partitions cut reply paths — so the reproduction
+needs failure as a first-class, replayable input rather than an
+accident of the test machine.  This package provides:
+
+* :mod:`repro.faults.plan` — seeded :class:`FaultPlan` schedules whose
+  events activate at fixed offsets, replaying bit-identically;
+* :mod:`repro.faults.transport` — stream wrappers + a
+  :class:`FaultController` whose transport openers plug into
+  :func:`repro.live.connection.dial_peer`, so faults act at the socket
+  boundary without the protocol code knowing;
+* :mod:`repro.faults.injector` — executes a plan against a
+  :class:`~repro.live.cluster.LiveCluster` in real (scaled) time;
+* :mod:`repro.faults.churn` — replays the same plan as topology churn
+  for the in-process simulators;
+* :mod:`repro.faults.soak` — the ``chaos-soak`` harness: run a cluster
+  under a plan, audit invariants, emit a replay-stable report.
+"""
+
+from repro.faults.churn import TopologyChurn
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    FaultEvent,
+    FaultPlan,
+    chaos_plan,
+    crash_restart_plan,
+    partition_heal_plan,
+)
+from repro.faults.soak import (
+    PLAN_NAMES,
+    SoakReport,
+    chaos_soak,
+    expected_min_reconnects,
+    make_plan,
+    run_soak,
+)
+from repro.faults.transport import FaultController
+
+__all__ = [
+    "FaultController",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "PLAN_NAMES",
+    "SoakReport",
+    "TopologyChurn",
+    "chaos_plan",
+    "chaos_soak",
+    "crash_restart_plan",
+    "expected_min_reconnects",
+    "make_plan",
+    "partition_heal_plan",
+    "run_soak",
+]

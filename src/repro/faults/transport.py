@@ -1,0 +1,352 @@
+"""Fault-injecting wrappers over asyncio stream pairs.
+
+The live stack's protocol code never learns about faults: a
+:class:`FaultController` hands each node a *transport opener* (the
+``open_transport`` hook on :func:`repro.live.connection.dial_peer` /
+:class:`~repro.live.node.LiveServent`) that opens the real TCP
+connection and returns a :class:`FaultyReader` / :class:`FaultyWriter`
+pair sharing one :class:`FaultyLink`.  Faults therefore act exactly at
+the socket boundary:
+
+* **latency** sleeps before reads and drains (both directions of a link
+  are wrapped on the dialer's side, so one wrapper delays the link);
+* **stall** is a one-shot slow-reader pause — the remote peer keeps
+  writing into a reader that has stopped, which is how real
+  backpressure (``drain_stalls``, send-queue drops) arises;
+* **corrupt** injects garbage bytes mid-stream, so the remote
+  :class:`~repro.live.framing.StreamDecoder` raises ``ProtocolError``
+  and the peer is dropped;
+* **truncate** halves the next written frame and then aborts the link —
+  a peer dying mid-write;
+* **reset** aborts the underlying transport (RST-style) and poisons the
+  wrappers with ``ConnectionResetError``;
+* **partition** makes the controller's openers refuse cross-group dials
+  (``ConnectionRefusedError``) and resets existing cross links.
+
+Only the *dialing* side of each link is wrapped: reads delayed there
+slow the acceptor→dialer direction, writes corrupted there break the
+dialer→acceptor direction, and aborts kill both.  That keeps the hook
+surface to one injection point per link while still reaching every
+fault the taxonomy names.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.faults.plan import (
+    CORRUPT,
+    HEAL,
+    LATENCY,
+    PARTITION,
+    RESET,
+    STALL,
+    TRUNCATE,
+    FaultEvent,
+)
+
+__all__ = [
+    "FaultController",
+    "FaultyLink",
+    "FaultyReader",
+    "FaultyWriter",
+    "LinkFaults",
+]
+
+#: a junk descriptor header: 16 bytes of fake GUID + invalid type +
+#: absurd length — guaranteed to trip the remote decoder's payload
+#: bound even when it lands mid-frame and misaligns the stream.
+_GARBAGE = b"\xff" * 23
+
+
+class LinkFaults:
+    """Mutable fault state for one overlay link (u, v).
+
+    The controller mutates it; every active :class:`FaultyLink` wrapper
+    on the link consults it per I/O operation.  One-shot faults (stall,
+    corrupt, truncate) are consumed by the first operation that applies
+    them.
+    """
+
+    def __init__(self) -> None:
+        self.latency = 0.0
+        self._stall = 0.0
+        self._wrappers: set["FaultyLink"] = set()
+
+    # -- wrapper registry --------------------------------------------------
+    def attach(self, wrapper: "FaultyLink") -> None:
+        self._wrappers.add(wrapper)
+
+    def detach(self, wrapper: "FaultyLink") -> None:
+        self._wrappers.discard(wrapper)
+
+    @property
+    def active(self) -> bool:
+        return bool(self._wrappers)
+
+    # -- fault setters (controller side) -----------------------------------
+    def set_latency(self, seconds: float) -> None:
+        self.latency = max(0.0, seconds)
+
+    def stall(self, seconds: float) -> None:
+        self._stall = max(self._stall, seconds)
+
+    def take_stall(self) -> float:
+        seconds, self._stall = self._stall, 0.0
+        return seconds
+
+    def corrupt(self) -> bool:
+        """Inject garbage on an active wrapper; False if the link is down."""
+        for wrapper in list(self._wrappers):
+            if wrapper.inject_garbage():
+                return True
+        return False
+
+    def truncate(self) -> bool:
+        for wrapper in list(self._wrappers):
+            if not wrapper.aborted:
+                wrapper.truncate_next = True
+                return True
+        return False
+
+    def reset(self) -> bool:
+        """Abort every live connection on this link; False if none."""
+        hit = False
+        for wrapper in list(self._wrappers):
+            if not wrapper.aborted:
+                wrapper.abort()
+                hit = True
+        return hit
+
+
+class FaultyLink:
+    """One wrapped connection: shared state for its reader/writer pair."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        faults: LinkFaults,
+    ) -> None:
+        self._inner_reader = reader
+        self._inner_writer = writer
+        self.faults = faults
+        self.aborted = False
+        self.truncate_next = False
+        self.reader = FaultyReader(reader, self)
+        self.writer = FaultyWriter(writer, self)
+        faults.attach(self)
+
+    async def before_io(self) -> None:
+        """Latency / stall / reset gate shared by reads and drains."""
+        if self.aborted:
+            raise ConnectionResetError("fault injection: link reset")
+        stall = self.faults.take_stall()
+        if stall > 0:
+            await asyncio.sleep(stall)
+        if self.faults.latency > 0:
+            await asyncio.sleep(self.faults.latency)
+        if self.aborted:
+            raise ConnectionResetError("fault injection: link reset")
+
+    def abort(self) -> None:
+        """RST-style kill: both directions die, buffered bytes are lost."""
+        self.aborted = True
+        try:
+            self._inner_writer.transport.abort()
+        except Exception:
+            pass
+        self.faults.detach(self)
+
+    def inject_garbage(self) -> bool:
+        """Write a malformed descriptor into the stream (mid-frame byte
+        corruption as the remote decoder experiences it)."""
+        if self.aborted or self._inner_writer.is_closing():
+            return False
+        try:
+            self._inner_writer.write(_GARBAGE)
+        except Exception:
+            return False
+        return True
+
+    def closed(self) -> None:
+        self.faults.detach(self)
+
+
+class FaultyReader:
+    """StreamReader facade applying link faults before each read."""
+
+    def __init__(self, inner: asyncio.StreamReader, link: FaultyLink) -> None:
+        self._inner = inner
+        self._link = link
+
+    async def read(self, n: int = -1) -> bytes:
+        await self._link.before_io()
+        return await self._inner.read(n)
+
+    async def readexactly(self, n: int) -> bytes:
+        await self._link.before_io()
+        return await self._inner.readexactly(n)
+
+    async def readuntil(self, separator: bytes = b"\n") -> bytes:
+        await self._link.before_io()
+        return await self._inner.readuntil(separator)
+
+    async def readline(self) -> bytes:
+        await self._link.before_io()
+        return await self._inner.readline()
+
+    def at_eof(self) -> bool:
+        return self._inner.at_eof()
+
+    def exception(self):
+        return self._inner.exception()
+
+
+class FaultyWriter:
+    """StreamWriter facade applying link faults to writes and drains."""
+
+    def __init__(self, inner: asyncio.StreamWriter, link: FaultyLink) -> None:
+        self._inner = inner
+        self._link = link
+
+    @property
+    def transport(self):
+        return self._inner.transport
+
+    def write(self, data: bytes) -> None:
+        link = self._link
+        if link.aborted:
+            raise ConnectionResetError("fault injection: link reset")
+        if link.truncate_next:
+            link.truncate_next = False
+            self._inner.write(data[: max(1, len(data) // 2)])
+            link.abort()  # died mid-write: remote sees a partial frame
+            return
+        self._inner.write(data)
+
+    def writelines(self, data) -> None:
+        for chunk in data:
+            self.write(chunk)
+
+    async def drain(self) -> None:
+        await self._link.before_io()
+        await self._inner.drain()
+
+    def close(self) -> None:
+        self._link.closed()
+        self._inner.close()
+
+    def is_closing(self) -> bool:
+        return self._inner.is_closing()
+
+    async def wait_closed(self) -> None:
+        await self._inner.wait_closed()
+
+    def get_extra_info(self, name, default=None):
+        return self._inner.get_extra_info(name, default)
+
+
+class FaultController:
+    """Per-link fault state + partition gate for one live cluster.
+
+    The cluster binds its node→port map after listeners start
+    (:meth:`bind_ports`); each node dials through the opener from
+    :meth:`opener`, which looks the target port up, enforces the active
+    partition, and wraps the streams with the link's
+    :class:`LinkFaults`.  Ports the controller does not know (external
+    peers) pass through unwrapped.
+    """
+
+    def __init__(self) -> None:
+        self._ports: dict[int, int] = {}
+        self._links: dict[frozenset, LinkFaults] = {}
+        self.partition: tuple[frozenset, frozenset] | None = None
+
+    # -- wiring ------------------------------------------------------------
+    def bind_ports(self, ports: dict[int, int]) -> None:
+        """Register the cluster's node id → listen port map."""
+        self._ports.update(ports)
+
+    def node_at(self, port: int) -> int | None:
+        for node, node_port in self._ports.items():
+            if node_port == port:
+                return node
+        return None
+
+    def link(self, u: int, v: int) -> LinkFaults:
+        key = frozenset((u, v))
+        faults = self._links.get(key)
+        if faults is None:
+            faults = self._links[key] = LinkFaults()
+        return faults
+
+    def opener(self, node_id: int):
+        """A ``dial_peer``-compatible transport opener for one node."""
+
+        async def open_transport(host: str, port: int):
+            remote = self.node_at(port)
+            if remote is not None and self.partitioned(node_id, remote):
+                raise ConnectionRefusedError(
+                    f"fault injection: {node_id} -/- {remote} (partition)"
+                )
+            reader, writer = await asyncio.open_connection(host, port)
+            if remote is None:
+                return reader, writer
+            link = FaultyLink(reader, writer, self.link(node_id, remote))
+            return link.reader, link.writer
+
+        return open_transport
+
+    # -- partitions --------------------------------------------------------
+    def partitioned(self, u: int, v: int) -> bool:
+        if self.partition is None:
+            return False
+        a, b = self.partition
+        return (u in a and v in b) or (u in b and v in a)
+
+    def set_partition(self, group_a, group_b) -> int:
+        """Activate a partition; resets existing cross links.
+
+        Returns how many live cross links were reset.
+        """
+        self.partition = (frozenset(group_a), frozenset(group_b))
+        hits = 0
+        for key, faults in self._links.items():
+            u, v = tuple(key)
+            if self.partitioned(u, v) and faults.reset():
+                hits += 1
+        return hits
+
+    def heal_partition(self) -> None:
+        self.partition = None
+
+    # -- event dispatch ----------------------------------------------------
+    def apply(self, event: FaultEvent) -> bool:
+        """Apply one *link-level or partition* event; True if it landed.
+
+        Node-level events (crash/restart) need the cluster and are the
+        :class:`~repro.faults.injector.FaultInjector`'s job.
+        """
+        if event.kind == PARTITION:
+            self.set_partition(*event.groups)
+            return True
+        if event.kind == HEAL:
+            self.heal_partition()
+            return True
+        if event.link is None:
+            raise ValueError(f"controller cannot apply {event.kind!r}")
+        faults = self.link(*event.link)
+        if event.kind == LATENCY:
+            faults.set_latency(event.seconds)
+            return True
+        if event.kind == STALL:
+            faults.stall(event.seconds)
+            return True
+        if event.kind == CORRUPT:
+            return faults.corrupt()
+        if event.kind == TRUNCATE:
+            return faults.truncate()
+        if event.kind == RESET:
+            return faults.reset()
+        raise ValueError(f"controller cannot apply {event.kind!r}")

@@ -112,11 +112,16 @@ class LiveCluster:
         observe: bool = False,
         registry: MetricsRegistry | None = None,
         tracer: QueryTracer | None = None,
+        fault_controller=None,
     ) -> None:
         self.topology = topology
         self.host = host
         self.config = config or harness_config()
         self.rule_routed = rule_routed
+        #: a :class:`repro.faults.transport.FaultController` (or None).
+        #: Every node dials through the controller's transport opener, so
+        #: link faults and partitions act at the socket boundary.
+        self.fault_controller = fault_controller
         # One registry and one tracer shared by every node: per-node
         # series are separated by the `node` label, and a query's trace
         # accumulates events from every node it crosses — which is what
@@ -137,6 +142,9 @@ class LiveCluster:
         self._rule_kwargs = dict(rule_kwargs or {})
         #: GUIDs of queries issued through :meth:`query`, in issue order.
         self.issued: list[tuple[int, str, int]] = []
+        #: final counter snapshots of nodes replaced by :meth:`restart` —
+        #: cross-restart accounting (:meth:`grand_totals`) needs them.
+        self.retired_stats: list[dict[str, int]] = []
         self.nodes: list[LiveServent] = [
             self._make_node(node) for node in range(topology.n_nodes)
         ]
@@ -153,11 +161,15 @@ class LiveCluster:
                     **self._rule_kwargs,
                 }
             )
+        open_transport = None
+        if self.fault_controller is not None:
+            open_transport = self.fault_controller.opener(node_id)
         return LiveServent(
             node_id,
             host=self.host,
             port=port,
             rules=rules,
+            open_transport=open_transport,
             **self._node_kwargs,
         )
 
@@ -166,6 +178,11 @@ class LiveCluster:
         """Listen everywhere, dial every edge, wait for full wiring."""
         for node in self.nodes:
             await node.start()
+        if self.fault_controller is not None:
+            # openers need the node ↔ port map before the first dial.
+            self.fault_controller.bind_ports(
+                {node.node_id: node.port for node in self.nodes}
+            )
         for u, v in self.topology.edges():
             self.nodes[u].add_peer(self.host, self.nodes[v].port, peer_id=v)
         await self.wait_connected(timeout=ready_timeout)
@@ -215,6 +232,7 @@ class LiveCluster:
         old = self.nodes[node_id]
         if not old.closed:
             raise RuntimeError(f"node {node_id} is still running")
+        self.retired_stats.append(old.snapshot())
         node = self._make_node(node_id, port=old.port)
         node.servent.library = list(old.servent.library)
         self.nodes[node_id] = node
@@ -317,6 +335,20 @@ class LiveCluster:
             node.node_id: NodeStats(**node.snapshot()) for node in self.nodes
         }
         return combine_stats(per_node)
+
+    def grand_totals(self) -> dict[str, int]:
+        """Cluster totals *including* nodes retired by :meth:`restart`.
+
+        A restarted node starts from zero counters, so plain
+        :meth:`totals` under-counts one side of every frame the old
+        incarnation exchanged — conservation checks (``frames_in <=
+        frames_out``) need the retired snapshots folded back in.
+        """
+        totals = self.totals()
+        for snapshot in self.retired_stats:
+            for name, value in snapshot.items():
+                totals[name] += value
+        return totals
 
     # -- workloads --------------------------------------------------------
     async def query(

@@ -36,9 +36,10 @@ stable across reconnects for learned routing rules to stay valid):
 from __future__ import annotations
 
 import asyncio
+import random
 from dataclasses import dataclass
 from time import perf_counter
-from typing import Callable, Iterator
+from typing import Awaitable, Callable, Iterator
 
 from repro.live.framing import DEFAULT_MAX_PAYLOAD, StreamDecoder
 from repro.live.stats import NodeStats
@@ -51,9 +52,20 @@ __all__ = [
     "HandshakeError",
     "PeerConnection",
     "accept_handshake",
+    "aclose_writer",
     "backoff_delays",
     "dial_peer",
     "offer_handshake",
+]
+
+#: Anything that opens a (reader, writer) stream pair the way
+#: ``asyncio.open_connection`` does.  Fault-injection harnesses (see
+#: :mod:`repro.faults.transport`) substitute an opener that wraps the
+#: real streams, so faults apply at the socket boundary without the
+#: protocol code knowing.
+TransportOpener = Callable[
+    [str, int],
+    Awaitable[tuple[asyncio.StreamReader, asyncio.StreamWriter]],
 ]
 
 _CONNECT_LINE = b"GNUTELLA CONNECT/0.4"
@@ -97,6 +109,18 @@ class ConnectionConfig:
     #: a write drain slower than this counts as a stall (metrics only;
     #: a stalling peer is backpressure, not an error).
     drain_stall_threshold: float = 0.1
+    #: fraction of each backoff delay randomised away (0 = the old pure
+    #: exponential; 1 = full jitter).  Without jitter, every supervisor
+    #: that lost its link at the same instant — a healed partition, a
+    #: restarted hub — re-dials on the same schedule (thundering herd).
+    retry_jitter: float = 0.0
+    #: seed for the jitter stream; combined with a per-peer salt so
+    #: different supervisors draw different (but replayable) delays.
+    #: None draws from OS entropy (non-reproducible).
+    retry_jitter_seed: int | None = None
+    #: how long a graceful ``aclose(flush=True)`` waits for queued
+    #: frames to drain before falling back to a hard close.
+    close_flush_timeout: float = 1.0
 
     def __post_init__(self) -> None:
         if self.send_queue_limit < 1:
@@ -105,13 +129,41 @@ class ConnectionConfig:
             raise ValueError("retry delays must be positive")
         if self.retry_backoff < 1.0:
             raise ValueError("retry_backoff must be >= 1.0")
+        if self.max_retries is not None and self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0 or None")
+        if not 0.0 <= self.retry_jitter <= 1.0:
+            raise ValueError("retry_jitter must be in [0, 1]")
+        if self.close_flush_timeout <= 0:
+            raise ValueError("close_flush_timeout must be positive")
 
 
-def backoff_delays(config: ConnectionConfig) -> Iterator[float]:
-    """Exponential retry delays: initial * backoff^n, capped at max."""
+def backoff_delays(config: ConnectionConfig, *, salt: int = 0) -> Iterator[float]:
+    """Exponential retry delays: initial * backoff^n, capped at max.
+
+    With ``config.retry_jitter`` > 0, each yielded delay keeps a
+    ``1 - jitter`` deterministic floor and randomises the rest over
+    ``[0, jitter * base)`` — full jitter at 1.0 — so supervisors that
+    lost their links simultaneously spread their re-dials instead of
+    thundering back in lock-step.  The stream is seeded from
+    ``config.retry_jitter_seed`` combined with ``salt`` (callers pass a
+    per-peer value), so runs replay exactly while peers still decorrelate.
+    """
+    jitter = config.retry_jitter
+    rng: random.Random | None = None
+    if jitter > 0.0:
+        if config.retry_jitter_seed is not None:
+            seed = ((config.retry_jitter_seed & 0xFFFFFFFF) << 32) ^ (
+                salt & 0xFFFFFFFF
+            )
+            rng = random.Random(seed)
+        else:
+            rng = random.Random()
     delay = config.retry_initial_delay
     while True:
-        yield delay
+        if rng is None:
+            yield delay
+        else:
+            yield delay * (1.0 - jitter) + rng.random() * delay * jitter
         delay = min(delay * config.retry_backoff, config.retry_max_delay)
 
 
@@ -168,27 +220,49 @@ async def accept_handshake(
     return peer_id
 
 
+async def aclose_writer(writer: asyncio.StreamWriter) -> None:
+    """Close a bare stream writer and await its transport's teardown.
+
+    ``writer.close()`` alone only *schedules* the close; abandoning the
+    writer before ``wait_closed()`` leaks the transport (surfacing as
+    ``ResourceWarning`` under rapid reconnects).  Errors are swallowed —
+    this runs on paths where the connection is already broken.
+    """
+    try:
+        writer.close()
+        await writer.wait_closed()
+    except Exception:
+        pass
+
+
 async def dial_peer(
     host: str,
     port: int,
     node_id: int,
     config: ConnectionConfig,
+    *,
+    open_transport: TransportOpener | None = None,
 ) -> tuple[asyncio.StreamReader, asyncio.StreamWriter, int]:
     """Connect + handshake with timeouts; returns (reader, writer, peer id).
 
     Raises ``OSError`` on dial failure and :class:`HandshakeError` /
     ``asyncio.TimeoutError`` on a broken handshake; the caller's
     supervisor turns any of these into a backoff retry.
+
+    ``open_transport`` substitutes for ``asyncio.open_connection``:
+    fault-injection harnesses pass an opener returning wrapped streams so
+    faults act at the socket boundary (including during the handshake).
     """
+    opener = open_transport if open_transport is not None else asyncio.open_connection
     reader, writer = await asyncio.wait_for(
-        asyncio.open_connection(host, port), config.connect_timeout
+        opener(host, port), config.connect_timeout
     )
     try:
         peer_id = await asyncio.wait_for(
             offer_handshake(reader, writer, node_id), config.handshake_timeout
         )
     except BaseException:
-        writer.close()
+        await aclose_writer(writer)
         raise
     return reader, writer, peer_id
 
@@ -228,15 +302,18 @@ class PeerConnection:
         )
         self._decoder = StreamDecoder(max_payload_length=config.max_payload_length)
         self._tasks: list[asyncio.Task] = []
+        self._write_task: asyncio.Task | None = None
         self._closed = asyncio.Event()
         self._closing = False
+        self._draining = False
 
     # -- lifecycle --------------------------------------------------------
     def start(self) -> None:
         """Spawn the reader / writer / keepalive tasks."""
+        self._write_task = asyncio.create_task(self._write_loop())
         self._tasks = [
             asyncio.create_task(self._read_loop()),
-            asyncio.create_task(self._write_loop()),
+            self._write_task,
         ]
         if self._config.keepalive_interval > 0 and self._make_keepalive:
             self._tasks.append(asyncio.create_task(self._keepalive_loop()))
@@ -249,7 +326,16 @@ class PeerConnection:
         await self._closed.wait()
 
     def close(self) -> None:
-        """Begin teardown (idempotent); safe from any task."""
+        """Begin *hard* teardown (idempotent); safe from any task.
+
+        Queued frames are dropped and the loop tasks are cancelled — the
+        right response to a peer-initiated drop, where the link is
+        already useless.  For a clean local shutdown use
+        :meth:`aclose` with ``flush=True``, which drains the send queue
+        first; and note this method only *begins* teardown: an owner
+        that never awaits :meth:`aclose` leaks the cancelled tasks and
+        the transport until the event loop exits.
+        """
         if self._closing:
             return
         self._closing = True
@@ -263,10 +349,46 @@ class PeerConnection:
         if self._on_close is not None:
             self._on_close(self)
 
+    async def aclose(self, *, flush: bool = False) -> None:
+        """Async teardown: close, then await tasks and transport.
+
+        With ``flush=True`` (clean *local* shutdown) the ``None``
+        sentinel is enqueued and the write loop drains every frame
+        already accepted before closing — bounded by
+        ``config.close_flush_timeout``, after which the hard close drops
+        whatever is left (a peer that stopped reading must not pin our
+        shutdown).  Idempotent, and safe to call from the supervisor
+        after :meth:`wait_closed`: it reaps the cancelled reader /
+        writer / keepalive tasks and awaits the transport's
+        ``wait_closed()``, so rapid reconnect cycles leak neither tasks
+        nor transports.
+        """
+        if flush and not self._closing and not self._draining:
+            self._draining = True  # refuse new frames; drain what's queued
+            write_task = self._write_task
+            if write_task is not None and not write_task.done():
+                try:
+                    self._queue.put_nowait(None)
+                except asyncio.QueueFull:
+                    pass  # saturated queue: fall through to the hard close
+                else:
+                    await asyncio.wait(
+                        {write_task}, timeout=self._config.close_flush_timeout
+                    )
+        self.close()
+        current = asyncio.current_task()
+        tasks = [t for t in self._tasks if t is not current]
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        try:
+            await self._writer.wait_closed()
+        except Exception:
+            pass
+
     # -- sending ----------------------------------------------------------
     def send(self, frame: bytes) -> bool:
         """Enqueue one frame; False (frame dropped) if closed or backed up."""
-        if self._closing:
+        if self._closing or self._draining:
             return False
         try:
             self._queue.put_nowait(frame)
@@ -322,7 +444,7 @@ class PeerConnection:
             while True:
                 frame = await self._queue.get()
                 if frame is None:
-                    break
+                    break  # aclose(flush=True)'s sentinel: drained, stop cleanly
                 self._writer.write(frame)
                 self._stats.bytes_out += len(frame)
                 if self._timed:

@@ -22,13 +22,16 @@ same overlay.
 from __future__ import annotations
 
 import asyncio
+import zlib
 from time import perf_counter
 
 from repro.core.streaming import StreamingRules
 from repro.live.connection import (
     ConnectionConfig,
     PeerConnection,
+    TransportOpener,
     accept_handshake,
+    aclose_writer,
     backoff_delays,
     dial_peer,
 )
@@ -183,6 +186,7 @@ class LiveServent:
         tracer=None,
         obs_port: int | None = None,
         obs_host: str | None = None,
+        open_transport: TransportOpener | None = None,
     ) -> None:
         if node_id < 0:
             raise ValueError("node_id must be non-negative")
@@ -223,8 +227,11 @@ class LiveServent:
                 host=obs_host if obs_host is not None else host,
                 port=obs_port,
             )
+        self._open_transport = open_transport
         self._conns: dict[int, PeerConnection] = {}
         self._supervisors: dict[tuple[str, int], asyncio.Task] = {}
+        #: finalizer tasks reaping superseded connections; gathered on close.
+        self._reapers: set[asyncio.Task] = set()
         self._closed = False
 
     # -- lifecycle --------------------------------------------------------
@@ -254,7 +261,13 @@ class LiveServent:
         return self._obs_server.port if self._obs_server is not None else None
 
     async def close(self) -> None:
-        """Stop supervising, stop listening, drop every peer."""
+        """Stop supervising, stop listening, drop every peer.
+
+        Connections get the graceful teardown (flush queued frames, then
+        await their tasks and transports — see
+        :meth:`PeerConnection.aclose`), so a closed node leaves no
+        pending tasks or unclosed transports behind.
+        """
         self._closed = True
         for task in self._supervisors.values():
             task.cancel()
@@ -269,9 +282,14 @@ class LiveServent:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
-        for conn in list(self._conns.values()):
-            conn.close()
-        await asyncio.sleep(0)  # let cancelled connection tasks unwind
+        conns = list(self._conns.values())
+        if conns:
+            await asyncio.gather(
+                *(conn.aclose(flush=True) for conn in conns),
+                return_exceptions=True,
+            )
+        if self._reapers:
+            await asyncio.gather(*list(self._reapers), return_exceptions=True)
         _log.info("closed", extra={"node": self.node_id})
 
     @property
@@ -299,7 +317,12 @@ class LiveServent:
         self, host: str, port: int, expected_id: int | None
     ) -> None:
         ever_connected = False
-        delays = backoff_delays(self.config)
+        # Per-peer salt: with config.retry_jitter > 0, supervisors that
+        # lost their links at the same instant (healed partition,
+        # restarted hub) draw decorrelated — but seeded, replayable —
+        # backoff schedules instead of thundering back together.
+        salt = zlib.crc32(f"{self.node_id}|{host}:{port}".encode())
+        delays = backoff_delays(self.config, salt=salt)
         failures = 0
         instr = self.instruments
         peer_label = expected_id if expected_id is not None else f"{host}:{port}"
@@ -307,10 +330,14 @@ class LiveServent:
             while not self._closed:
                 try:
                     reader, writer, peer_id = await dial_peer(
-                        host, port, self.node_id, self.config
+                        host,
+                        port,
+                        self.node_id,
+                        self.config,
+                        open_transport=self._open_transport,
                     )
                     if expected_id is not None and peer_id != expected_id:
-                        writer.close()
+                        await aclose_writer(writer)
                         raise ProtocolError(
                             f"expected node {expected_id} at {host}:{port}, "
                             f"found {peer_id}"
@@ -349,7 +376,7 @@ class LiveServent:
                     await asyncio.sleep(delay)
                     continue
                 failures = 0
-                delays = backoff_delays(self.config)  # reset after success
+                delays = backoff_delays(self.config, salt=salt)  # reset
                 if instr is not None:
                     instr.set_backoff(peer_label, 0.0)
                 conn = self._register(peer_id, reader, writer)
@@ -361,6 +388,10 @@ class LiveServent:
                     )
                 ever_connected = True
                 await conn.wait_closed()
+                # Reap the dead connection's tasks and transport *before*
+                # re-dialing: a tight reconnect loop must not accumulate
+                # cancelled-but-unawaited tasks or unclosed transports.
+                await conn.aclose()
                 if self._closed:
                     return
                 delay = next(delays)
@@ -390,7 +421,7 @@ class LiveServent:
                             "suppressed": suppressed,
                         },
                     )
-            writer.close()
+            await aclose_writer(writer)
             return
         with bind_node(self.node_id):
             self._register(peer_id, reader, writer)
@@ -403,7 +434,13 @@ class LiveServent:
     ) -> PeerConnection:
         stale = self._conns.pop(peer_id, None)
         if stale is not None:
-            stale.close()  # reconnect superseding a half-dead link
+            # Reconnect superseding a half-dead link: hard-close now, and
+            # reap its tasks/transport in the background (tracked so
+            # node.close() can await any reaper still in flight).
+            stale.close()
+            reaper = asyncio.create_task(stale.aclose())
+            self._reapers.add(reaper)
+            reaper.add_done_callback(self._reapers.discard)
         conn = PeerConnection(
             peer_id,
             reader,

@@ -128,5 +128,18 @@ class DynamicTopology:
         self._adj[v].discard(u)
         self.n_edges -= 1
 
+    def detach_node(self, node: int) -> list[tuple[int, int]]:
+        """Remove every edge incident to ``node``; returns them (u < v).
+
+        The churn driver (:class:`repro.faults.churn.TopologyChurn`) uses
+        this for peer departure: the returned edges are what a later
+        rejoin restores.
+        """
+        removed = []
+        for neighbor in self.neighbors(node):
+            self.remove_edge(node, neighbor)
+            removed.append((min(node, neighbor), max(node, neighbor)))
+        return removed
+
     def __repr__(self) -> str:  # pragma: no cover
         return f"DynamicTopology(n={self.n_nodes}, edges={self.n_edges})"

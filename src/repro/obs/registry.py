@@ -313,6 +313,22 @@ class MetricsRegistry:
         """The registered family called ``name``, if any."""
         return self._families.get(name)
 
+    def total(self, name: str) -> float:
+        """Sum of a family's children across every label combination.
+
+        Counters and gauges sum their values; histograms sum their
+        observation counts.  Unregistered names total 0.0 — callers
+        checking invariants ("registry agrees with NodeStats") can probe
+        without guarding registration order.
+        """
+        family = self._families.get(name)
+        if family is None:
+            return 0.0
+        children = family.children().values()
+        if family.kind == "histogram":
+            return float(sum(child.count for child in children))
+        return float(sum(child.value for child in children))
+
     def render(self) -> str:
         """The full registry in Prometheus text exposition format."""
         lines: list[str] = []
@@ -403,6 +419,9 @@ class NullRegistry(MetricsRegistry):
 
     def family(self, name):
         return None
+
+    def total(self, name: str) -> float:
+        return 0.0
 
     def render(self) -> str:
         return ""

@@ -1,0 +1,181 @@
+"""FaultyReader/FaultyWriter/FaultController behaviour over real sockets."""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.faults.plan import CRASH, FaultEvent
+from repro.faults.transport import FaultController, FaultyLink, LinkFaults
+from repro.live.framing import StreamDecoder
+from repro.network.protocol import ProtocolError
+
+
+def run(coro, timeout=20.0):
+    return asyncio.run(asyncio.wait_for(coro, timeout))
+
+
+async def wrapped_pair(faults: LinkFaults):
+    """One loopback connection with the client side fault-wrapped.
+
+    Returns (server, link, server_streams) — callers close all three.
+    """
+    accepted = {}
+    ready = asyncio.Event()
+
+    async def on_accept(reader, writer):
+        accepted["reader"], accepted["writer"] = reader, writer
+        ready.set()
+
+    server = await asyncio.start_server(on_accept, "127.0.0.1", 0)
+    port = server.sockets[0].getsockname()[1]
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    link = FaultyLink(reader, writer, faults)
+    await ready.wait()
+    return server, link, accepted
+
+
+async def teardown(server, link, accepted):
+    for writer in (accepted.get("writer"),):
+        if writer is not None:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+    try:
+        link.writer.close()
+        await link._inner_writer.wait_closed()
+    except Exception:
+        pass
+    server.close()
+    await server.wait_closed()
+
+
+class TestLinkFaults:
+    def test_latency_delays_reads(self):
+        async def body():
+            faults = LinkFaults()
+            server, link, accepted = await wrapped_pair(faults)
+            faults.set_latency(0.15)
+            accepted["writer"].write(b"hi")
+            await accepted["writer"].drain()
+            t0 = time.perf_counter()
+            assert await link.reader.readexactly(2) == b"hi"
+            assert time.perf_counter() - t0 >= 0.14
+            await teardown(server, link, accepted)
+
+        run(body())
+
+    def test_stall_is_one_shot(self):
+        async def body():
+            faults = LinkFaults()
+            server, link, accepted = await wrapped_pair(faults)
+            faults.stall(0.2)
+            accepted["writer"].write(b"ab")
+            await accepted["writer"].drain()
+            t0 = time.perf_counter()
+            await link.reader.readexactly(1)
+            assert time.perf_counter() - t0 >= 0.19
+            t0 = time.perf_counter()
+            await link.reader.readexactly(1)
+            assert time.perf_counter() - t0 < 0.1
+            await teardown(server, link, accepted)
+
+        run(body())
+
+    def test_reset_kills_both_directions(self):
+        async def body():
+            faults = LinkFaults()
+            server, link, accepted = await wrapped_pair(faults)
+            assert faults.reset() is True
+            with pytest.raises(ConnectionResetError):
+                await link.reader.read(10)
+            with pytest.raises(ConnectionResetError):
+                link.writer.write(b"x")
+            # the wrapper detached itself: nothing left to reset
+            assert faults.reset() is False
+            await teardown(server, link, accepted)
+
+        run(body())
+
+    def test_corrupt_injects_undecodable_bytes(self):
+        async def body():
+            faults = LinkFaults()
+            server, link, accepted = await wrapped_pair(faults)
+            assert faults.corrupt() is True
+            garbage = await accepted["reader"].readexactly(23)
+            assert garbage == b"\xff" * 23
+            with pytest.raises(ProtocolError):
+                StreamDecoder().feed(garbage)
+            await teardown(server, link, accepted)
+
+        run(body())
+
+    def test_truncate_halves_next_frame_then_aborts(self):
+        async def body():
+            faults = LinkFaults()
+            server, link, accepted = await wrapped_pair(faults)
+            assert faults.truncate() is True
+            frame = bytes(range(256)) * 2  # any 512-byte "frame" will do
+            link.writer.write(frame)
+            received = await accepted["reader"].read(-1)  # until EOF/abort
+            assert 0 < len(received) < len(frame)
+            await teardown(server, link, accepted)
+
+        run(body())
+
+
+class TestFaultController:
+    def test_partition_refuses_cross_dials(self):
+        async def body():
+            async def on_accept(reader, writer):
+                writer.close()
+
+            server = await asyncio.start_server(on_accept, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            controller = FaultController()
+            controller.bind_ports({0: port, 1: 60001})
+            controller.set_partition([0], [1])
+            with pytest.raises(ConnectionRefusedError):
+                await controller.opener(1)("127.0.0.1", port)
+            # same-group dials still connect, wrapped
+            reader, writer = await controller.opener(0)("127.0.0.1", port)
+            assert hasattr(writer, "_link")
+            writer.close()
+            controller.heal_partition()
+            reader, writer = await controller.opener(1)("127.0.0.1", port)
+            writer.close()
+            await asyncio.sleep(0.01)
+            server.close()
+            await server.wait_closed()
+
+        run(body())
+
+    def test_unknown_ports_pass_through_unwrapped(self):
+        async def body():
+            async def on_accept(reader, writer):
+                writer.close()
+
+            server = await asyncio.start_server(on_accept, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            controller = FaultController()  # knows no ports at all
+            reader, writer = await controller.opener(0)("127.0.0.1", port)
+            assert isinstance(reader, asyncio.StreamReader)
+            assert not hasattr(writer, "_link")
+            writer.close()
+            await writer.wait_closed()
+            server.close()
+            await server.wait_closed()
+
+        run(body())
+
+    def test_link_state_is_shared_per_edge(self):
+        controller = FaultController()
+        assert controller.link(1, 2) is controller.link(2, 1)
+        assert controller.link(1, 2) is not controller.link(1, 3)
+
+    def test_node_level_events_are_rejected(self):
+        controller = FaultController()
+        with pytest.raises(ValueError):
+            controller.apply(FaultEvent(time=0.0, kind=CRASH, node=1))

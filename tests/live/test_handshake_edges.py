@@ -1,0 +1,118 @@
+"""Handshake robustness against malformed, hostile or fragmented peers."""
+
+import asyncio
+import gc
+
+import pytest
+
+from repro.live.connection import (
+    ConnectionConfig,
+    HandshakeError,
+    accept_handshake,
+    dial_peer,
+)
+
+
+def run(coro, timeout=20.0):
+    return asyncio.run(asyncio.wait_for(coro, timeout))
+
+
+async def offer_raw(chunks, *, pause=0.0):
+    """Feed raw bytes to an accepting servent; returns the outcome dict
+    with either ``peer`` (the learned node id) or ``error``."""
+    outcome = {}
+    done = asyncio.Event()
+
+    async def on_accept(reader, writer):
+        try:
+            outcome["peer"] = await asyncio.wait_for(
+                accept_handshake(reader, writer, 5), 5.0
+            )
+            outcome["reply"] = True
+        except Exception as exc:
+            outcome["error"] = exc
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except Exception:
+                pass
+            done.set()
+
+    server = await asyncio.start_server(on_accept, "127.0.0.1", 0)
+    port = server.sockets[0].getsockname()[1]
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    for chunk in chunks:
+        writer.write(chunk)
+        await writer.drain()
+        if pause:
+            await asyncio.sleep(pause)
+    writer.write_eof()
+    await asyncio.wait_for(done.wait(), 5.0)
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except Exception:
+        pass
+    server.close()
+    await server.wait_closed()
+    return outcome
+
+
+class TestAcceptHandshakeEdges:
+    def test_oversized_handshake_rejected(self):
+        blob = b"GNUTELLA CONNECT/0.4\nX-Pad: " + b"x" * 600 + b"\n\n"
+        outcome = run(offer_raw([blob]))
+        assert isinstance(outcome["error"], HandshakeError)
+        assert "oversized" in str(outcome["error"])
+
+    def test_missing_node_header_rejected(self):
+        outcome = run(offer_raw([b"GNUTELLA CONNECT/0.4\n\n"]))
+        assert isinstance(outcome["error"], HandshakeError)
+
+    def test_negative_node_id_rejected(self):
+        outcome = run(offer_raw([b"GNUTELLA CONNECT/0.4\nNode: -3\n\n"]))
+        assert isinstance(outcome["error"], HandshakeError)
+
+    def test_non_integer_node_id_rejected(self):
+        outcome = run(offer_raw([b"GNUTELLA CONNECT/0.4\nNode: seven\n\n"]))
+        assert isinstance(outcome["error"], HandshakeError)
+
+    def test_garbage_first_line_rejected(self):
+        outcome = run(offer_raw([b"HELLO WORLD\nNode: 3\n\n"]))
+        assert isinstance(outcome["error"], HandshakeError)
+        assert "CONNECT" in str(outcome["error"])
+
+    def test_closed_mid_handshake_rejected(self):
+        outcome = run(offer_raw([b"GNUTELLA CONNECT/0.4\nNode"]))
+        assert isinstance(outcome["error"], HandshakeError)
+
+    def test_handshake_split_across_segments_accepted(self):
+        chunks = [b"GNUTELLA CON", b"NECT/0.4\nNo", b"de: 12\n", b"\n"]
+        outcome = run(offer_raw(chunks, pause=0.02))
+        assert outcome.get("peer") == 12
+
+
+class TestDialerCleanup:
+    @pytest.mark.filterwarnings("error::ResourceWarning")
+    def test_dial_peer_closes_transport_on_bad_handshake(self):
+        async def body():
+            async def on_accept(reader, writer):
+                await reader.readuntil(b"\n\n")
+                writer.write(b"NOT GNUTELLA\nNode: 1\n\n")
+                await writer.drain()
+                writer.close()
+
+            server = await asyncio.start_server(on_accept, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            config = ConnectionConfig(
+                connect_timeout=2.0, handshake_timeout=2.0
+            )
+            for _ in range(5):
+                with pytest.raises(HandshakeError):
+                    await dial_peer("127.0.0.1", port, 0, config)
+            server.close()
+            await server.wait_closed()
+
+        run(body())
+        gc.collect()  # an unclosed dialer transport would warn here

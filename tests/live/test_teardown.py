@@ -1,0 +1,257 @@
+"""Teardown and backoff regressions: aclose reaping, flush-then-close,
+seeded retry jitter.  The leak tests run with ResourceWarning promoted
+to an error, so an abandoned transport or task fails loudly."""
+
+import asyncio
+import gc
+
+import pytest
+
+from repro.live.connection import (
+    ConnectionConfig,
+    PeerConnection,
+    accept_handshake,
+    aclose_writer,
+    backoff_delays,
+    dial_peer,
+)
+from repro.live.node import LiveServent
+from repro.live.stats import NodeStats
+
+
+def run(coro, timeout=30.0):
+    return asyncio.run(asyncio.wait_for(coro, timeout))
+
+
+FAST = ConnectionConfig(
+    keepalive_interval=0.0,
+    idle_timeout=0.0,
+    retry_initial_delay=0.02,
+    retry_max_delay=0.1,
+)
+
+
+async def sink_server(node_id=9):
+    """A handshaking server that accumulates every byte it is sent."""
+    sink = {"data": b"", "eof": asyncio.Event()}
+
+    async def on_accept(reader, writer):
+        await accept_handshake(reader, writer, node_id)
+        while True:
+            chunk = await reader.read(65536)
+            if not chunk:
+                break
+            sink["data"] += chunk
+        sink["eof"].set()
+        await aclose_writer(writer)
+
+    server = await asyncio.start_server(on_accept, "127.0.0.1", 0)
+    return server, server.sockets[0].getsockname()[1], sink
+
+
+def task_baseline():
+    """Snapshot the tasks alive before the test body does anything.
+
+    ``run()`` wraps each body in ``asyncio.wait_for``, whose wrapper task
+    stays pending until the body returns — a baseline keeps it (and the
+    body's own task) out of the stray-task check.
+    """
+    return set(asyncio.all_tasks())
+
+
+def stray_tasks(baseline):
+    current = asyncio.current_task()
+    return [
+        t
+        for t in asyncio.all_tasks()
+        if t is not current and t not in baseline and not t.done()
+    ]
+
+
+async def assert_no_strays(baseline, timeout=1.0):
+    """Tasks that are merely a scheduling tick from exiting (a peer's
+    accept handler draining EOF) get a short grace; leaked tasks never
+    finish and still fail the assertion."""
+    deadline = asyncio.get_running_loop().time() + timeout
+    while stray_tasks(baseline) and (
+        asyncio.get_running_loop().time() < deadline
+    ):
+        await asyncio.sleep(0.01)
+    assert stray_tasks(baseline) == []
+
+
+class TestAclose:
+    def test_aclose_reaps_tasks_and_transport(self):
+        async def body():
+            baseline = task_baseline()
+            server, port, _sink = await sink_server()
+            reader, writer, peer_id = await dial_peer(
+                "127.0.0.1", port, 0, FAST
+            )
+            conn = PeerConnection(
+                peer_id,
+                reader,
+                writer,
+                config=FAST,
+                stats=NodeStats(),
+                on_message=lambda *a: None,
+            )
+            conn.start()
+            await conn.aclose()
+            assert conn.closed
+            assert all(t.done() for t in conn._tasks)
+            server.close()
+            await server.wait_closed()
+            await assert_no_strays(baseline)
+
+        run(body())
+
+    @pytest.mark.filterwarnings("error::ResourceWarning")
+    def test_tight_reconnect_loop_leaks_nothing(self):
+        async def body():
+            baseline = task_baseline()
+            server, port, _sink = await sink_server()
+            for _ in range(15):
+                reader, writer, peer_id = await dial_peer(
+                    "127.0.0.1", port, 0, FAST
+                )
+                conn = PeerConnection(
+                    peer_id,
+                    reader,
+                    writer,
+                    config=FAST,
+                    stats=NodeStats(),
+                    on_message=lambda *a: None,
+                )
+                conn.start()
+                await conn.aclose()
+            server.close()
+            await server.wait_closed()
+            await assert_no_strays(baseline)
+
+        run(body())
+        gc.collect()  # surfaces unclosed transports as ResourceWarnings
+
+    @pytest.mark.filterwarnings("error::ResourceWarning")
+    def test_supervised_reconnect_cycles_leak_nothing(self):
+        """Kill and re-listen under one supervisor: the re-dial path must
+        reap each dead connection before dialing the next."""
+
+        async def body():
+            baseline = task_baseline()
+            peer = LiveServent(7, port=0, config=FAST)
+            await peer.start()
+            port = peer.port
+            node = LiveServent(0, port=0, config=FAST)
+            await node.start()
+            node.add_peer("127.0.0.1", port, peer_id=7)
+            for _ in range(3):
+                while 7 not in node.connected_peers:
+                    await asyncio.sleep(0.005)
+                await peer.close()
+                peer = LiveServent(7, port=port, config=FAST)
+                await peer.start()
+            while 7 not in node.connected_peers:
+                await asyncio.sleep(0.005)
+            assert node.stats.reconnects >= 3
+            await node.close()
+            await peer.close()
+            await assert_no_strays(baseline)
+
+        run(body())
+        gc.collect()
+
+    def test_flush_delivers_queued_frames(self):
+        async def body():
+            server, port, sink = await sink_server()
+            reader, writer, peer_id = await dial_peer(
+                "127.0.0.1", port, 0, FAST
+            )
+            conn = PeerConnection(
+                peer_id,
+                reader,
+                writer,
+                config=FAST,
+                stats=NodeStats(),
+                on_message=lambda *a: None,
+            )
+            conn.start()
+            payload = b"x" * 100
+            for _ in range(50):
+                assert conn.send(payload)
+            await conn.aclose(flush=True)
+            await asyncio.wait_for(sink["eof"].wait(), 5.0)
+            assert len(sink["data"]) == 50 * len(payload)
+            server.close()
+            await server.wait_closed()
+
+        run(body())
+
+    def test_draining_connection_refuses_new_frames(self):
+        async def body():
+            server, port, sink = await sink_server()
+            reader, writer, peer_id = await dial_peer(
+                "127.0.0.1", port, 0, FAST
+            )
+            conn = PeerConnection(
+                peer_id,
+                reader,
+                writer,
+                config=FAST,
+                stats=NodeStats(),
+                on_message=lambda *a: None,
+            )
+            conn.start()
+            assert conn.send(b"before")
+            closer = asyncio.ensure_future(conn.aclose(flush=True))
+            await asyncio.sleep(0)  # _draining is set synchronously
+            assert not conn.send(b"after")
+            await closer
+            await asyncio.wait_for(sink["eof"].wait(), 5.0)
+            assert sink["data"] == b"before"
+            server.close()
+            await server.wait_closed()
+
+        run(body())
+
+
+class TestJitteredBackoff:
+    CONFIG = ConnectionConfig(
+        retry_initial_delay=0.5,
+        retry_backoff=2.0,
+        retry_max_delay=3.0,
+        retry_jitter=0.5,
+        retry_jitter_seed=99,
+    )
+
+    def take(self, salt, n=6):
+        gen = backoff_delays(self.CONFIG, salt=salt)
+        return [next(gen) for _ in range(n)]
+
+    def test_same_seed_and_salt_replays(self):
+        assert self.take(salt=1) == self.take(salt=1)
+
+    def test_different_salts_decorrelate(self):
+        assert self.take(salt=1) != self.take(salt=2)
+
+    def test_jitter_stays_within_bounds(self):
+        bases = [0.5, 1.0, 2.0, 3.0, 3.0, 3.0]
+        for delay, base in zip(self.take(salt=5), bases):
+            assert base * 0.5 <= delay <= base
+
+    def test_zero_jitter_keeps_exact_exponential(self):
+        config = ConnectionConfig(
+            retry_initial_delay=0.5, retry_backoff=2.0, retry_max_delay=3.0
+        )
+        gen = backoff_delays(config, salt=123)
+        assert [next(gen) for _ in range(6)] == [0.5, 1.0, 2.0, 3.0, 3.0, 3.0]
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ConnectionConfig(max_retries=-1)
+        with pytest.raises(ValueError):
+            ConnectionConfig(retry_jitter=1.5)
+        with pytest.raises(ValueError):
+            ConnectionConfig(retry_jitter=-0.1)
+        with pytest.raises(ValueError):
+            ConnectionConfig(close_flush_timeout=0.0)
