@@ -7,14 +7,21 @@ drives keyword queries through it, and feeds the captured records into
 the exact §IV pipeline: store tables → GUID dedup → query/reply join →
 query-reply pairs → association rules.
 
+The captured tables are saved to a JSON-lines database file and loaded
+back before mining — the same "import the trace into a database, then run
+the simulator against it" split the paper describes.
+
 Run:  python examples/servent_capture.py
 """
+
+import os
+import tempfile
 
 import numpy as np
 
 from repro.core.generation import generate_ruleset
 from repro.network.servent import MonitorServent, Servent, SharedFile
-from repro.store.table import Table
+from repro.store import Database
 from repro.trace.blocks import partition_pairs
 from repro.trace.dedup import dedup_queries, dedup_replies
 from repro.trace.pairing import build_pair_table
@@ -72,11 +79,27 @@ def main() -> None:
         f"{len(monitor.reply_log)} reply records\n"
     )
 
-    queries = Table("queries", QUERY_COLUMNS)
+    capture = Database("capture")
+    queries = capture.create_table("queries", QUERY_COLUMNS)
     queries.extend(rec.as_row() for rec in monitor.query_log)
-    replies = Table("replies", REPLY_COLUMNS)
+    replies = capture.create_table("replies", REPLY_COLUMNS)
     replies.extend(rec.as_row() for rec in monitor.reply_log)
-    pairs = build_pair_table(dedup_queries(queries), dedup_replies(replies))
+
+    # Persist the capture and mine from the re-imported copy, like the
+    # paper's trace-to-database import step.
+    fd, db_path = tempfile.mkstemp(suffix=".jsonl", prefix="capture-")
+    os.close(fd)
+    try:
+        rows = capture.save(db_path)
+        loaded = Database.load(db_path)
+        print(f"saved capture database ({rows} rows) to {db_path} and re-imported it")
+    finally:
+        os.unlink(db_path)
+
+    pairs = build_pair_table(
+        dedup_queries(loaded.table("queries")),
+        dedup_replies(loaded.table("replies")),
+    )
     print(f"pipeline: {len(pairs)} query-reply pairs after dedup + join")
 
     blocks = partition_pairs(pairs, block_size=len(pairs), drop_partial=False)

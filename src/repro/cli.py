@@ -26,6 +26,11 @@ Commands
     Run a loopback cluster under a seeded fault-injection plan (peer
     crashes, partitions, stream corruption, stalls) and audit teardown
     / reconnect / accounting invariants; exits non-zero if any fails.
+    With ``--state-dir`` nodes keep durable rule state and the
+    warm-restart invariants join the audit.
+``persist inspect``
+    Dump the snapshot and WAL-segment headers of one durable
+    rule-state directory as JSON (see ``docs/persistence.md``).
 
 Use ``--seed`` to vary the seed and ``--full`` for the paper's full
 365-block horizon (equivalent to ``REPRO_FULL_SCALE=1``).
@@ -179,6 +184,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve Prometheus /metrics and /healthz on this port "
         "(0 = ephemeral; default: disabled)",
     )
+    live_node.add_argument(
+        "--state-dir",
+        metavar="DIR",
+        default=None,
+        help="journal learned rule state here and warm-recover it on "
+        "restart (rule-routed nodes only; default: in-memory)",
+    )
+    live_node.add_argument(
+        "--checkpoint-interval",
+        type=float,
+        default=30.0,
+        metavar="SECS",
+        help="seconds between rule-state snapshots (default: %(default)s)",
+    )
+    live_node.add_argument(
+        "--fsync",
+        choices=("always", "interval", "never"),
+        default="interval",
+        help="WAL durability policy (default: %(default)s)",
+    )
 
     live_cluster = sub.add_parser(
         "live-cluster", help="boot a loopback live cluster and drive queries"
@@ -214,6 +239,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--show-trace",
         action="store_true",
         help="print the hop-by-hop trace of one sample query per mode",
+    )
+    live_cluster.add_argument(
+        "--state-dir",
+        metavar="DIR",
+        default=None,
+        help="per-node durable rule state under DIR/node-NNN "
+        "(association mode only; default: in-memory)",
     )
 
     chaos = sub.add_parser(
@@ -252,6 +284,24 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the full soak report as JSON to PATH",
     )
+    chaos.add_argument(
+        "--state-dir",
+        metavar="DIR",
+        default=None,
+        help="give every node durable rule state under DIR and audit "
+        "the warm-restart invariants (rule-routed soaks only)",
+    )
+
+    persist = sub.add_parser(
+        "persist",
+        help="inspect durable rule-state directories (snapshots + WAL)",
+    )
+    persist_sub = persist.add_subparsers(dest="persist_command", required=True)
+    inspect = persist_sub.add_parser(
+        "inspect",
+        help="dump snapshot and WAL-segment headers of a state dir as JSON",
+    )
+    inspect.add_argument("state_dir", metavar="DIR")
     return parser
 
 
@@ -301,6 +351,10 @@ def _run_live_node(args) -> int:
             )
             return 2
 
+    if args.state_dir and args.flood:
+        _log.error("--state-dir persists rule state; drop --flood to use it")
+        return 2
+
     registry = tracer = None
     if args.metrics_port is not None:
         from repro.obs.registry import MetricsRegistry
@@ -319,6 +373,9 @@ def _run_live_node(args) -> int:
             registry=registry,
             tracer=tracer,
             obs_port=args.metrics_port,
+            state_dir=args.state_dir,
+            checkpoint_interval=args.checkpoint_interval,
+            fsync=args.fsync,
         )
         await node.start()
         mode = "flooding" if args.flood else "rule-routed"
@@ -332,6 +389,8 @@ def _run_live_node(args) -> int:
                 "metrics_port": node.obs_port,
             },
         )
+        if node.recovery is not None:
+            _log.info("rule state recovered", extra=node.recovery.as_dict())
         for host, port in peers:
             node.add_peer(host, port)
         try:
@@ -410,6 +469,7 @@ def _run_live_cluster(args) -> int:
             top_k=args.top_k,
             max_ttl=args.max_ttl,
             observe=observe,
+            state_dir=args.state_dir if rule_routed else None,
         ) as cluster:
             cluster.stock_partitioned_library(vocabulary)
             summary = await cluster.run_plan(plan)
@@ -496,6 +556,9 @@ def _run_chaos_soak(args) -> int:
         _log.error("need at least 2 nodes", extra={"nodes": args.nodes})
         return 2
     seed = args.seed if args.seed is not None else 20060814
+    if args.state_dir and args.flood:
+        _log.error("--state-dir persists rule state; drop --flood to use it")
+        return 2
     report = chaos_soak(
         args.plan,
         n_nodes=args.nodes,
@@ -504,6 +567,7 @@ def _run_chaos_soak(args) -> int:
         rule_routed=not args.flood,
         warmup_queries=args.warmup_queries,
         time_scale=args.time_scale,
+        state_dir=args.state_dir,
     )
     print(report.format())
     if args.report:
@@ -678,6 +742,17 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "chaos-soak":
         return _run_chaos_soak(args)
+
+    if args.command == "persist":
+        import json
+
+        from repro.persist import inspect_state_dir
+
+        if not os.path.isdir(args.state_dir):
+            _log.error("no such state dir", extra={"path": args.state_dir})
+            return 2
+        print(json.dumps(inspect_state_dir(args.state_dir), indent=2))
+        return 0
 
     if args.command == "trace":
         from repro.trace.analysis import coverage_ceiling, profile_block, source_turnover

@@ -95,6 +95,28 @@ class _ExactWindowCounts:
     def n_rules(self) -> int:
         return sum(1 for c in self._pair_counts.values() if c >= self.threshold)
 
+    # -- durable state (consumed by repro.persist) ------------------------
+    def state(self) -> dict:
+        """The complete live state as plain data.
+
+        The window *is* the state: ``_pair_counts`` and ``_qualified``
+        are exact functions of its contents, so :meth:`from_state`
+        rebuilds them by replaying the window through :meth:`push`.
+        """
+        return {
+            "backend": "exact",
+            "window_pairs": self.window_pairs,
+            "threshold": self.threshold,
+            "window": [(int(s), int(r)) for s, r in self.window],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "_ExactWindowCounts":
+        counts = cls(state["window_pairs"], state["threshold"])
+        for source, replier in state["window"]:
+            counts.push(source, replier)
+        return counts
+
 
 class _LossyCounts:
     """Approximate counts via lossy counting (no explicit eviction window).
@@ -155,6 +177,43 @@ class _LossyCounts:
 
     def n_rules(self) -> int:
         return len(self._counter.pairs_over_count(self.threshold))
+
+    # -- durable state (consumed by repro.persist) ------------------------
+    def state(self) -> dict:
+        """The complete live state as plain data.
+
+        The sketch entries are dumped sorted so two equal-state objects
+        serialize identically; the ``_qualified`` cache is *not* part of
+        the state — :meth:`from_state` rebuilds it from the entries, the
+        same way the periodic refresh does.
+        """
+        counter = self._counter._counter
+        return {
+            "backend": "lossy",
+            "epsilon": counter.epsilon,
+            "threshold": self.threshold,
+            "n_seen": counter.n_seen,
+            "current_bucket": counter._current_bucket,
+            "since_refresh": self._since_refresh,
+            "entries": sorted(
+                (int(s), int(r), int(count), int(delta))
+                for (s, r), (count, delta) in counter._entries.items()
+            ),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "_LossyCounts":
+        counts = cls(state["epsilon"], state["threshold"])
+        counter = counts._counter._counter
+        counter.n_seen = state["n_seen"]
+        counter._current_bucket = state["current_bucket"]
+        counter._entries = {
+            (source, replier): (count, delta)
+            for source, replier, count, delta in state["entries"]
+        }
+        counts._since_refresh = state["since_refresh"]
+        counts._rebuild_qualified()
+        return counts
 
 
 class StreamingRules:

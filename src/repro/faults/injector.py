@@ -75,7 +75,9 @@ class FaultInjector:
             node = cluster.nodes[event.node]
             if node.closed:
                 return False
-            await cluster.kill(event.node)
+            # hard: a crash must not take the graceful final checkpoint,
+            # or warm restarts would never exercise the WAL-tail replay.
+            await cluster.kill(event.node, hard=True)
             down.add(event.node)
             return True
         if event.kind == RESTART:

@@ -33,6 +33,18 @@ queries flowing, and then audits the survivors:
 ``no_leaks``
     closing the cluster leaves no running tasks behind.
 
+With a ``state_dir`` (durable rule state via :mod:`repro.persist`) two
+more invariants join the audit:
+
+``warm_restart``
+    every crash-restarted node came back with a recovery record whose
+    post-replay rule count is at least the restored snapshot's — a
+    warm restart never knows *less* than the last checkpoint;
+``durable_roundtrip``
+    after the cluster closes, replaying each node's state directory
+    offline reproduces the live counts' blake2b fingerprint exactly,
+    twice (recovery is deterministic and lossless for fsynced state).
+
 The :class:`SoakReport` separates the *deterministic* record (plan
 events with applied flags, invariant verdicts) from timing-noisy
 observations (counter values, rates): :meth:`SoakReport.fingerprint`
@@ -45,6 +57,7 @@ from __future__ import annotations
 import asyncio
 import hashlib
 import json
+import os
 from dataclasses import dataclass, field
 
 from repro.faults.injector import FaultInjector
@@ -53,6 +66,7 @@ from repro.faults.plan import (
     CRASH,
     PARTITION,
     RESET,
+    RESTART,
     TRUNCATE,
     FaultPlan,
     chaos_plan,
@@ -236,8 +250,16 @@ async def run_soak(
     answer_threshold: float = 0.5,
     time_scale: float = 1.0,
     converge_timeout: float = 15.0,
+    state_dir: str | None = None,
+    checkpoint_interval: float = 2.0,
 ) -> SoakReport:
-    """One full soak: boot, warm up, inject, audit.  Returns the report."""
+    """One full soak: boot, warm up, inject, audit.  Returns the report.
+
+    ``state_dir`` gives every node a durable-state directory beneath
+    it: crashes become hard kills recovered through snapshot + WAL
+    replay, and the ``warm_restart`` / ``durable_roundtrip`` invariants
+    join the audit.
+    """
     report = SoakReport(
         label=plan.label,
         seed=seed,
@@ -252,6 +274,8 @@ async def run_soak(
         config=harness_config(retry_jitter=0.5, retry_jitter_seed=seed),
         observe=True,
         fault_controller=controller,
+        state_dir=state_dir,
+        checkpoint_interval=checkpoint_interval,
     )
     rng = as_generator(seed)
     vocabulary = make_vocabulary(2 * topology.n_nodes)
@@ -374,6 +398,49 @@ async def run_soak(
                 f"{grand['protocol_errors']} protocol errors surfaced"
             )
 
+        final_fingerprints: dict[int, str] = {}
+        if state_dir is not None:
+            from repro.persist import fingerprint_counts
+
+            problems = []
+            restarted = sorted(
+                {
+                    entry["node"]
+                    for entry in report.events
+                    if entry["kind"] in (RESTART, "final-restart")
+                }
+            )
+            recovered_rules = 0
+            for node_id in restarted:
+                recovery = cluster.nodes[node_id].recovery
+                if recovery is None:
+                    problems.append(
+                        f"node {node_id}: restarted without recovery info"
+                    )
+                    continue
+                recovered_rules += recovery.n_rules
+                if recovery.n_rules < recovery.snapshot_rules:
+                    problems.append(
+                        f"node {node_id}: recovered {recovery.n_rules} "
+                        f"rules < snapshot's {recovery.snapshot_rules}"
+                    )
+            invariants["warm_restart"] = not problems
+            if problems:
+                details["warm_restart"] = "; ".join(problems)
+            report.observed["restarted_nodes"] = float(len(restarted))
+            report.observed["recovered_rules"] = float(recovered_rules)
+            report.observed["checkpoints"] = registry.total(
+                "repro_persist_checkpoints_total"
+            )
+            report.observed["wal_records"] = registry.total(
+                "repro_persist_wal_records_total"
+            )
+            # quiesced above: no pair can land between here and close.
+            final_fingerprints = {
+                node.node_id: fingerprint_counts(node.servent.counts)
+                for node in cluster.nodes
+            }
+
         report.observed.update(
             {
                 "answer_rate": probe["answer_rate"],
@@ -390,6 +457,38 @@ async def run_soak(
         )
     finally:
         await cluster.close()
+
+    if state_dir is not None and final_fingerprints:
+        from repro.core.streaming import StreamingRules
+        from repro.persist import PersistentState
+
+        # Same rule config the cluster's nodes ran (harness defaults).
+        rules_template = StreamingRules(min_support_count=2, window_pairs=512)
+        mismatches = []
+        for node in cluster.nodes:
+            node_dir = cluster.node_state_dir(node.node_id)
+            if not os.path.isdir(node_dir):
+                mismatches.append(f"node {node.node_id}: state dir missing")
+                continue
+            fingerprints = []
+            for _ in range(2):
+                persist = PersistentState(node_dir, fsync="never")
+                _counts, info = persist.recover(rules_template)
+                persist.close()
+                fingerprints.append(info.fingerprint)
+            if fingerprints[0] != fingerprints[1]:
+                mismatches.append(
+                    f"node {node.node_id}: replay fingerprint unstable "
+                    f"({fingerprints[0]} then {fingerprints[1]})"
+                )
+            elif fingerprints[0] != final_fingerprints[node.node_id]:
+                mismatches.append(
+                    f"node {node.node_id}: durable state {fingerprints[0]} "
+                    f"!= live counts {final_fingerprints[node.node_id]}"
+                )
+        invariants["durable_roundtrip"] = not mismatches
+        if mismatches:
+            details["durable_roundtrip"] = "; ".join(mismatches)
 
     await asyncio.sleep(0)  # let close callbacks finish before counting
     current = asyncio.current_task()
@@ -426,6 +525,7 @@ def chaos_soak(
     warmup_queries: int = 30,
     probe_queries: int = 20,
     time_scale: float = 1.0,
+    state_dir: str | None = None,
 ) -> SoakReport:
     """Synchronous entry: build topology + plan from a seed, run once."""
     topology = random_regular(n_nodes, degree, rng=as_generator(seed))
@@ -439,5 +539,6 @@ def chaos_soak(
             warmup_queries=warmup_queries,
             probe_queries=probe_queries,
             time_scale=time_scale,
+            state_dir=state_dir,
         )
     )

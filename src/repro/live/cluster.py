@@ -19,10 +19,12 @@ unchanged across consecutive polls — keeps :meth:`quiesce` sound.
 from __future__ import annotations
 
 import asyncio
+import os
 
 from repro.live.connection import ConnectionConfig
 from repro.live.node import LiveServent
 from repro.live.stats import NodeStats, combine_stats
+from repro.obs.logging import get_logger
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracing import QueryTracer, format_trace
 from repro.network.servent import SharedFile
@@ -36,6 +38,8 @@ __all__ = [
     "interest_plan",
     "make_vocabulary",
 ]
+
+_log = get_logger("live.cluster")
 
 
 def harness_config(**overrides) -> ConnectionConfig:
@@ -113,11 +117,23 @@ class LiveCluster:
         registry: MetricsRegistry | None = None,
         tracer: QueryTracer | None = None,
         fault_controller=None,
+        state_dir: str | None = None,
+        checkpoint_interval: float = 30.0,
+        fsync: str = "interval",
     ) -> None:
+        if state_dir is not None and not rule_routed:
+            raise ValueError(
+                "state_dir persists learned rule state; it requires "
+                "rule_routed=True"
+            )
         self.topology = topology
         self.host = host
         self.config = config or harness_config()
         self.rule_routed = rule_routed
+        #: root of per-node durable-state dirs (``node-NNN/``), or None.
+        self.state_dir = state_dir
+        self._checkpoint_interval = checkpoint_interval
+        self._fsync = fsync
         #: a :class:`repro.faults.transport.FaultController` (or None).
         #: Every node dials through the controller's transport opener, so
         #: link faults and partitions act at the socket boundary.
@@ -164,14 +180,28 @@ class LiveCluster:
         open_transport = None
         if self.fault_controller is not None:
             open_transport = self.fault_controller.opener(node_id)
+        persist_kwargs = {}
+        if self.state_dir is not None:
+            persist_kwargs = dict(
+                state_dir=self.node_state_dir(node_id),
+                checkpoint_interval=self._checkpoint_interval,
+                fsync=self._fsync,
+            )
         return LiveServent(
             node_id,
             host=self.host,
             port=port,
             rules=rules,
             open_transport=open_transport,
+            **persist_kwargs,
             **self._node_kwargs,
         )
+
+    def node_state_dir(self, node_id: int) -> str:
+        """One node's durable-state directory under :attr:`state_dir`."""
+        if self.state_dir is None:
+            raise RuntimeError("cluster built without a state_dir")
+        return os.path.join(self.state_dir, f"node-{node_id:03d}")
 
     # -- lifecycle --------------------------------------------------------
     async def start(self, *, ready_timeout: float = 10.0) -> None:
@@ -215,19 +245,37 @@ class LiveCluster:
         await self.close()
 
     # -- failure injection ------------------------------------------------
-    async def kill(self, node_id: int) -> None:
-        """Hard-stop one node (server + every connection + supervisors).
+    async def kill(self, node_id: int, *, hard: bool = False) -> None:
+        """Stop one node (server + every connection + supervisors).
 
         Dialing neighbors notice the dead link and begin re-dialing with
         backoff; their ``dial_failures`` counters record the attempts.
+
+        ``hard=True`` is the crash simulation for nodes with a state
+        directory: the final checkpoint is skipped, so a subsequent
+        :meth:`restart` must recover through the WAL tail — exactly
+        what a SIGKILL'd daemon would face.  Without persistence the
+        flag changes nothing.
         """
-        await self.nodes[node_id].close()
+        await self.nodes[node_id].close(checkpoint=not hard)
 
     async def restart(self, node_id: int) -> LiveServent:
         """Bring a killed node back on its old port with its old library.
 
-        Learned rule state is *not* restored — a restarted servent
-        relearns from live traffic, as a real redeployed node would.
+        Two distinct behaviors, by configuration:
+
+        * **cold** (no ``state_dir``): learned rule state is *not*
+          restored — the restarted servent relearns from live traffic,
+          re-flooding until its streaming window refills;
+        * **warm** (cluster built with ``state_dir``): the new
+          incarnation recovers its predecessor's counts from the latest
+          snapshot plus the WAL tail before serving its first query.
+
+        The returned :class:`LiveServent` carries the recovery record:
+        ``node.recovery`` is a :class:`~repro.persist.state.RecoveryInfo`
+        with the restored rule count, replayed WAL records and state
+        fingerprint (None on a cold restart), so callers can audit what
+        came back instead of the state being silently discarded.
         """
         old = self.nodes[node_id]
         if not old.closed:
@@ -236,6 +284,11 @@ class LiveCluster:
         node = self._make_node(node_id, port=old.port)
         node.servent.library = list(old.servent.library)
         self.nodes[node_id] = node
+        if node.recovery is not None:
+            _log.info(
+                "warm restart",
+                extra={"node": node_id, **node.recovery.as_dict()},
+            )
         await node.start()
         for neighbor in self.topology.neighbors(node_id):
             if node_id < neighbor and not self.nodes[neighbor].closed:

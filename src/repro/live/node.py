@@ -17,6 +17,13 @@ covered query only to the top-k rule consequents.  Uncovered sources
 flood, exactly the paper's incremental-deployment fallback, so a
 rule-routed daemon interoperates with vanilla flooding peers on the
 same overlay.
+
+With a ``state_dir`` the learned counts become durable state
+(:mod:`repro.persist`): every observed pair is journaled to a WAL as
+it is pushed, a background task checkpoints the counts every
+``checkpoint_interval`` seconds, and a restarted daemon warm-recovers
+— snapshot plus WAL-tail replay — instead of re-flooding while its
+window refills.
 """
 
 from __future__ import annotations
@@ -40,6 +47,7 @@ from repro.obs.http import ObsHttpServer
 from repro.obs.instruments import NodeInstruments
 from repro.obs.logging import RateLimiter, bind_node, get_logger
 from repro.obs.registry import MetricsRegistry
+from repro.persist.state import PersistentState
 from repro.network.protocol import (
     PAYLOAD_QUERY,
     PAYLOAD_QUERY_HIT,
@@ -73,12 +81,21 @@ class StreamingRuleServent(Servent):
         top_k: int = 2,
         stats: NodeStats | None = None,
         instruments: NodeInstruments | None = None,
+        persist: PersistentState | None = None,
         **kwargs,
     ) -> None:
         super().__init__(servent_guid, **kwargs)
         if top_k < 1:
             raise ValueError("top_k must be >= 1")
-        self.counts = rules.make_counts()
+        #: durable-state manager (or None for a memory-only servent).
+        #: Recovery happens here, at construction: the servent never
+        #: routes a single query on cold counts when warm ones exist.
+        self.persist = persist
+        if persist is not None:
+            self.counts, self.recovery = persist.recover(rules)
+        else:
+            self.counts = rules.make_counts()
+            self.recovery = None
         self.top_k = top_k
         #: Routing decisions are tallied *here*, as they happen, into the
         #: owning node's :class:`NodeStats` (or a private one when run
@@ -162,6 +179,11 @@ class StreamingRuleServent(Servent):
                         )
                 else:
                     promoted = self.counts.push(upstream, conn_id)
+                if self.persist is not None:
+                    # journal *after* the in-memory push: a WAL record
+                    # always describes a pair the counts have seen, so
+                    # replay can never double-apply or skip one.
+                    self.persist.record_pair(upstream, conn_id)
                 if promoted:
                     self.stats.rule_regenerations += 1
         return super()._route_back(routes, conn_id, header, payload)
@@ -187,9 +209,14 @@ class LiveServent:
         obs_port: int | None = None,
         obs_host: str | None = None,
         open_transport: TransportOpener | None = None,
+        state_dir: str | None = None,
+        checkpoint_interval: float = 30.0,
+        fsync: str = "interval",
     ) -> None:
         if node_id < 0:
             raise ValueError("node_id must be non-negative")
+        if checkpoint_interval <= 0:
+            raise ValueError("checkpoint_interval must be positive")
         self.node_id = node_id
         self.host = host
         self.port = port
@@ -200,6 +227,20 @@ class LiveServent:
         self.instruments = (
             NodeInstruments(registry, node_id) if registry is not None else None
         )
+        self.checkpoint_interval = float(checkpoint_interval)
+        persist = None
+        if state_dir is not None:
+            if not rule_routed:
+                raise ValueError(
+                    "state_dir persists learned rule state; it requires "
+                    "rule_routed=True"
+                )
+            persist = PersistentState(
+                state_dir,
+                fsync=fsync,
+                label=str(node_id),
+                registry=registry,
+            )
         guid = 100_000 + node_id
         if rule_routed:
             self.servent: Servent = StreamingRuleServent(
@@ -211,9 +252,12 @@ class LiveServent:
                 max_ttl=max_ttl,
                 stats=self.stats,
                 instruments=self.instruments,
+                persist=persist,
             )
         else:
             self.servent = Servent(guid, library=library, max_ttl=max_ttl)
+        self.persist = persist
+        self._checkpoint_task: asyncio.Task | None = None
         self.servent.tracer = tracer
         self.servent.trace_node = node_id
         self._server: asyncio.Server | None = None
@@ -251,24 +295,67 @@ class LiveServent:
                         f"{self._obs_server.port}/metrics"
                     },
                 )
+            if self.persist is not None:
+                self._checkpoint_task = asyncio.create_task(
+                    self._checkpoint_loop()
+                )
             _log.info(
                 "listening", extra={"host": self.host, "port": self.port}
             )
+
+    @property
+    def recovery(self):
+        """The last warm-recovery record (a
+        :class:`~repro.persist.state.RecoveryInfo`), or None for nodes
+        without a state directory."""
+        return getattr(self.servent, "recovery", None)
+
+    def checkpoint(self) -> dict | None:
+        """Snapshot the live rule counts and compact the WAL now.
+
+        Returns the snapshot header, or None when this node has no
+        state directory (or its persistence is already closed).
+        """
+        if self.persist is None or self.persist.closed:
+            return None
+        return self.persist.checkpoint(self.servent.counts)
+
+    async def _checkpoint_loop(self) -> None:
+        try:
+            while True:
+                await asyncio.sleep(self.checkpoint_interval)
+                try:
+                    self.checkpoint()
+                except OSError as exc:
+                    _log.error(
+                        "checkpoint failed", extra={"error": str(exc)}
+                    )
+        except asyncio.CancelledError:
+            pass
 
     @property
     def obs_port(self) -> int | None:
         """The resolved ``/metrics`` port, when the endpoint is enabled."""
         return self._obs_server.port if self._obs_server is not None else None
 
-    async def close(self) -> None:
+    async def close(self, *, checkpoint: bool = True) -> None:
         """Stop supervising, stop listening, drop every peer.
 
         Connections get the graceful teardown (flush queued frames, then
         await their tasks and transports — see
         :meth:`PeerConnection.aclose`), so a closed node leaves no
         pending tasks or unclosed transports behind.
+
+        A node with a state directory takes a final checkpoint once the
+        last connection is down (so the snapshot captures every pair
+        this incarnation learned); ``checkpoint=False`` skips it — the
+        hard-crash simulation, leaving recovery to the WAL tail.
         """
         self._closed = True
+        if self._checkpoint_task is not None:
+            self._checkpoint_task.cancel()
+            await asyncio.gather(self._checkpoint_task, return_exceptions=True)
+            self._checkpoint_task = None
         for task in self._supervisors.values():
             task.cancel()
         if self._supervisors:
@@ -290,6 +377,15 @@ class LiveServent:
             )
         if self._reapers:
             await asyncio.gather(*list(self._reapers), return_exceptions=True)
+        if self.persist is not None and not self.persist.closed:
+            if checkpoint:
+                try:
+                    self.checkpoint()
+                except OSError as exc:
+                    _log.error(
+                        "final checkpoint failed", extra={"error": str(exc)}
+                    )
+            self.persist.close()
         _log.info("closed", extra={"node": self.node_id})
 
     @property

@@ -1,0 +1,52 @@
+"""Durable rule-state: pair WAL + snapshots + warm crash recovery.
+
+A servent's mined rule set is traffic-derived state the paper spends a
+7-day trace to earn; this subpackage keeps it across restarts:
+
+* :mod:`~repro.persist.wal` — append-only, CRC-32-checksummed journal
+  of observed (query-source, reply-source) pairs with ``always`` /
+  ``interval`` / ``never`` fsync policies;
+* :mod:`~repro.persist.snapshot` — versioned, blake2b-fingerprinted
+  freezes of the streaming count structures (exact window or lossy
+  sketch);
+* :mod:`~repro.persist.state` — :class:`PersistentState`, tying both
+  into the checkpoint/rotate/compact/recover lifecycle one live node
+  drives.
+
+See ``docs/persistence.md`` for the format spec and the
+crash-consistency argument.
+"""
+
+from repro.persist.snapshot import (
+    SnapshotError,
+    fingerprint_counts,
+    load_snapshot,
+    read_snapshot_header,
+    write_snapshot,
+)
+from repro.persist.state import PersistentState, RecoveryInfo, inspect_state_dir
+from repro.persist.wal import (
+    FSYNC_POLICIES,
+    WalError,
+    WalReadResult,
+    WalWriter,
+    read_wal,
+    wal_header,
+)
+
+__all__ = [
+    "FSYNC_POLICIES",
+    "PersistentState",
+    "RecoveryInfo",
+    "SnapshotError",
+    "WalError",
+    "WalReadResult",
+    "WalWriter",
+    "fingerprint_counts",
+    "inspect_state_dir",
+    "load_snapshot",
+    "read_snapshot_header",
+    "read_wal",
+    "wal_header",
+    "write_snapshot",
+]

@@ -1,0 +1,191 @@
+"""Versioned, fingerprinted snapshots of streaming-rule count state.
+
+A snapshot freezes one :meth:`StreamingRules.make_counts` object — the
+exact sliding window (:class:`_ExactWindowCounts`) or the lossy sketch
+(:class:`_LossyCounts`) — so a restarted servent resumes from learned
+state instead of re-flooding while the window refills.
+
+Layout::
+
+    snapshot := magic(8) u32 header_len u32 crc32(header) header payload
+    magic    := b"RPSN" u16 version u16 reserved
+    header   := JSON (backend + parameters + payload_len +
+                payload_blake2b + state fingerprint + caller metadata)
+    payload  := exact:  i64 source, i64 replier   per window entry
+                lossy:  i64 source, i64 replier, i64 count, i64 delta
+                        per sketch entry, sorted
+
+Two integrity layers: the CRC-32 guards the header against torn
+writes, the blake2b-128 digest guards the payload against corruption.
+A snapshot that fails either check is *invalid*, never half-loaded —
+recovery skips it and falls back to an older one.
+
+:func:`fingerprint_counts` hashes the canonical state (parameters +
+payload, caches excluded), so two count objects with identical learned
+state — e.g. the original and its crash-recovered twin — produce the
+same hex digest.  That equality is the warm-recovery acceptance check
+in the fault soak and the persistence tests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import struct
+import zlib
+
+from repro.core.streaming import _ExactWindowCounts, _LossyCounts
+
+__all__ = [
+    "SNAPSHOT_MAGIC",
+    "SnapshotError",
+    "fingerprint_counts",
+    "load_snapshot",
+    "read_snapshot_header",
+    "write_snapshot",
+]
+
+SNAPSHOT_VERSION = 1
+SNAPSHOT_MAGIC = b"RPSN" + struct.pack("<HH", SNAPSHOT_VERSION, 0)
+
+_PAIR = struct.Struct("<qq")
+_ENTRY = struct.Struct("<qqqq")
+
+
+class SnapshotError(Exception):
+    """A snapshot file that cannot be trusted (torn, corrupt, unknown)."""
+
+
+def _encode_state(state: dict) -> tuple[dict, bytes]:
+    """Split a counts ``state()`` dict into (scalar params, packed payload)."""
+    if state["backend"] == "exact":
+        params = {
+            "backend": "exact",
+            "window_pairs": state["window_pairs"],
+            "threshold": state["threshold"],
+        }
+        payload = b"".join(_PAIR.pack(s, r) for s, r in state["window"])
+    elif state["backend"] == "lossy":
+        params = {
+            "backend": "lossy",
+            "epsilon": state["epsilon"],
+            "threshold": state["threshold"],
+            "n_seen": state["n_seen"],
+            "current_bucket": state["current_bucket"],
+            "since_refresh": state["since_refresh"],
+        }
+        payload = b"".join(_ENTRY.pack(*entry) for entry in state["entries"])
+    else:  # pragma: no cover - state() only emits the two backends
+        raise SnapshotError(f"unknown backend {state['backend']!r}")
+    return params, payload
+
+
+def _decode_state(params: dict, payload: bytes) -> dict:
+    state = dict(params)
+    if params["backend"] == "exact":
+        state["window"] = [
+            _PAIR.unpack_from(payload, off)
+            for off in range(0, len(payload), _PAIR.size)
+        ]
+    else:
+        state["entries"] = [
+            _ENTRY.unpack_from(payload, off)
+            for off in range(0, len(payload), _ENTRY.size)
+        ]
+    return state
+
+
+def fingerprint_counts(counts) -> str:
+    """blake2b-128 hex digest of the canonical learned state."""
+    params, payload = _encode_state(counts.state())
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(json.dumps(params, sort_keys=True).encode())
+    digest.update(payload)
+    return digest.hexdigest()
+
+
+def write_snapshot(path: str, counts, *, meta: dict | None = None) -> dict:
+    """Atomically write ``counts`` to ``path``; returns the header.
+
+    The snapshot lands via write-to-temp + fsync + rename, so ``path``
+    either holds the complete old snapshot or the complete new one —
+    never a torn hybrid — whatever instant a crash hits.
+    """
+    params, payload = _encode_state(counts.state())
+    header = {
+        "version": SNAPSHOT_VERSION,
+        **params,
+        "n_rules": counts.n_rules(),
+        "payload_len": len(payload),
+        "payload_blake2b": hashlib.blake2b(payload, digest_size=16).hexdigest(),
+        "fingerprint": fingerprint_counts(counts),
+        **(meta or {}),
+    }
+    header_bytes = json.dumps(header, sort_keys=True).encode()
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as fh:
+        fh.write(SNAPSHOT_MAGIC)
+        fh.write(struct.pack("<II", len(header_bytes), zlib.crc32(header_bytes)))
+        fh.write(header_bytes)
+        fh.write(payload)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    dir_fd = os.open(os.path.dirname(path) or ".", os.O_RDONLY)
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+    return header
+
+
+def _read(path: str) -> tuple[dict, bytes]:
+    with open(path, "rb") as fh:
+        data = fh.read()
+    if len(data) < len(SNAPSHOT_MAGIC) + 8:
+        raise SnapshotError(f"{path}: truncated snapshot")
+    if data[:4] != SNAPSHOT_MAGIC[:4]:
+        raise SnapshotError(f"{path}: not a snapshot (bad magic)")
+    (version, _reserved) = struct.unpack("<HH", data[4:8])
+    if version != SNAPSHOT_VERSION:
+        raise SnapshotError(f"{path}: unsupported snapshot version {version}")
+    header_len, header_crc = struct.unpack("<II", data[8:16])
+    header_end = 16 + header_len
+    if header_end > len(data):
+        raise SnapshotError(f"{path}: truncated snapshot header")
+    header_bytes = data[16:header_end]
+    if zlib.crc32(header_bytes) != header_crc:
+        raise SnapshotError(f"{path}: snapshot header checksum mismatch")
+    header = json.loads(header_bytes)
+    payload = data[header_end:]
+    if len(payload) != header["payload_len"]:
+        raise SnapshotError(
+            f"{path}: payload is {len(payload)} bytes, "
+            f"header promises {header['payload_len']}"
+        )
+    digest = hashlib.blake2b(payload, digest_size=16).hexdigest()
+    if digest != header["payload_blake2b"]:
+        raise SnapshotError(f"{path}: snapshot payload digest mismatch")
+    return header, payload
+
+
+def read_snapshot_header(path: str) -> dict:
+    """The validated header alone (for ``repro persist inspect``)."""
+    header, _payload = _read(path)
+    return header
+
+
+def load_snapshot(path: str):
+    """Reconstruct the counts object; returns ``(counts, header)``.
+
+    Raises :class:`SnapshotError` on any integrity failure — a caller
+    holding several generations retries the next-older file.
+    """
+    header, payload = _read(path)
+    state = _decode_state(header, payload)
+    if header["backend"] == "exact":
+        counts = _ExactWindowCounts.from_state(state)
+    else:
+        counts = _LossyCounts.from_state(state)
+    return counts, header

@@ -14,7 +14,8 @@ reproduction needs for the same pipeline:
 * :func:`~repro.store.query.inner_join` / :func:`~repro.store.query.group_count`
   — the two relational operations the paper's pipeline actually performs
   (GUID equi-join, pair-frequency aggregation);
-* :class:`~repro.store.database.Database` — a named collection of tables.
+* :class:`~repro.store.database.Database` — a named collection of tables,
+  round-trippable through a JSON-lines file (``save`` / ``load``).
 
 The store favours clarity over generality: it is append-oriented (trace
 import never updates rows in place) and deliberately small.

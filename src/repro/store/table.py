@@ -14,6 +14,12 @@ from typing import Any, Callable, Iterable, Iterator, Sequence
 
 __all__ = ["Column", "Table"]
 
+#: dtypes the JSON-lines round trip (:meth:`Database.save` /
+#: :meth:`Database.load`) can name; everything the trace pipeline's
+#: schemas use is here.
+DTYPE_NAMES: dict[type, str] = {int: "int", float: "float", str: "str", bool: "bool"}
+DTYPES_BY_NAME: dict[str, type] = {name: t for t, name in DTYPE_NAMES.items()}
+
 
 @dataclass(frozen=True)
 class Column:
@@ -28,6 +34,30 @@ class Column:
                 f"column {self.name!r} expects {self.dtype.__name__}, "
                 f"got {type(value).__name__}: {value!r}"
             )
+
+    def spec(self) -> dict:
+        """JSON-able schema entry (inverse of :meth:`from_spec`)."""
+        if self.dtype is None:
+            return {"name": self.name, "dtype": None}
+        if self.dtype not in DTYPE_NAMES:
+            raise ValueError(
+                f"column {self.name!r} dtype {self.dtype.__name__} has no "
+                f"JSON name; serializable dtypes: "
+                f"{sorted(DTYPES_BY_NAME)}"
+            )
+        return {"name": self.name, "dtype": DTYPE_NAMES[self.dtype]}
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "Column":
+        dtype_name = spec.get("dtype")
+        if dtype_name is None:
+            return cls(spec["name"])
+        if dtype_name not in DTYPES_BY_NAME:
+            raise ValueError(
+                f"unknown column dtype name {dtype_name!r}; expected one "
+                f"of {sorted(DTYPES_BY_NAME)}"
+            )
+        return cls(spec["name"], DTYPES_BY_NAME[dtype_name])
 
 
 class Table:
@@ -107,6 +137,10 @@ class Table:
     def iter_rows(self) -> Iterator[tuple]:
         for rowid in range(len(self)):
             yield self.row(rowid)
+
+    def to_rows(self) -> list[dict]:
+        """Return every row as a dict, in insertion order."""
+        return [self.row_dict(i) for i in range(len(self))]
 
     def select(self, predicate: Callable[[dict], bool]) -> list[int]:
         """Return ids of rows whose dict form satisfies ``predicate``."""

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.streaming import StreamingRules, _ExactWindowCounts
+from repro.core.streaming import StreamingRules, _ExactWindowCounts, _LossyCounts
 from tests.conftest import make_block
 
 
@@ -46,6 +46,97 @@ class TestExactWindowCounts:
         counts.push(1, 10)
         counts.push(1, 11)
         assert counts.n_rules() == 1
+
+
+class TestConsequentsOrdering:
+    """``consequents(k=None)`` returns *every* qualified replier; equal
+    counts break ties by ascending replier id on both backends."""
+
+    def _exact(self):
+        counts = _ExactWindowCounts(window_pairs=100, min_support_count=2)
+        for replier, copies in [(30, 2), (10, 3), (20, 2), (40, 1)]:
+            for _ in range(copies):
+                counts.push(1, replier)
+        return counts
+
+    def _lossy(self):
+        counts = _LossyCounts(epsilon=0.001, min_support_count=2)
+        for replier, copies in [(30, 2), (10, 3), (20, 2), (40, 1)]:
+            for _ in range(copies):
+                counts.push(1, replier)
+        return counts
+
+    @pytest.mark.parametrize("make", ["_exact", "_lossy"])
+    def test_k_none_returns_all_qualified_ranked(self, make):
+        counts = getattr(self, make)()
+        # 10 leads on count; 20 and 30 tie at 2 and order by replier id;
+        # 40 never qualified.
+        assert counts.consequents(1, k=None) == [10, 20, 30]
+        assert counts.consequents(1) == [10, 20, 30]
+
+    @pytest.mark.parametrize("make", ["_exact", "_lossy"])
+    def test_k_truncates_after_the_same_ranking(self, make):
+        counts = getattr(self, make)()
+        assert counts.consequents(1, k=1) == [10]
+        assert counts.consequents(1, k=2) == [10, 20]
+        assert counts.consequents(1, k=10) == [10, 20, 30]
+
+    @pytest.mark.parametrize("make", ["_exact", "_lossy"])
+    def test_unknown_source_is_empty_not_error(self, make):
+        counts = getattr(self, make)()
+        assert counts.consequents(99, k=None) == []
+        assert counts.consequents(99, k=3) == []
+
+    def test_all_equal_counts_sort_purely_by_replier(self):
+        counts = _ExactWindowCounts(window_pairs=100, min_support_count=2)
+        for replier in (7, 3, 11, 5):
+            counts.push(1, replier)
+            counts.push(1, replier)
+        assert counts.consequents(1, k=None) == [3, 5, 7, 11]
+
+
+class TestLossyRebuildQualified:
+    def test_rebuild_reconstructs_coverage_from_sketch(self):
+        counts = _LossyCounts(epsilon=0.001, min_support_count=2)
+        for _ in range(2):
+            counts.push(1, 10)
+            counts.push(2, 20)
+        assert counts.covers(1) and counts.covers(2)
+        # Wreck the incremental cache, then rebuild from the sketch.
+        counts._qualified = {}
+        assert not counts.covers(1)
+        counts._rebuild_qualified()
+        assert counts.covers(1) and counts.covers(2)
+        assert counts._qualified == {1: 1, 2: 1}
+
+    def test_rebuild_counts_qualified_consequents_per_source(self):
+        counts = _LossyCounts(epsilon=0.001, min_support_count=2)
+        for replier in (10, 11, 12):
+            counts.push(1, replier)
+            counts.push(1, replier)
+        counts.push(2, 20)  # below threshold
+        counts._rebuild_qualified()
+        assert counts._qualified == {1: 3}
+        assert not counts.covers(2)
+
+    def test_periodic_refresh_triggers_rebuild(self):
+        counts = _LossyCounts(epsilon=0.001, min_support_count=2)
+        counts.refresh_every = 5  # force a refresh within a few pushes
+        counts.push(1, 10)
+        counts.push(1, 10)
+        counts._qualified = {}  # stale: pretend eviction lost the entry
+        for i in range(5):
+            counts.push(50 + i, 99)  # unrelated singletons tick the clock
+        # the scheduled rebuild restored source 1's coverage, and the
+        # refresh clock wrapped (7 pushes total, rebuild at the 5th).
+        assert counts.covers(1)
+        assert counts._since_refresh == 2
+
+    def test_rebuild_on_empty_sketch(self):
+        counts = _LossyCounts(epsilon=0.001, min_support_count=2)
+        counts._rebuild_qualified()
+        assert counts._qualified == {}
+        assert not counts.covers(1)
 
 
 class TestStreamingRules:

@@ -1,0 +1,161 @@
+"""Tests for repro.persist.snapshot — round trips, integrity, fingerprints."""
+
+import os
+import struct
+
+import pytest
+
+from repro.core.streaming import StreamingRules
+from repro.persist.snapshot import (
+    SNAPSHOT_MAGIC,
+    SnapshotError,
+    fingerprint_counts,
+    load_snapshot,
+    read_snapshot_header,
+    write_snapshot,
+)
+
+PAIRS = [(s % 4, r % 3) for s, r in zip(range(40), range(1, 81, 2))]
+
+
+def exact_counts():
+    counts = StreamingRules(min_support_count=2, window_pairs=64).make_counts()
+    for source, replier in PAIRS:
+        counts.push(source, replier)
+    return counts
+
+
+def lossy_counts():
+    counts = StreamingRules(
+        min_support_count=2, backend="lossy", epsilon=0.01
+    ).make_counts()
+    for source, replier in PAIRS:
+        counts.push(source, replier)
+    return counts
+
+
+@pytest.fixture(params=["exact", "lossy"])
+def counts(request):
+    return exact_counts() if request.param == "exact" else lossy_counts()
+
+
+class TestRoundTrip:
+    def test_loaded_twin_fingerprints_identically(self, tmp_path, counts):
+        path = str(tmp_path / "s.snap")
+        write_snapshot(path, counts)
+        twin, header = load_snapshot(path)
+        assert fingerprint_counts(twin) == fingerprint_counts(counts)
+        assert header["fingerprint"] == fingerprint_counts(counts)
+        assert twin.n_rules() == counts.n_rules()
+
+    def test_loaded_twin_behaves_identically(self, tmp_path, counts):
+        path = str(tmp_path / "s.snap")
+        write_snapshot(path, counts)
+        twin, _header = load_snapshot(path)
+        for source in range(4):
+            assert twin.covers(source) == counts.covers(source)
+            assert twin.consequents(source) == counts.consequents(source)
+        # the twin keeps learning exactly in step
+        for source, replier in [(0, 1), (0, 1), (3, 2)]:
+            assert twin.push(source, replier) == counts.push(source, replier)
+        assert fingerprint_counts(twin) == fingerprint_counts(counts)
+
+    def test_header_fields_and_meta(self, tmp_path):
+        counts = exact_counts()
+        path = str(tmp_path / "s.snap")
+        header = write_snapshot(path, counts, meta={"node": "7"})
+        assert header["backend"] == "exact"
+        assert header["n_rules"] == counts.n_rules()
+        assert header["node"] == "7"
+        assert read_snapshot_header(path) == header
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        path = str(tmp_path / "s.snap")
+        write_snapshot(path, exact_counts())
+        assert os.listdir(tmp_path) == ["s.snap"]
+
+    def test_rewrite_replaces_atomically(self, tmp_path):
+        counts = exact_counts()
+        path = str(tmp_path / "s.snap")
+        write_snapshot(path, counts)
+        counts.push(0, 1)
+        write_snapshot(path, counts)
+        twin, _ = load_snapshot(path)
+        assert fingerprint_counts(twin) == fingerprint_counts(counts)
+
+
+class TestFingerprint:
+    def test_equal_state_equal_fingerprint(self):
+        assert fingerprint_counts(exact_counts()) == fingerprint_counts(
+            exact_counts()
+        )
+
+    def test_fingerprint_tracks_state_changes(self):
+        a, b = exact_counts(), exact_counts()
+        b.push(0, 1)
+        assert fingerprint_counts(a) != fingerprint_counts(b)
+
+    def test_backends_never_collide(self):
+        assert fingerprint_counts(exact_counts()) != fingerprint_counts(
+            lossy_counts()
+        )
+
+    def test_lossy_qualified_cache_excluded(self):
+        """A stale vs rebuilt ``_qualified`` cache must not split digests."""
+        counts = lossy_counts()
+        before = fingerprint_counts(counts)
+        counts._rebuild_qualified()
+        assert fingerprint_counts(counts) == before
+
+
+class TestIntegrity:
+    def _snapshot(self, tmp_path):
+        path = str(tmp_path / "s.snap")
+        write_snapshot(path, exact_counts())
+        return path
+
+    def test_truncated_file(self, tmp_path):
+        path = self._snapshot(tmp_path)
+        os.truncate(path, 10)
+        with pytest.raises(SnapshotError, match="truncated"):
+            load_snapshot(path)
+
+    def test_bad_magic(self, tmp_path):
+        path = self._snapshot(tmp_path)
+        data = bytearray(open(path, "rb").read())
+        data[0] ^= 0xFF
+        open(path, "wb").write(bytes(data))
+        with pytest.raises(SnapshotError, match="bad magic"):
+            load_snapshot(path)
+
+    def test_unsupported_version(self, tmp_path):
+        path = str(tmp_path / "s.snap")
+        with open(path, "wb") as fh:
+            fh.write(b"RPSN" + struct.pack("<HH", 42, 0) + b"\x00" * 8)
+        with pytest.raises(SnapshotError, match="version"):
+            load_snapshot(path)
+
+    def test_corrupt_header(self, tmp_path):
+        path = self._snapshot(tmp_path)
+        data = bytearray(open(path, "rb").read())
+        data[20] ^= 0xFF  # inside the JSON header
+        open(path, "wb").write(bytes(data))
+        with pytest.raises(SnapshotError, match="header checksum"):
+            load_snapshot(path)
+
+    def test_corrupt_payload(self, tmp_path):
+        path = self._snapshot(tmp_path)
+        data = bytearray(open(path, "rb").read())
+        data[-1] ^= 0xFF
+        open(path, "wb").write(bytes(data))
+        with pytest.raises(SnapshotError, match="payload digest"):
+            load_snapshot(path)
+
+    def test_short_payload(self, tmp_path):
+        path = self._snapshot(tmp_path)
+        os.truncate(path, os.path.getsize(path) - 4)
+        with pytest.raises(SnapshotError, match="payload"):
+            load_snapshot(path)
+
+    def test_magic_is_eight_bytes(self):
+        assert len(SNAPSHOT_MAGIC) == 8

@@ -85,3 +85,38 @@ class TestCsvExport:
         assert csv_path.exists()
         header = csv_path.read_text().splitlines()[0]
         assert header.startswith("trial,")
+
+
+class TestPersistInspect:
+    def _state_dir(self, tmp_path):
+        from repro.core.streaming import StreamingRules
+        from repro.persist import PersistentState
+
+        state = PersistentState(str(tmp_path / "node"), fsync="never")
+        counts, _ = state.recover(StreamingRules(min_support_count=2))
+        for source, replier in [(1, 2)] * 3 + [(3, 4)] * 2:
+            counts.push(source, replier)
+            state.record_pair(source, replier)
+        state.checkpoint(counts)
+        state.record_pair(5, 6)
+        state.close()
+        return state.state_dir
+
+    def test_inspect_dumps_headers_as_json(self, tmp_path, capsys):
+        import json
+
+        state_dir = self._state_dir(tmp_path)
+        assert main(["persist", "inspect", state_dir]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["state_dir"] == state_dir
+        assert len(report["snapshots"]) == 1
+        assert report["snapshots"][0]["backend"] == "exact"
+        assert report["wal_segments"][0]["records"] == 1
+        assert report["wal_segments"][0]["clean"] is True
+
+    def test_inspect_missing_dir_is_an_error(self, tmp_path, capsys):
+        assert main(["persist", "inspect", str(tmp_path / "nope")]) == 2
+
+    def test_inspect_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["persist"])
