@@ -1,0 +1,230 @@
+"""Saturation benchmark: a process-per-node cluster under open-loop load.
+
+``python -m benchmarks.bench_live_scale`` boots a sharded cluster via
+:class:`repro.scale.supervisor.ClusterSupervisor` (one ``LiveServent``
+per worker *process*, real TCP between them), then steps offered RPS
+through an open-loop ramp (:mod:`repro.scale.ramp`) and emits
+``BENCH_live_scale.json``:
+
+* one record per offered-RPS step — p50/p95/p99 latency, achieved rate,
+  timeout/error rate, cluster-side shed/drop deltas, open-loop fidelity;
+* the saturation summary — max sustainable QPS within the p99 bound and
+  error budget, normalised per core;
+* cross-process totals both ways: exact control-channel counters
+  (``grand_totals``) and the external-observer view scraped from every
+  worker's ``/metrics`` endpoint (``scrape_totals``).
+
+The run **gates**: exit 1 unless the cluster sustains ``--floor-qps``
+at ``--p99-bound`` seconds, so CI catches throughput regressions the
+unit suite cannot see.  ``--report`` additionally writes the curve as a
+Markdown table for artifact upload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from benchmarks._emit import emit_bench_json
+
+DEFAULT_TERMS = (
+    "jazz", "blues", "rock", "folk", "metal", "opera",
+    "tango", "salsa", "disco", "house", "swing", "punk",
+)
+
+
+def _parse_steps(text: str) -> list[float]:
+    steps = [float(part) for part in text.split(",") if part.strip()]
+    if not steps:
+        raise argparse.ArgumentTypeError("need at least one RPS step")
+    if any(s <= 0 for s in steps):
+        raise argparse.ArgumentTypeError("RPS steps must be positive")
+    return steps
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks.bench_live_scale",
+        description="Gated saturation benchmark over a multi-process cluster.",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2,
+        help="worker processes, one LiveServent each (default 2)",
+    )
+    parser.add_argument(
+        "--rps", type=_parse_steps, default=_parse_steps("40,80,160,320"),
+        help="comma-separated offered-RPS steps (default 40,80,160,320)",
+    )
+    parser.add_argument(
+        "--step-duration", type=float, default=8.0,
+        help="seconds of offered load per step (default 8)",
+    )
+    parser.add_argument(
+        "--terms", type=lambda t: [s for s in t.split(",") if s],
+        default=list(DEFAULT_TERMS),
+        help="comma-separated query vocabulary (partitioned across workers)",
+    )
+    parser.add_argument(
+        "--think", choices=("exponential", "lognormal", "fixed"),
+        default="exponential", help="inter-arrival distribution",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=2.0,
+        help="per-request timeout in seconds (default 2)",
+    )
+    parser.add_argument(
+        "--p99-bound", type=float, default=1.0,
+        help="a step only sustains if p99 latency <= this (seconds)",
+    )
+    parser.add_argument(
+        "--max-error-rate", type=float, default=0.05,
+        help="a step only sustains if timeout+error rate <= this",
+    )
+    parser.add_argument(
+        "--floor-qps", type=float, default=20.0,
+        help="gate: fail unless max sustainable QPS >= this",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="base arrival-process seed"
+    )
+    parser.add_argument(
+        "--uvloop", action="store_true",
+        help="ask workers (and this process) for uvloop; silent fallback",
+    )
+    parser.add_argument(
+        "--state-root", default=None,
+        help="root directory for per-node durable state (default: none)",
+    )
+    parser.add_argument(
+        "--report", default=None,
+        help="also write the saturation curve as Markdown to this path",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke shape: 2 workers, low RPS, short steps",
+    )
+    return parser
+
+
+def run(args: argparse.Namespace) -> dict:
+    from repro.network.topology import Topology
+    from repro.scale import (
+        ClusterSupervisor,
+        LoadConfig,
+        install_uvloop,
+        partitioned_specs,
+        run_ramp,
+        saturation_summary,
+    )
+
+    if args.quick:
+        args.workers = 2
+        args.rps = [10.0, 20.0, 40.0, 80.0]
+        args.step_duration = min(args.step_duration, 4.0)
+        args.floor_qps = min(args.floor_qps, 8.0)
+
+    loop_impl = install_uvloop(args.uvloop)
+    specs = partitioned_specs(
+        args.workers,
+        list(args.terms),
+        uvloop=args.uvloop,
+        state_dir=None,
+    )
+    if args.state_root:
+        from dataclasses import replace
+
+        specs = [
+            replace(s, state_dir=os.path.join(
+                args.state_root, f"node-{s.node_id:03d}"))
+            for s in specs
+        ]
+    # Ring topology: every worker has peers, every query can reach every
+    # shard within the TTL, and the edge count stays O(n).
+    n = args.workers
+    topology = Topology(n, [(i, (i + 1) % n) for i in range(n)]) if n > 1 \
+        else Topology(1, [])
+
+    base = LoadConfig(
+        rps=1.0,
+        duration=args.step_duration,
+        think=args.think,
+        request_timeout=args.timeout,
+    )
+    supervisor = ClusterSupervisor(specs, topology=topology)
+    with supervisor:
+        addresses = [(host, port) for _id, host, port in supervisor.addresses()]
+        steps = run_ramp(
+            addresses,
+            list(args.terms),
+            args.rps,
+            step_duration=args.step_duration,
+            seed=args.seed,
+            load_config=base,
+            cluster_totals=supervisor.totals,
+        )
+        summary = saturation_summary(
+            steps,
+            p99_bound=args.p99_bound,
+            max_error_rate=args.max_error_rate,
+            n_processes=supervisor.cpu_budget(),
+        )
+        worker_loops = sorted(
+            {h.info.get("loop", "?") for h in supervisor.handles.values()}
+        )
+        scraped = supervisor.scrape_totals()
+        grand = supervisor.grand_totals()
+    return {
+        "metadata": {
+            "workers": args.workers,
+            "cpu_count": os.cpu_count(),
+            "loop": loop_impl,
+            "worker_loops": worker_loops,
+            "uvloop_requested": args.uvloop,
+            "think": args.think,
+            "step_duration_seconds": args.step_duration,
+            "request_timeout_seconds": args.timeout,
+            "terms": list(args.terms),
+            "seed": args.seed,
+        },
+        "steps": steps,
+        "summary": summary,
+        "cluster_totals": grand,
+        "scraped_totals": scraped,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    payload = run(args)
+    summary = payload["summary"]
+    path = emit_bench_json("live_scale", payload)
+    if args.report:
+        from repro.scale import format_saturation_markdown
+
+        with open(args.report, "w", encoding="utf-8") as fh:
+            fh.write(format_saturation_markdown(payload["steps"], summary))
+        print(f"saturation report: {args.report}")
+    print(f"bench json: {path}")
+    print(json.dumps(summary, indent=2))
+    if summary["max_sustainable_qps"] < args.floor_qps:
+        print(
+            f"GATE FAIL: max sustainable "
+            f"{summary['max_sustainable_qps']:g} QPS "
+            f"< floor {args.floor_qps:g} QPS "
+            f"(p99 bound {args.p99_bound:g}s, "
+            f"error budget {args.max_error_rate:.0%})",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"GATE PASS: sustained {summary['max_sustainable_qps']:g} QPS "
+        f"({summary['qps_per_core']:g} QPS/core) "
+        f"within p99 <= {args.p99_bound:g}s"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

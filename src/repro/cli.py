@@ -31,6 +31,14 @@ Commands
 ``persist inspect``
     Dump the snapshot and WAL-segment headers of one durable
     rule-state directory as JSON (see ``docs/persistence.md``).
+``cluster``
+    Boot a **multi-process** sharded cluster (one servent per worker
+    process over real TCP, see ``docs/scale.md``), hold it up for a
+    duration, and print cluster-wide totals on exit.
+``load-test``
+    Drive a seeded **open-loop** load step (or RPS ramp) against
+    already-running servents and print latency percentiles, error
+    rates, and the saturation summary.
 
 Use ``--seed`` to vary the seed and ``--full`` for the paper's full
 365-block horizon (equivalent to ``REPRO_FULL_SCALE=1``).
@@ -204,6 +212,11 @@ def build_parser() -> argparse.ArgumentParser:
         default="interval",
         help="WAL durability policy (default: %(default)s)",
     )
+    live_node.add_argument(
+        "--uvloop",
+        action="store_true",
+        help="use uvloop if importable (silently falls back to asyncio)",
+    )
 
     live_cluster = sub.add_parser(
         "live-cluster", help="boot a loopback live cluster and drive queries"
@@ -290,6 +303,104 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="give every node durable rule state under DIR and audit "
         "the warm-restart invariants (rule-routed soaks only)",
+    )
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="boot a multi-process sharded cluster over real TCP",
+    )
+    cluster.add_argument(
+        "--workers", type=int, default=2, help="worker processes (default 2)"
+    )
+    cluster.add_argument(
+        "--terms",
+        default="jazz,blues,rock,folk,metal,opera",
+        metavar="TERM[,TERM...]",
+        help="vocabulary partitioned round-robin across workers",
+    )
+    cluster.add_argument(
+        "--duration",
+        type=float,
+        default=0.0,
+        metavar="SECS",
+        help="hold the cluster up this long then exit (0 = until ^C)",
+    )
+    cluster.add_argument(
+        "--flood",
+        action="store_true",
+        help="flooding servents (default: rule-routed)",
+    )
+    cluster.add_argument(
+        "--state-dir",
+        metavar="DIR",
+        default=None,
+        help="per-node durable rule state under DIR/node-NNN",
+    )
+    cluster.add_argument(
+        "--uvloop",
+        action="store_true",
+        help="workers use uvloop if importable (silent fallback)",
+    )
+    cluster.add_argument(
+        "--scrape",
+        action="store_true",
+        help="also print totals scraped from every worker's /metrics",
+    )
+
+    load_test = sub.add_parser(
+        "load-test",
+        help="open-loop load against running servents (saturation ramp)",
+    )
+    load_test.add_argument(
+        "--target",
+        action="append",
+        default=[],
+        metavar="HOST:PORT",
+        required=True,
+        help="servent to load (repeatable; clients attach as peers)",
+    )
+    load_test.add_argument(
+        "--rps",
+        default="50",
+        metavar="R[,R...]",
+        help="offered RPS — one value for a single step, a comma list "
+        "for a saturation ramp (default: %(default)s)",
+    )
+    load_test.add_argument(
+        "--duration",
+        type=float,
+        default=10.0,
+        metavar="SECS",
+        help="seconds of offered load per step (default: %(default)s)",
+    )
+    load_test.add_argument(
+        "--terms",
+        default="jazz,blues,rock,folk,metal,opera",
+        metavar="TERM[,TERM...]",
+        help="query vocabulary",
+    )
+    load_test.add_argument(
+        "--think",
+        choices=("exponential", "lognormal", "fixed"),
+        default="exponential",
+        help="inter-arrival distribution (default: %(default)s)",
+    )
+    load_test.add_argument(
+        "--timeout",
+        type=float,
+        default=2.0,
+        help="per-request timeout in seconds (default: %(default)s)",
+    )
+    load_test.add_argument(
+        "--p99-bound",
+        type=float,
+        default=1.0,
+        help="saturation gate: p99 bound in seconds (default: %(default)s)",
+    )
+    load_test.add_argument(
+        "--uvloop",
+        action="store_true",
+        help="use uvloop if importable (silent fallback)",
     )
 
     persist = sub.add_parser(
@@ -403,10 +514,147 @@ def _run_live_node(args) -> int:
             print("final counters:")
             _print_stats(node.snapshot())
 
+    from repro.scale.loop import install_uvloop
+
+    loop_impl = install_uvloop(args.uvloop)
+    if args.uvloop:
+        _log.info("event loop selected", extra={"loop": loop_impl})
     try:
         asyncio.run(run())
     except KeyboardInterrupt:
         pass
+    return 0
+
+
+def _split_terms(text: str) -> list[str]:
+    return [term.strip() for term in text.split(",") if term.strip()]
+
+
+def _run_cluster(args) -> int:
+    import json
+    import time as _time
+
+    from repro.network.topology import Topology
+    from repro.scale import ClusterSupervisor, partitioned_specs
+
+    if args.workers < 1:
+        _log.error("need at least 1 worker", extra={"workers": args.workers})
+        return 2
+    vocabulary = _split_terms(args.terms)
+    if not vocabulary:
+        _log.error("need a non-empty --terms vocabulary")
+        return 2
+    specs = partitioned_specs(
+        args.workers,
+        vocabulary,
+        rule_routed=not args.flood,
+        uvloop=args.uvloop,
+    )
+    if args.state_dir:
+        from dataclasses import replace
+
+        specs = [
+            replace(
+                s,
+                state_dir=os.path.join(
+                    args.state_dir, f"node-{s.node_id:03d}"
+                ),
+            )
+            for s in specs
+        ]
+    n = args.workers
+    topology = (
+        Topology(n, [(i, (i + 1) % n) for i in range(n)])
+        if n > 1
+        else Topology(1, [])
+    )
+    supervisor = ClusterSupervisor(specs, topology=topology)
+    try:
+        supervisor.start()
+        for node_id, host, port in supervisor.addresses():
+            handle = supervisor.handles[node_id]
+            _log.info(
+                "worker up",
+                extra={
+                    "node": node_id,
+                    "addr": f"{host}:{port}",
+                    "metrics": handle.obs_port,
+                    "pid": handle.info.get("pid"),
+                    "loop": handle.info.get("loop"),
+                },
+            )
+        if args.duration > 0:
+            _time.sleep(args.duration)
+        else:
+            while True:
+                _time.sleep(3600.0)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if args.scrape:
+            try:
+                print("scraped totals:")
+                print(json.dumps(supervisor.scrape_totals(), indent=2))
+            except OSError as exc:
+                _log.warning("scrape failed", extra={"error": str(exc)})
+        supervisor.close()
+        print("cluster totals:")
+        _print_stats(supervisor.grand_totals())
+    return 0
+
+
+def _run_load_test(args) -> int:
+    import json
+
+    from repro.scale import (
+        LoadConfig,
+        install_uvloop,
+        run_ramp,
+        saturation_summary,
+    )
+
+    addresses = []
+    for spec in args.target:
+        host, _, port = spec.rpartition(":")
+        try:
+            addresses.append((host or "127.0.0.1", int(port)))
+        except ValueError:
+            _log.error(
+                "bad --target value; expected HOST:PORT", extra={"value": spec}
+            )
+            return 2
+    vocabulary = _split_terms(args.terms)
+    if not vocabulary:
+        _log.error("need a non-empty --terms vocabulary")
+        return 2
+    try:
+        rps_steps = [float(part) for part in args.rps.split(",") if part.strip()]
+    except ValueError:
+        _log.error("bad --rps value", extra={"value": args.rps})
+        return 2
+    if not rps_steps or any(r <= 0 for r in rps_steps):
+        _log.error("--rps needs positive values", extra={"value": args.rps})
+        return 2
+    loop_impl = install_uvloop(args.uvloop)
+    if args.uvloop:
+        _log.info("event loop selected", extra={"loop": loop_impl})
+    seed = args.seed if args.seed is not None else 0
+    base = LoadConfig(
+        rps=1.0,
+        duration=args.duration,
+        think=args.think,
+        request_timeout=args.timeout,
+    )
+    steps = run_ramp(
+        addresses,
+        vocabulary,
+        rps_steps,
+        step_duration=args.duration,
+        seed=seed,
+        load_config=base,
+    )
+    summary = saturation_summary(steps, p99_bound=args.p99_bound)
+    print(json.dumps({"steps": steps, "summary": summary}, indent=2))
     return 0
 
 
@@ -742,6 +990,12 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "chaos-soak":
         return _run_chaos_soak(args)
+
+    if args.command == "cluster":
+        return _run_cluster(args)
+
+    if args.command == "load-test":
+        return _run_load_test(args)
 
     if args.command == "persist":
         import json

@@ -306,6 +306,10 @@ class PeerConnection:
         self._closed = asyncio.Event()
         self._closing = False
         self._draining = False
+        #: frames this link refused (queue full / closing) — the
+        #: per-connection view of overload shedding; the owning node
+        #: folds refusals into ``frames_dropped`` / ``queries_shed``.
+        self.sends_rejected = 0
 
     # -- lifecycle --------------------------------------------------------
     def start(self) -> None:
@@ -387,12 +391,21 @@ class PeerConnection:
 
     # -- sending ----------------------------------------------------------
     def send(self, frame: bytes) -> bool:
-        """Enqueue one frame; False (frame dropped) if closed or backed up."""
+        """Enqueue one frame; False (frame dropped) if closed or backed up.
+
+        The queue bound is deliberate overload policy, not an internal
+        limit: a peer reading slower than we route to it sheds frames
+        *here*, at enqueue time, keeping per-link memory and queueing
+        delay bounded while the refusal is visible to the caller (the
+        node counts it; Query forwards land in ``queries_shed``).
+        """
         if self._closing or self._draining:
+            self.sends_rejected += 1
             return False
         try:
             self._queue.put_nowait(frame)
         except asyncio.QueueFull:
+            self.sends_rejected += 1
             return False
         return True
 

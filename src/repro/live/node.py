@@ -583,6 +583,13 @@ class LiveServent:
         conn = self._conns.get(conn_id)
         if conn is None or not conn.send(frame):
             self.stats.frames_dropped += 1
+            if conn is not None and len(frame) > 16 and frame[16] == PAYLOAD_QUERY:
+                # Overload shedding: the bounded send queue refused a
+                # Query forward.  Count it as shed — the query already
+                # reached this node and may still resolve along the
+                # copies that did fit, so this is flood-fallback loss
+                # accounting, not an error.
+                self.stats.queries_shed += 1
             suppressed = _log_limiter.allow(("drop", self.node_id, conn_id))
             if suppressed is not None:
                 _log.debug(

@@ -26,6 +26,12 @@ class NodeStats:
     bytes_out: int = 0
     #: frames lost locally: send-queue overflow or no such connection.
     frames_dropped: int = 0
+    #: the subset of dropped frames that were *Query* descriptors — the
+    #: overload shedding valve: under sustained offered load a full
+    #: send queue sheds query forwards (bounded loss, measured here)
+    #: instead of queueing unboundedly (unbounded latency, measured
+    #: nowhere).  Every shed query is also counted in frames_dropped.
+    queries_shed: int = 0
     #: peers dropped for sending malformed bytes.
     protocol_errors: int = 0
     #: successful handshakes (inbound + outbound, including re-dials).

@@ -114,6 +114,22 @@ class Servent:
         self._next_guid += 1
         return guid % (1 << 128)
 
+    def advance_guid_epoch(self, epoch: int, *, span: int = 1 << 20) -> None:
+        """Skip the GUID sequence to a per-incarnation epoch.
+
+        A restarted servent that restarts its sequence at 1 re-mints the
+        GUIDs of its previous life, and peers' reply-routing tables —
+        which deduplicate by GUID — silently drop every descriptor it
+        originates.  Supervisors that respawn servents call this with
+        the incarnation number so each life mints from a disjoint block
+        of ``span`` GUIDs.
+        """
+        if epoch < 0:
+            raise ValueError("epoch must be non-negative")
+        if span < 1:
+            raise ValueError("span must be positive")
+        self._next_guid = (self.servent_guid << 32) + epoch * span + 1
+
     def issue_query(self, search: str) -> tuple[int, list[tuple[int, bytes]]]:
         """Originate a Query; returns (guid, outgoing frames)."""
         guid = self._fresh_guid()

@@ -13,7 +13,11 @@ makes that watching operational for the whole stack:
 * :mod:`repro.obs.tracing` — GUID-keyed hop-by-hop query traces with
   TTL-bounded retention;
 * :mod:`repro.obs.http` — an asyncio ``/metrics`` + ``/healthz``
-  endpoint servable from a running :class:`~repro.live.node.LiveServent`.
+  endpoint servable from a running :class:`~repro.live.node.LiveServent`;
+* :mod:`repro.obs.scrape` — the inverse of the registry's renderer:
+  parse Prometheus text exposition back into samples and aggregate
+  counters across many ``/metrics`` endpoints (the cross-process
+  ``grand_totals()`` used by :mod:`repro.scale`).
 
 See ``docs/observability.md`` for metric names, label conventions and
 the trace lifecycle.
@@ -39,6 +43,12 @@ from repro.obs.registry import (
     NULL_REGISTRY,
     get_global_registry,
     reset_global_registry,
+)
+from repro.obs.scrape import (
+    parse_labels,
+    parse_samples,
+    scrape_text,
+    scrape_totals,
 )
 from repro.obs.tracing import (
     NULL_TRACER,
@@ -71,6 +81,10 @@ __all__ = [
     "get_global_registry",
     "get_logger",
     "node_id_var",
+    "parse_labels",
+    "parse_samples",
     "peer_id_var",
     "reset_global_registry",
+    "scrape_text",
+    "scrape_totals",
 ]

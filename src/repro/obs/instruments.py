@@ -85,6 +85,7 @@ class NodeInstruments:
             ).labels(node)
             for name, help_text in (
                 ("frames_dropped", "Frames lost to queue overflow or a missing connection."),
+                ("queries_shed", "Query forwards shed by the bounded send queue under overload."),
                 ("protocol_errors", "Peers dropped for malformed bytes or broken handshakes."),
                 ("connects", "Successful handshakes, inbound and outbound."),
                 ("reconnects", "Successful outbound re-dials after a lost link."),

@@ -1,0 +1,120 @@
+"""Read Prometheus text exposition back into counters.
+
+:meth:`~repro.obs.registry.MetricsRegistry.render` writes the text
+format scrapers ingest; this module is the inverse direction, and it
+exists because cluster-wide accounting stopped being an in-process
+problem: :meth:`repro.live.cluster.LiveCluster.grand_totals` can sum
+:class:`~repro.live.stats.NodeStats` objects it holds references to,
+but a *multi-process* cluster (:mod:`repro.scale`) only sees its
+workers through their ``/metrics`` endpoints.  :func:`scrape_totals`
+fetches each worker's exposition over HTTP and folds the samples back
+into one ``{metric name: total}`` dict, summing across workers and
+label combinations — the cross-process twin of ``grand_totals()``.
+
+Implemented on :mod:`urllib.request` (stdlib only), with per-request
+timeouts so one dead worker cannot hang an aggregation sweep.
+"""
+
+from __future__ import annotations
+
+import urllib.request
+
+__all__ = ["parse_labels", "parse_samples", "scrape_text", "scrape_totals"]
+
+
+def parse_labels(spec: str) -> dict[str, str]:
+    """Parse the ``a="x",b="y"`` interior of a label braces block."""
+    labels: dict[str, str] = {}
+    i = 0
+    n = len(spec)
+    while i < n:
+        eq = spec.index("=", i)
+        name = spec[i:eq].strip().lstrip(",").strip()
+        if spec[eq + 1] != '"':
+            raise ValueError(f"unquoted label value in {spec!r}")
+        j = eq + 2
+        value: list[str] = []
+        while True:
+            ch = spec[j]
+            if ch == "\\":
+                nxt = spec[j + 1]
+                value.append(
+                    {"n": "\n", "\\": "\\", '"': '"'}.get(nxt, "\\" + nxt)
+                )
+                j += 2
+            elif ch == '"':
+                break
+            else:
+                value.append(ch)
+                j += 1
+        labels[name] = "".join(value)
+        i = j + 1
+    return labels
+
+
+def parse_samples(text: str) -> list[tuple[str, dict[str, str], float]]:
+    """Every ``(name, labels, value)`` sample in one text exposition.
+
+    Comment/``# HELP``/``# TYPE`` lines and blanks are skipped;
+    histogram ``_bucket``/``_sum``/``_count`` series appear under their
+    suffixed names, exactly as exposed.
+    """
+    samples: list[tuple[str, dict[str, str], float]] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if "{" in line:
+            name, rest = line.split("{", 1)
+            spec, value_part = rest.rsplit("}", 1)
+            labels = parse_labels(spec)
+        else:
+            parts = line.split()
+            if len(parts) < 2:
+                raise ValueError(f"malformed sample line {line!r}")
+            name, value_part = parts[0], parts[1]
+            labels = {}
+        value_text = value_part.split()[0]
+        if value_text == "+Inf":
+            value = float("inf")
+        elif value_text == "-Inf":
+            value = float("-inf")
+        else:
+            value = float(value_text)
+        samples.append((name.strip(), labels, value))
+    return samples
+
+
+def scrape_text(url: str, *, timeout: float = 5.0) -> str:
+    """Fetch one ``/metrics`` page as text."""
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return response.read().decode("utf-8")
+
+
+def scrape_totals(
+    urls: list[str] | tuple[str, ...],
+    *,
+    timeout: float = 5.0,
+    prefix: str = "",
+) -> dict[str, float]:
+    """Aggregate counters across many ``/metrics`` endpoints.
+
+    Each endpoint's samples are summed into one ``{name: total}`` dict
+    across all label combinations and all URLs — the semantics of
+    :meth:`~repro.obs.registry.MetricsRegistry.total`, applied to
+    workers that live in other processes.  Histogram ``_bucket`` series
+    are skipped (cumulative buckets would double-count; the ``_sum`` /
+    ``_count`` series carry the usable totals).  ``prefix`` restricts
+    the result (e.g. ``"repro_"``).
+    """
+    totals: dict[str, float] = {}
+    for url in urls:
+        for name, _labels, value in parse_samples(
+            scrape_text(url, timeout=timeout)
+        ):
+            if prefix and not name.startswith(prefix):
+                continue
+            if name.endswith("_bucket"):
+                continue
+            totals[name] = totals.get(name, 0.0) + value
+    return totals

@@ -1,0 +1,152 @@
+"""HDR-style coarse latency histograms for load generation.
+
+Recording a latency sample must be O(1) and allocation-free — an
+open-loop generator at hundreds of requests per second cannot afford to
+keep every sample — so :class:`LatencyHistogram` buckets observations
+into *geometrically spaced* bins (``buckets_per_decade`` per factor of
+ten), the same trade HdrHistogram makes: percentile estimates carry a
+bounded **relative** error (one bucket ratio, ~12% at the default 20
+buckets/decade) instead of the unbounded absolute error of linear bins.
+
+Histograms merge (per-worker results fold into a cluster-wide curve) and
+round-trip through plain dicts, so they can cross a multiprocessing
+control pipe or land in a ``BENCH_*.json`` without custom serialisation.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+
+__all__ = ["LatencyHistogram"]
+
+
+class LatencyHistogram:
+    """Fixed geometric buckets over ``[min_value, max_value]`` seconds."""
+
+    def __init__(
+        self,
+        *,
+        min_value: float = 1e-6,
+        max_value: float = 60.0,
+        buckets_per_decade: int = 20,
+    ) -> None:
+        if min_value <= 0 or max_value <= min_value:
+            raise ValueError("need 0 < min_value < max_value")
+        if buckets_per_decade < 1:
+            raise ValueError("buckets_per_decade must be >= 1")
+        self.min_value = float(min_value)
+        self.max_value = float(max_value)
+        self.buckets_per_decade = int(buckets_per_decade)
+        decades = math.log10(max_value / min_value)
+        n = int(math.ceil(decades * buckets_per_decade)) + 1
+        ratio = 10.0 ** (1.0 / buckets_per_decade)
+        #: upper bound of each bucket; the final bucket is a catch-all
+        #: for samples above ``max_value`` (clamped, never dropped).
+        self.bounds: list[float] = [
+            min_value * ratio ** (i + 1) for i in range(n)
+        ]
+        self.counts = [0] * (n + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min_seen = math.inf
+        self.max_seen = 0.0
+
+    # -- recording --------------------------------------------------------
+    def record(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("latency cannot be negative")
+        self.count += 1
+        self.sum += seconds
+        if seconds < self.min_seen:
+            self.min_seen = seconds
+        if seconds > self.max_seen:
+            self.max_seen = seconds
+        self.counts[bisect_left(self.bounds, seconds)] += 1
+
+    # -- reading ----------------------------------------------------------
+    def percentile(self, p: float) -> float:
+        """The latency at percentile ``p`` (0 < p <= 100), estimated as
+        the upper bound of the bucket holding that rank — a conservative
+        figure whose relative error is bounded by one bucket ratio."""
+        if not 0.0 < p <= 100.0:
+            raise ValueError("p must be in (0, 100]")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil(self.count * p / 100.0))
+        running = 0
+        for i, n in enumerate(self.counts):
+            running += n
+            if running >= rank:
+                if i >= len(self.bounds):
+                    return self.max_seen
+                # clamp to observed extremes so tiny histograms don't
+                # report a bound far above anything actually seen
+                return min(self.bounds[i], self.max_seen)
+        return self.max_seen  # pragma: no cover - rank <= count
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def summary(self) -> dict[str, float]:
+        """The percentiles a saturation curve plots, as one dict."""
+        return {
+            "count": self.count,
+            "mean_seconds": self.mean,
+            "min_seconds": self.min_seen if self.count else 0.0,
+            "max_seconds": self.max_seen,
+            "p50_seconds": self.percentile(50.0),
+            "p95_seconds": self.percentile(95.0),
+            "p99_seconds": self.percentile(99.0),
+        }
+
+    # -- combination / transport ------------------------------------------
+    def _compatible(self, other: "LatencyHistogram") -> bool:
+        return (
+            self.min_value == other.min_value
+            and self.max_value == other.max_value
+            and self.buckets_per_decade == other.buckets_per_decade
+        )
+
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Fold another histogram's counts into this one (in place)."""
+        if not self._compatible(other):
+            raise ValueError("cannot merge histograms with different buckets")
+        for i, n in enumerate(other.counts):
+            self.counts[i] += n
+        self.count += other.count
+        self.sum += other.sum
+        self.min_seen = min(self.min_seen, other.min_seen)
+        self.max_seen = max(self.max_seen, other.max_seen)
+        return self
+
+    def to_dict(self) -> dict:
+        return {
+            "min_value": self.min_value,
+            "max_value": self.max_value,
+            "buckets_per_decade": self.buckets_per_decade,
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+            "min_seen": self.min_seen if self.count else None,
+            "max_seen": self.max_seen,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "LatencyHistogram":
+        hist = cls(
+            min_value=payload["min_value"],
+            max_value=payload["max_value"],
+            buckets_per_decade=payload["buckets_per_decade"],
+        )
+        counts = list(payload["counts"])
+        if len(counts) != len(hist.counts):
+            raise ValueError("bucket layout mismatch")
+        hist.counts = counts
+        hist.count = int(payload["count"])
+        hist.sum = float(payload["sum"])
+        min_seen = payload.get("min_seen")
+        hist.min_seen = math.inf if min_seen is None else float(min_seen)
+        hist.max_seen = float(payload["max_seen"])
+        return hist

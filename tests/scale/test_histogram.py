@@ -1,0 +1,86 @@
+"""LatencyHistogram: bounded-relative-error percentiles, merge, transport."""
+
+import math
+import random
+
+import pytest
+
+from repro.scale.histogram import LatencyHistogram
+
+
+def reference_percentile(samples, p):
+    """Exact percentile by the histogram's own rank rule, on raw data."""
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(len(ordered) * p / 100.0))
+    return ordered[rank - 1]
+
+
+class TestPercentiles:
+    def test_matches_sorted_reference_within_one_bucket_ratio(self):
+        rng = random.Random(7)
+        hist = LatencyHistogram()
+        samples = [rng.lognormvariate(-4.0, 1.2) for _ in range(5000)]
+        for s in samples:
+            hist.record(s)
+        ratio = 10.0 ** (1.0 / hist.buckets_per_decade)
+        for p in (10.0, 50.0, 90.0, 95.0, 99.0, 99.9):
+            exact = reference_percentile(samples, p)
+            estimate = hist.percentile(p)
+            # the estimate is the upper bound of the exact value's
+            # bucket: never below it, never more than one ratio above.
+            assert exact <= estimate <= exact * ratio * (1 + 1e-12), p
+
+    def test_single_sample_reports_itself(self):
+        hist = LatencyHistogram()
+        hist.record(0.0321)
+        assert hist.percentile(50.0) == pytest.approx(0.0321)
+        assert hist.percentile(99.0) == pytest.approx(0.0321)
+
+    def test_overflow_samples_are_kept_and_clamped(self):
+        hist = LatencyHistogram(max_value=1.0)
+        hist.record(30.0)  # beyond max_value: catch-all bucket
+        hist.record(0.5)
+        assert hist.count == 2
+        assert hist.percentile(99.0) == pytest.approx(30.0)
+
+    def test_empty_and_invalid(self):
+        hist = LatencyHistogram()
+        assert hist.percentile(99.0) == 0.0
+        assert hist.summary()["count"] == 0
+        with pytest.raises(ValueError):
+            hist.percentile(0.0)
+        with pytest.raises(ValueError):
+            hist.record(-1.0)
+
+
+class TestMergeAndTransport:
+    def test_merge_equals_recording_everything_in_one(self):
+        rng = random.Random(11)
+        samples = [rng.expovariate(100.0) for _ in range(2000)]
+        whole = LatencyHistogram()
+        left, right = LatencyHistogram(), LatencyHistogram()
+        for i, s in enumerate(samples):
+            whole.record(s)
+            (left if i % 2 else right).record(s)
+        left.merge(right)
+        assert left.counts == whole.counts
+        assert left.count == whole.count
+        assert left.sum == pytest.approx(whole.sum)
+        assert left.percentile(99.0) == whole.percentile(99.0)
+
+    def test_merge_rejects_different_bucket_layout(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().merge(LatencyHistogram(buckets_per_decade=10))
+
+    def test_dict_round_trip(self):
+        hist = LatencyHistogram()
+        for ms in (1, 3, 9, 27, 81):
+            hist.record(ms / 1e3)
+        clone = LatencyHistogram.from_dict(hist.to_dict())
+        assert clone.counts == hist.counts
+        assert clone.summary() == hist.summary()
+
+    def test_empty_dict_round_trip(self):
+        clone = LatencyHistogram.from_dict(LatencyHistogram().to_dict())
+        assert clone.count == 0
+        assert clone.min_seen == math.inf

@@ -1,0 +1,94 @@
+"""Prometheus text exposition parsing and cross-process aggregation."""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.obs.http import ObsHttpServer
+from repro.obs.registry import MetricsRegistry
+from repro.obs.scrape import parse_labels, parse_samples, scrape_totals
+
+
+def stocked_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    frames = registry.counter("repro_frames_total", "frames", ("node", "direction"))
+    frames.labels("0", "in").inc(10)
+    frames.labels("0", "out").inc(5)
+    gauge = registry.gauge("repro_connected_peers", "peers", ("node",))
+    gauge.labels("0").set(3)
+    hist = registry.histogram("repro_decode_seconds", "decode", ("node",))
+    hist.labels("0").observe(0.5)
+    hist.labels("0").observe(1.5)
+    return registry
+
+
+class TestParsing:
+    def test_render_parse_round_trip(self):
+        samples = parse_samples(stocked_registry().render())
+        by_key = {
+            (name, tuple(sorted(labels.items()))): value
+            for name, labels, value in samples
+        }
+        assert by_key[
+            ("repro_frames_total", (("direction", "in"), ("node", "0")))
+        ] == 10.0
+        assert by_key[
+            ("repro_connected_peers", (("node", "0"),))
+        ] == 3.0
+        assert by_key[("repro_decode_seconds_count", (("node", "0"),))] == 2.0
+        assert by_key[("repro_decode_seconds_sum", (("node", "0"),))] == 2.0
+
+    def test_label_escapes(self):
+        labels = parse_labels(r'peer="a\"b",path="c\\d",msg="x\ny"')
+        assert labels == {"peer": 'a"b', "path": "c\\d", "msg": "x\ny"}
+
+    def test_inf_values_and_malformed_lines(self):
+        samples = parse_samples('m_bucket{le="+Inf"} 4\nedge +Inf\n')
+        assert samples[0] == ("m_bucket", {"le": "+Inf"}, 4.0)
+        assert samples[1][2] == float("inf")
+        with pytest.raises(ValueError):
+            parse_samples("lonely_name\n")
+
+
+class TestScrapeTotals:
+    def test_sums_across_urls_and_labels_skipping_buckets(self, monkeypatch):
+        text = stocked_registry().render()
+        monkeypatch.setattr(
+            "repro.obs.scrape.scrape_text", lambda url, timeout=5.0: text
+        )
+        totals = scrape_totals(["http://a/metrics", "http://b/metrics"])
+        # two identical "workers": everything doubles.
+        assert totals["repro_frames_total"] == 30.0
+        assert totals["repro_connected_peers"] == 6.0
+        assert totals["repro_decode_seconds_count"] == 4.0
+        # cumulative histogram buckets would double-count; they must
+        # not appear in the aggregate at all.
+        assert not any(name.endswith("_bucket") for name in totals)
+
+    def test_prefix_filter(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.obs.scrape.scrape_text",
+            lambda url, timeout=5.0: "other_total 7\nrepro_x_total 1\n",
+        )
+        totals = scrape_totals(["http://a/metrics"], prefix="repro_")
+        assert totals == {"repro_x_total": 1.0}
+
+    @pytest.mark.live
+    def test_over_real_http(self):
+        registry = stocked_registry()
+        server = ObsHttpServer(render=registry.render)
+        loop = asyncio.new_event_loop()
+        thread = threading.Thread(target=loop.run_forever, daemon=True)
+        thread.start()
+        try:
+            asyncio.run_coroutine_threadsafe(server.start(), loop).result(5)
+            totals = scrape_totals(
+                [f"http://127.0.0.1:{server.port}/metrics"], prefix="repro_"
+            )
+            assert totals["repro_frames_total"] == 15.0
+            assert totals["repro_connected_peers"] == 3.0
+        finally:
+            asyncio.run_coroutine_threadsafe(server.close(), loop).result(5)
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(5)

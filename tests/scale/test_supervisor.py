@@ -1,0 +1,184 @@
+"""ClusterSupervisor: spawn/ready/wire/query/stop/kill/restart, for real.
+
+Every test here boots actual worker *processes* (multiprocessing spawn)
+talking real TCP, so they all carry the ``live`` marker and their own
+deadlines: a supervision bug must fail the test, not hang the suite.
+"""
+
+import time
+from dataclasses import replace
+
+import pytest
+
+from repro.network.topology import Topology
+from repro.scale.supervisor import ClusterSupervisor, partitioned_specs
+
+VOCAB = ["alpha", "bravo", "charlie", "delta"]
+
+
+def wait_until(predicate, *, timeout=20.0, interval=0.1, message="condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval)
+    pytest.fail(f"timed out waiting for {message}")
+
+
+def two_worker_supervisor(tmp_path=None, **kwargs):
+    specs = partitioned_specs(2, VOCAB)
+    if tmp_path is not None:
+        specs = [
+            replace(s, state_dir=str(tmp_path / f"node-{s.node_id:03d}"))
+            for s in specs
+        ]
+    return ClusterSupervisor(
+        specs, topology=Topology(2, [(0, 1)]), **kwargs
+    )
+
+
+@pytest.mark.live
+class TestRoundTrip:
+    def test_spawn_ready_query_stop(self, tmp_path):
+        with two_worker_supervisor(tmp_path) as sup:
+            # readiness: both workers reported distinct pids and ports.
+            infos = {h.node_id: h.info for h in sup.handles.values()}
+            assert set(infos) == {0, 1}
+            assert infos[0]["pid"] != infos[1]["pid"]
+            ports = {node_id: info["port"] for node_id, info in infos.items()}
+            assert all(ports.values())
+            assert infos[0]["loop"] in ("asyncio", "uvloop")
+            # a fresh state dir recovers to a cold (but present) record.
+            assert infos[0]["recovery"] is not None
+
+            # the ring edge connects across processes.
+            wait_until(
+                lambda: all(
+                    payload["connected_peers"]
+                    for payload in sup.stats().values()
+                ),
+                message="peers to connect",
+            )
+
+            # "bravo" lives on node 1 (round-robin partition); a query
+            # issued at node 0 must cross the process boundary and the
+            # hit must route back.
+            guid = sup.issue_query(0, "bravo")
+            assert guid > 0
+            wait_until(
+                lambda: sup.stats()[0]["counters"]["hits_received"] >= 1,
+                message="a cross-process QueryHit",
+            )
+
+            totals = sup.totals()
+            assert totals["queries_issued"] >= 1
+            assert totals["hits_received"] >= 1
+
+            # graceful stop retires the node's exact final counters.
+            final = sup.stop(0)
+            assert final is not None
+            assert final["queries_issued"] >= 1
+            assert not sup.handles[0].alive
+            # ...and grand totals still include the retired incarnation.
+            assert sup.grand_totals()["queries_issued"] >= 1
+
+    def test_scrape_totals_match_control_channel(self, tmp_path):
+        with two_worker_supervisor() as sup:
+            wait_until(
+                lambda: all(
+                    payload["connected_peers"]
+                    for payload in sup.stats().values()
+                ),
+                message="peers to connect",
+            )
+            sup.issue_query(0, "bravo")
+            wait_until(
+                lambda: sup.stats()[0]["counters"]["hits_received"] >= 1,
+                message="a cross-process QueryHit",
+            )
+            scraped = sup.scrape_totals()
+            control = sup.totals()
+            assert scraped["repro_queries_issued_total"] == pytest.approx(
+                control["queries_issued"]
+            )
+            assert scraped["repro_hits_received_total"] == pytest.approx(
+                control["hits_received"]
+            )
+
+
+@pytest.mark.live
+class TestKillAndRestart:
+    def test_hard_kill_then_pinned_port_restart(self, tmp_path):
+        sup = two_worker_supervisor(tmp_path)
+        try:
+            sup.start()
+            wait_until(
+                lambda: all(
+                    payload["connected_peers"]
+                    for payload in sup.stats().values()
+                ),
+                message="peers to connect",
+            )
+            # learn something worth recovering: pairs only promote at
+            # min_support_count=2, but the WAL records every pair.
+            for _ in range(3):
+                sup.issue_query(0, "bravo")
+            wait_until(
+                lambda: sup.stats()[0]["counters"]["hits_received"] >= 3,
+                message="warmup hits",
+            )
+            old_port = sup.handles[0].port
+
+            sup.kill(0)
+            assert not sup.handles[0].alive
+            # SIGKILL means no retirement snapshot — like a real crash.
+            assert sup.handles[0].retired == []
+
+            info = sup.restart(0)
+            assert info["port"] == old_port
+            assert sup.handles[0].restarts == 1
+            # warm recovery ran against the state dir the first
+            # incarnation wrote (what it finds there depends on what
+            # survived the SIGKILL — the recovery *record* must exist).
+            assert info["recovery"] is not None
+            assert "restored" in info["recovery"]
+            # the overlay heals: the surviving peer re-dials the pinned
+            # port, and queries flow again.
+            wait_until(
+                lambda: all(
+                    payload["connected_peers"]
+                    for payload in sup.stats().values()
+                ),
+                message="reconnect after restart",
+            )
+            sup.issue_query(0, "delta")
+            wait_until(
+                lambda: sup.stats()[0]["counters"]["hits_received"] >= 1,
+                message="a hit after restart",
+            )
+        finally:
+            sup.close()
+
+    def test_crash_monitor_restarts_on_crash_policy(self, tmp_path):
+        sup = two_worker_supervisor(
+            tmp_path, restart="on-crash", monitor_interval=0.05
+        )
+        try:
+            sup.start()
+            victim = sup.handles[1]
+            pid_before = victim.info["pid"]
+            # a crash the supervisor did NOT ask for.
+            victim.process.kill()
+            wait_until(
+                lambda: victim.alive and victim.info.get("pid") != pid_before,
+                message="automatic restart after crash",
+            )
+            assert victim.restarts == 1
+            assert sup.crashes and sup.crashes[0][0] == 1
+        finally:
+            sup.close()
+
+    def test_duplicate_node_ids_rejected(self):
+        specs = partitioned_specs(2, VOCAB)
+        with pytest.raises(ValueError):
+            ClusterSupervisor([specs[0], specs[0]])
