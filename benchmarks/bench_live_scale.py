@@ -105,34 +105,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true",
         help="CI smoke shape: 2 workers, low RPS, short steps",
     )
+    parser.add_argument(
+        "--trace-sample", type=int, default=0,
+        help="also run a second, traced ramp sampling 1-in-N GUIDs and "
+        "gate its overhead at --trace-overhead (0 = skip, default)",
+    )
+    parser.add_argument(
+        "--trace-overhead", type=float, default=0.05,
+        help="gate: traced max sustainable QPS must stay within this "
+        "fraction of the untraced baseline (default 0.05)",
+    )
+    parser.add_argument(
+        "--trace-report", default=None,
+        help="write the traced ramp's merged query tree + cluster "
+        "rollup as Markdown to this path",
+    )
     return parser
 
 
-def run(args: argparse.Namespace) -> dict:
+def _ramp_once(args: argparse.Namespace, *, trace_sample: int = 0) -> dict:
+    """Boot one cluster, run the full ramp against it, tear it down.
+
+    With ``trace_sample > 0`` the workers sample 1-in-N GUIDs into their
+    tracers and the result additionally carries the merged trace trees
+    and the collector's cluster rollup (the tracing-overhead comparison
+    needs a *separate* cluster so rules learned under the baseline ramp
+    do not flatter the traced one).
+    """
     from repro.network.topology import Topology
     from repro.scale import (
         ClusterSupervisor,
         LoadConfig,
-        install_uvloop,
         partitioned_specs,
         run_ramp,
         saturation_summary,
     )
 
-    if args.quick:
-        args.workers = 2
-        args.rps = [10.0, 20.0, 40.0, 80.0]
-        args.step_duration = min(args.step_duration, 4.0)
-        args.floor_qps = min(args.floor_qps, 8.0)
-
-    loop_impl = install_uvloop(args.uvloop)
     specs = partitioned_specs(
         args.workers,
         list(args.terms),
         uvloop=args.uvloop,
         state_dir=None,
+        trace_sample=trace_sample,
     )
-    if args.state_root:
+    if args.state_root and not trace_sample:
         from dataclasses import replace
 
         specs = [
@@ -151,6 +167,7 @@ def run(args: argparse.Namespace) -> dict:
         duration=args.step_duration,
         think=args.think,
         request_timeout=args.timeout,
+        trace_sample=trace_sample,
     )
     supervisor = ClusterSupervisor(specs, topology=topology)
     with supervisor:
@@ -173,14 +190,54 @@ def run(args: argparse.Namespace) -> dict:
         worker_loops = sorted(
             {h.info.get("loop", "?") for h in supervisor.handles.values()}
         )
+        trace_render = None
+        if trace_sample:
+            from repro.obs.collect import (
+                format_cluster_rollup,
+                format_trace_tree,
+            )
+
+            collector = supervisor.collector()
+            collector.poll()
+            parts = [format_cluster_rollup(collector)]
+            guid = collector.best_guid()
+            if guid is not None:
+                parts.extend(["", format_trace_tree(collector.traces[guid])])
+            trace_render = {
+                "traces_collected": len(collector.traces),
+                "answered": len(collector.answered_guids()),
+                "quality": collector.live_quality(),
+                "markdown": "\n".join(parts),
+            }
         scraped = supervisor.scrape_totals()
         grand = supervisor.grand_totals()
     return {
+        "steps": steps,
+        "summary": summary,
+        "worker_loops": worker_loops,
+        "cluster_totals": grand,
+        "scraped_totals": scraped,
+        "trace": trace_render,
+    }
+
+
+def run(args: argparse.Namespace) -> dict:
+    from repro.scale import install_uvloop
+
+    if args.quick:
+        args.workers = 2
+        args.rps = [10.0, 20.0, 40.0, 80.0]
+        args.step_duration = min(args.step_duration, 4.0)
+        args.floor_qps = min(args.floor_qps, 8.0)
+
+    loop_impl = install_uvloop(args.uvloop)
+    baseline = _ramp_once(args)
+    payload = {
         "metadata": {
             "workers": args.workers,
             "cpu_count": os.cpu_count(),
             "loop": loop_impl,
-            "worker_loops": worker_loops,
+            "worker_loops": baseline["worker_loops"],
             "uvloop_requested": args.uvloop,
             "think": args.think,
             "step_duration_seconds": args.step_duration,
@@ -188,17 +245,43 @@ def run(args: argparse.Namespace) -> dict:
             "terms": list(args.terms),
             "seed": args.seed,
         },
-        "steps": steps,
-        "summary": summary,
-        "cluster_totals": grand,
-        "scraped_totals": scraped,
+        "steps": baseline["steps"],
+        "summary": baseline["summary"],
+        "cluster_totals": baseline["cluster_totals"],
+        "scraped_totals": baseline["scraped_totals"],
     }
+    if args.trace_sample > 0:
+        traced = _ramp_once(args, trace_sample=args.trace_sample)
+        baseline_qps = baseline["summary"]["max_sustainable_qps"]
+        traced_qps = traced["summary"]["max_sustainable_qps"]
+        overhead = (
+            (baseline_qps - traced_qps) / baseline_qps
+            if baseline_qps > 0
+            else 0.0
+        )
+        payload["tracing"] = {
+            "sample": args.trace_sample,
+            "baseline_qps": baseline_qps,
+            "traced_qps": traced_qps,
+            "overhead_fraction": round(overhead, 4),
+            "overhead_bound": args.trace_overhead,
+            "traced_steps": traced["steps"],
+            "traced_summary": traced["summary"],
+            "collector": {
+                k: v
+                for k, v in (traced["trace"] or {}).items()
+                if k != "markdown"
+            },
+        }
+        payload["trace_markdown"] = (traced["trace"] or {}).get("markdown")
+    return payload
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     payload = run(args)
     summary = payload["summary"]
+    trace_markdown = payload.pop("trace_markdown", None)
     path = emit_bench_json("live_scale", payload)
     if args.report:
         from repro.scale import format_saturation_markdown
@@ -206,8 +289,14 @@ def main(argv: list[str] | None = None) -> int:
         with open(args.report, "w", encoding="utf-8") as fh:
             fh.write(format_saturation_markdown(payload["steps"], summary))
         print(f"saturation report: {args.report}")
+    if args.trace_report and trace_markdown:
+        with open(args.trace_report, "w", encoding="utf-8") as fh:
+            fh.write(trace_markdown)
+            fh.write("\n")
+        print(f"trace report: {args.trace_report}")
     print(f"bench json: {path}")
     print(json.dumps(summary, indent=2))
+    failed = False
     if summary["max_sustainable_qps"] < args.floor_qps:
         print(
             f"GATE FAIL: max sustainable "
@@ -217,6 +306,28 @@ def main(argv: list[str] | None = None) -> int:
             f"error budget {args.max_error_rate:.0%})",
             file=sys.stderr,
         )
+        failed = True
+    tracing = payload.get("tracing")
+    if tracing is not None:
+        if tracing["overhead_fraction"] > args.trace_overhead:
+            print(
+                f"GATE FAIL: sampled tracing cost "
+                f"{tracing['overhead_fraction']:.1%} of max sustainable "
+                f"QPS ({tracing['baseline_qps']:g} -> "
+                f"{tracing['traced_qps']:g}), bound "
+                f"{args.trace_overhead:.0%}",
+                file=sys.stderr,
+            )
+            failed = True
+        else:
+            print(
+                f"TRACE GATE PASS: 1-in-{tracing['sample']} tracing cost "
+                f"{tracing['overhead_fraction']:.1%} "
+                f"({tracing['baseline_qps']:g} -> "
+                f"{tracing['traced_qps']:g} QPS), within "
+                f"{args.trace_overhead:.0%}"
+            )
+    if failed:
         return 1
     print(
         f"GATE PASS: sustained {summary['max_sustainable_qps']:g} QPS "

@@ -346,6 +346,74 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also print totals scraped from every worker's /metrics",
     )
+    cluster.add_argument(
+        "--trace-sample",
+        type=int,
+        default=0,
+        metavar="N",
+        help="trace the 1-in-N GUID subset in every worker and serve "
+        "spans on /trace (0 = tracing off, default)",
+    )
+    cluster.add_argument(
+        "--flight-dir",
+        metavar="DIR",
+        default=None,
+        help="workers dump crash flight recordings under DIR",
+    )
+    cluster.add_argument(
+        "--ports-file",
+        metavar="PATH",
+        default=None,
+        help="write resolved node/data/obs ports as JSON (feeds trace-view)",
+    )
+
+    trace_view = sub.add_parser(
+        "trace-view",
+        help="merge /trace spans across a running cluster into query "
+        "trees plus a live alpha/rho rollup",
+    )
+    trace_view.add_argument(
+        "--endpoint",
+        action="append",
+        default=[],
+        metavar="HOST:PORT",
+        help="a worker's obs endpoint (repeatable)",
+    )
+    trace_view.add_argument(
+        "--ports-file",
+        metavar="PATH",
+        default=None,
+        help="read endpoints from a cluster --ports-file JSON document",
+    )
+    trace_view.add_argument(
+        "--guid",
+        default=None,
+        metavar="GUID",
+        help="render this query's tree (hex or decimal; default: the "
+        "latest answered trace)",
+    )
+    trace_view.add_argument(
+        "--polls",
+        type=int,
+        default=2,
+        metavar="N",
+        help="collection sweeps; each pair of sweeps yields one rolling "
+        "alpha/rho window (default: %(default)s)",
+    )
+    trace_view.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="SECS",
+        help="seconds between sweeps (default: %(default)s)",
+    )
+    trace_view.add_argument(
+        "--trees",
+        type=int,
+        default=1,
+        metavar="N",
+        help="how many query trees to render (default: %(default)s)",
+    )
 
     load_test = sub.add_parser(
         "load-test",
@@ -549,6 +617,8 @@ def _run_cluster(args) -> int:
         vocabulary,
         rule_routed=not args.flood,
         uvloop=args.uvloop,
+        trace_sample=max(0, args.trace_sample),
+        flight_dir=args.flight_dir,
     )
     if args.state_dir:
         from dataclasses import replace
@@ -571,6 +641,21 @@ def _run_cluster(args) -> int:
     supervisor = ClusterSupervisor(specs, topology=topology)
     try:
         supervisor.start()
+        if args.ports_file:
+            doc = {
+                "nodes": [
+                    {
+                        "node": node_id,
+                        "host": host,
+                        "port": port,
+                        "obs_port": supervisor.handles[node_id].obs_port,
+                    }
+                    for node_id, host, port in supervisor.addresses()
+                ]
+            }
+            with open(args.ports_file, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh, indent=2)
+                fh.write("\n")
         for node_id, host, port in supervisor.addresses():
             handle = supervisor.handles[node_id]
             _log.info(
@@ -655,6 +740,106 @@ def _run_load_test(args) -> int:
     )
     summary = saturation_summary(steps, p99_bound=args.p99_bound)
     print(json.dumps({"steps": steps, "summary": summary}, indent=2))
+    return 0
+
+
+def _trace_view_endpoints(args) -> list[tuple[object, str]]:
+    """(label, base URL) pairs from --endpoint and/or --ports-file."""
+    import json
+
+    endpoints: list[tuple[object, str]] = []
+    for spec in args.endpoint:
+        host, _, port = spec.rpartition(":")
+        endpoints.append((spec, f"http://{host or '127.0.0.1'}:{port}"))
+    if args.ports_file:
+        with open(args.ports_file, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        for node in doc.get("nodes", []):
+            if node.get("obs_port"):
+                endpoints.append(
+                    (
+                        node.get("node"),
+                        f"http://{node.get('host', '127.0.0.1')}:"
+                        f"{node['obs_port']}",
+                    )
+                )
+    return endpoints
+
+
+def _parse_guid(text: str) -> int:
+    try:
+        return int(text, 10)
+    except ValueError:
+        return int(text, 16)
+
+
+def _run_trace_view(args) -> int:
+    import time as _time
+
+    from repro.obs.collect import (
+        ClusterTraceCollector,
+        format_cluster_rollup,
+        format_trace_tree,
+    )
+
+    try:
+        endpoints = _trace_view_endpoints(args)
+    except (OSError, ValueError) as exc:
+        _log.error("bad --ports-file", extra={"error": str(exc)})
+        return 2
+    if not endpoints:
+        _log.error("no endpoints: pass --endpoint and/or --ports-file")
+        return 2
+    collector = ClusterTraceCollector(endpoints)
+    polls = max(1, args.polls)
+    for sweep in range(polls):
+        if sweep:
+            _time.sleep(max(0.0, args.interval))
+        summary = collector.poll()
+        _log.info(
+            "trace sweep",
+            extra={
+                "sweep": sweep + 1,
+                "nodes": summary["nodes"],
+                "traces": summary["traces"],
+            },
+        )
+    if collector.errors and not collector.per_node:
+        _log.error(
+            "no endpoint answered", extra={"errors": collector.errors}
+        )
+        return 2
+    print(format_cluster_rollup(collector))
+    if args.guid is not None:
+        try:
+            guids = [_parse_guid(args.guid)]
+        except ValueError:
+            _log.error("bad --guid value", extra={"value": args.guid})
+            return 2
+        if guids[0] not in collector.traces:
+            _log.error(
+                "guid not in any collected trace",
+                extra={"guid": args.guid, "traces": len(collector.traces)},
+            )
+            return 2
+    else:
+        # latest answered traces first, then latest seen, up to --trees.
+        answered = set(collector.answered_guids())
+        by_recency = sorted(
+            collector.traces,
+            key=lambda g: (
+                g in answered,
+                collector.traces[g].last_event,
+            ),
+            reverse=True,
+        )
+        guids = by_recency[: max(1, args.trees)]
+    if not guids:
+        print("\nno traces collected (is --trace-sample enabled?)")
+        return 0
+    for guid in guids:
+        print()
+        print(format_trace_tree(collector.traces[guid]))
     return 0
 
 
@@ -996,6 +1181,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "load-test":
         return _run_load_test(args)
+
+    if args.command == "trace-view":
+        return _run_trace_view(args)
 
     if args.command == "persist":
         import json

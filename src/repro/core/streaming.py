@@ -95,6 +95,24 @@ class _ExactWindowCounts:
     def n_rules(self) -> int:
         return sum(1 for c in self._pair_counts.values() if c >= self.threshold)
 
+    def rule_stats(self, source: int, replier: int) -> tuple[int, float]:
+        """Windowed ``(support, confidence)`` for one rule.
+
+        Support is the pair's count inside the sliding window; confidence
+        is that count over every windowed pair with the same antecedent —
+        the association-rule measures the paper mines per block, read
+        live.  ``(0, 0.0)`` when the pair left the window.
+        """
+        support = self._pair_counts.get((source, replier), 0)
+        if support == 0:
+            return 0, 0.0
+        antecedent_total = sum(
+            count
+            for (src, _replier), count in self._pair_counts.items()
+            if src == source
+        )
+        return support, support / antecedent_total
+
     # -- durable state (consumed by repro.persist) ------------------------
     def state(self) -> dict:
         """The complete live state as plain data.
@@ -177,6 +195,24 @@ class _LossyCounts:
 
     def n_rules(self) -> int:
         return len(self._counter.pairs_over_count(self.threshold))
+
+    def rule_stats(self, source: int, replier: int) -> tuple[int, float]:
+        """Estimated ``(support, confidence)`` for one rule.
+
+        Support is the sketch's lower-bound estimate; confidence divides
+        by the summed estimates of every retained pair with the same
+        antecedent (evicted pairs contribute nothing, so confidence is an
+        over-estimate exactly where the sketch undercounts the tail).
+        """
+        support = self._counter.estimate(source, replier)
+        if support == 0:
+            return 0, 0.0
+        antecedent_total = sum(
+            count
+            for (src, _replier), count in self._counter.pairs_over_count(1).items()
+            if src == source
+        )
+        return support, support / antecedent_total if antecedent_total else 0.0
 
     # -- durable state (consumed by repro.persist) ------------------------
     def state(self) -> dict:

@@ -128,6 +128,26 @@ class StreamingRuleServent(Servent):
             if c in self.connections and c != exclude
         ][: self.top_k]
 
+    def _trace_rule_routed(
+        self, guid: int, antecedent: int, targets: list[int], ttl: int
+    ) -> None:
+        """Record one ``rule_routed`` event per target, with the matched
+        rule's live support/confidence attached — the explainability
+        payload the cluster-wide collector surfaces per hop."""
+        for conn in targets:
+            support, confidence = self.counts.rule_stats(antecedent, conn)
+            self.tracer.record(
+                guid,
+                self._trace_id,
+                "rule_routed",
+                peer=conn,
+                ttl=ttl,
+                antecedent=antecedent,
+                consequent=conn,
+                confidence=confidence,
+                support=support,
+            )
+
     def issue_query(self, search: str) -> tuple[int, list[tuple[int, bytes]]]:
         guid, frames = super().issue_query(search)
         targets = self._targets(LOCAL, None)
@@ -135,28 +155,40 @@ class StreamingRuleServent(Servent):
             keep = set(targets)
             frames = [(conn, frame) for conn, frame in frames if conn in keep]
             self.stats.queries_rule_routed += 1
-            if self.tracer is not None:
-                for conn, _frame in frames:
-                    self.tracer.record(
-                        guid, self._trace_id, "rule_routed", peer=conn
-                    )
+            if self.tracer is not None and self.tracer.wants(guid):
+                self._trace_rule_routed(
+                    guid, LOCAL, [conn for conn, _frame in frames], self.max_ttl
+                )
         else:
             self.stats.queries_flooded += 1
+            if self.tracer is not None and self.tracer.wants(guid):
+                for conn, _frame in frames:
+                    self.tracer.record(
+                        guid,
+                        self._trace_id,
+                        "flooded",
+                        peer=conn,
+                        ttl=self.max_ttl,
+                        reason="no_covering_rule",
+                    )
         return guid, frames
 
-    def _forward(self, from_conn: int, header, payload) -> list[tuple[int, bytes]]:
+    def _forward(
+        self, from_conn: int, header, payload, *, flood_reason: str = ""
+    ) -> list[tuple[int, bytes]]:
         if header.payload_type != PAYLOAD_QUERY or header.ttl <= 1:
             return super()._forward(from_conn, header, payload)
         targets = self._targets(from_conn, exclude=from_conn)
         if not targets:
             self.stats.queries_flooded += 1
-            return super()._forward(from_conn, header, payload)  # flood
+            return super()._forward(
+                from_conn, header, payload, flood_reason="no_covering_rule"
+            )
         self.stats.queries_rule_routed += 1
-        if self.tracer is not None:
-            for conn in targets:
-                self.tracer.record(
-                    header.guid, self._trace_id, "rule_routed", peer=conn
-                )
+        if self.tracer is not None and self.tracer.wants(header.guid):
+            self._trace_rule_routed(
+                header.guid, from_conn, targets, header.ttl - 1
+            )
         aged = header.aged()
         frame = encode_message(aged.guid, aged.ttl, aged.hops, payload)
         return [(conn, frame) for conn in targets]
@@ -268,6 +300,7 @@ class LiveServent:
             self._obs_server = ObsHttpServer(
                 render=self.render_metrics,
                 health=self.health,
+                trace=self.render_trace if tracer is not None else None,
                 host=obs_host if obs_host is not None else host,
                 port=obs_port,
             )
@@ -653,6 +686,12 @@ class LiveServent:
             return ""
         self.sync_metrics()
         return self.registry.render()
+
+    def render_trace(self) -> str:
+        """The node's retained query spans as JSON lines (``/trace``)."""
+        if self.tracer is None:
+            return ""
+        return self.tracer.export_jsonl()
 
     def health(self) -> dict:
         """The ``/healthz`` document: liveness plus a peering summary."""

@@ -135,7 +135,9 @@ class Servent:
         guid = self._fresh_guid()
         self.query_routes.record(guid, LOCAL)
         if self.tracer is not None:
-            self.tracer.record(guid, self._trace_id, "issued", info=search)
+            self.tracer.record(
+                guid, self._trace_id, "issued", info=search, ttl=self.max_ttl
+            )
         frame = encode_message(
             guid, self.max_ttl, 0, QueryMessage(min_speed=0, search=search)
         )
@@ -210,6 +212,7 @@ class Servent:
                 "received",
                 peer=conn_id,
                 info=f"ttl={header.ttl} hops={header.hops}",
+                ttl=header.ttl,
             )
         n_matched = 0
         for shared in self.library:
@@ -237,11 +240,15 @@ class Servent:
         out.extend(self._forward(conn_id, header, query))
         return out
 
-    def _forward(self, from_conn: int, header, payload) -> list[tuple[int, bytes]]:
+    def _forward(
+        self, from_conn: int, header, payload, *, flood_reason: str = ""
+    ) -> list[tuple[int, bytes]]:
         is_query = header.payload_type == PAYLOAD_QUERY
         if header.ttl <= 1:
             if is_query and self.tracer is not None:
-                self.tracer.record(header.guid, self._trace_id, "ttl_expired")
+                self.tracer.record(
+                    header.guid, self._trace_id, "ttl_expired", ttl=header.ttl
+                )
             return []
         aged = header.aged()
         frame = encode_message(aged.guid, aged.ttl, aged.hops, payload)
@@ -249,7 +256,12 @@ class Servent:
         if is_query and self.tracer is not None:
             for conn in targets:
                 self.tracer.record(
-                    header.guid, self._trace_id, "flooded", peer=conn
+                    header.guid,
+                    self._trace_id,
+                    "flooded",
+                    peer=conn,
+                    ttl=aged.ttl,
+                    reason=flood_reason,
                 )
         return [(conn, frame) for conn in targets]
 
@@ -308,7 +320,9 @@ class RuleRoutedServent(Servent):
         )
         self.top_k = top_k
 
-    def _forward(self, from_conn: int, header, payload) -> list[tuple[int, bytes]]:
+    def _forward(
+        self, from_conn: int, header, payload, *, flood_reason: str = ""
+    ) -> list[tuple[int, bytes]]:
         if header.payload_type != PAYLOAD_QUERY or header.ttl <= 1:
             return super()._forward(from_conn, header, payload)
         consequents = [
@@ -317,11 +331,23 @@ class RuleRoutedServent(Servent):
             if c in self.connections and c != from_conn
         ]
         if not consequents:
-            return super()._forward(from_conn, header, payload)  # flood
-        if self.tracer is not None:
+            return super()._forward(
+                from_conn, header, payload, flood_reason="no_covering_rule"
+            )
+        if self.tracer is not None and self.tracer.wants(header.guid):
+            aged_ttl = header.ttl - 1
             for conn in consequents:
+                support, confidence = self.rules.rule_stats(from_conn, conn)
                 self.tracer.record(
-                    header.guid, self._trace_id, "rule_routed", peer=conn
+                    header.guid,
+                    self._trace_id,
+                    "rule_routed",
+                    peer=conn,
+                    ttl=aged_ttl,
+                    antecedent=from_conn,
+                    consequent=conn,
+                    confidence=confidence,
+                    support=support,
                 )
         aged = header.aged()
         frame = encode_message(aged.guid, aged.ttl, aged.hops, payload)

@@ -12,17 +12,34 @@ makes that watching operational for the whole stack:
   node/peer contextvars and per-key rate limiting;
 * :mod:`repro.obs.tracing` — GUID-keyed hop-by-hop query traces with
   TTL-bounded retention;
-* :mod:`repro.obs.http` — an asyncio ``/metrics`` + ``/healthz``
-  endpoint servable from a running :class:`~repro.live.node.LiveServent`;
+* :mod:`repro.obs.http` — an asyncio ``/metrics`` + ``/healthz`` +
+  ``/trace`` endpoint servable from a running
+  :class:`~repro.live.node.LiveServent`;
 * :mod:`repro.obs.scrape` — the inverse of the registry's renderer:
-  parse Prometheus text exposition back into samples and aggregate
-  counters across many ``/metrics`` endpoints (the cross-process
-  ``grand_totals()`` used by :mod:`repro.scale`).
+  parse Prometheus text exposition (counters, gauges *and* histogram
+  ``le`` buckets) back into samples and aggregate them across many
+  ``/metrics`` endpoints (the cross-process ``grand_totals()`` used by
+  :mod:`repro.scale`);
+* :mod:`repro.obs.collect` — the cluster-wide trace collector: merge
+  per-node ``/trace`` spans by GUID into query trees and fold counters
+  into rolling live α/ρ/traffic-per-query windows;
+* :mod:`repro.obs.flight` — the crash flight recorder: a bounded ring
+  of recent events dumped atomically on SIGTERM/fatal error and
+  periodically, harvested by the cluster supervisor after hard kills.
 
 See ``docs/observability.md`` for metric names, label conventions and
 the trace lifecycle.
 """
 
+from repro.obs.collect import (
+    ClusterTraceCollector,
+    format_cluster_rollup,
+    format_trace_tree,
+    merge_spans,
+    parse_spans,
+    quality_measures,
+)
+from repro.obs.flight import FlightRecorder, harvest_flight_dir, load_flight
 from repro.obs.http import ObsHttpServer
 from repro.obs.instruments import NodeInstruments
 from repro.obs.logging import (
@@ -45,6 +62,9 @@ from repro.obs.registry import (
     reset_global_registry,
 )
 from repro.obs.scrape import (
+    histogram_quantile,
+    merge_histograms,
+    parse_histograms,
     parse_labels,
     parse_samples,
     scrape_text,
@@ -57,10 +77,13 @@ from repro.obs.tracing import (
     QueryTracer,
     TraceEvent,
     format_trace,
+    traced_guid,
 )
 
 __all__ = [
+    "ClusterTraceCollector",
     "DEFAULT_BUCKETS",
+    "FlightRecorder",
     "JsonFormatter",
     "MetricsRegistry",
     "NodeInstruments",
@@ -77,14 +100,25 @@ __all__ = [
     "bind_node",
     "bind_peer",
     "configure_logging",
+    "format_cluster_rollup",
     "format_trace",
+    "format_trace_tree",
     "get_global_registry",
     "get_logger",
+    "harvest_flight_dir",
+    "histogram_quantile",
+    "load_flight",
+    "merge_histograms",
+    "merge_spans",
     "node_id_var",
+    "parse_histograms",
     "parse_labels",
     "parse_samples",
+    "parse_spans",
     "peer_id_var",
+    "quality_measures",
     "reset_global_registry",
     "scrape_text",
     "scrape_totals",
+    "traced_guid",
 ]

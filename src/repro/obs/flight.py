@@ -1,0 +1,135 @@
+"""Crash flight recorder: a bounded ring of recent per-worker events.
+
+Chaos soaks and hard kills leave no evidence: a SIGKILL'd worker cannot
+run a crash handler, and a worker that died on an unexpected exception
+took its recent routing decisions with it.  :class:`FlightRecorder`
+keeps the last ``capacity`` events (control commands, trace spans,
+lifecycle marks) in a fixed-size ring and writes them to disk in two
+ways:
+
+* **periodically** — every ``flush_every`` records the ring is dumped,
+  so even a SIGKILL (which runs nothing) leaves the last flushed window
+  on disk for the supervisor to harvest;
+* **on demand** — the worker's SIGTERM handler and fatal-exception path
+  call :meth:`dump` with a reason, capturing the final moments exactly.
+
+Dumps are atomic in the :mod:`repro.persist` idiom — write a ``.tmp``
+sibling, fsync, ``os.replace`` — so a harvest never reads a torn file:
+it sees the previous complete dump or the new one, nothing in between.
+
+The on-disk format is JSON lines: a header line (pid, dump reason,
+counters), then one line per retained event, oldest first.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections import deque
+from typing import Callable
+
+__all__ = ["FlightRecorder", "harvest_flight_dir", "load_flight"]
+
+FLIGHT_SUFFIX = ".flight.jsonl"
+
+
+class FlightRecorder:
+    """Fixed-size ring of recent events, dumped atomically to one file."""
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        capacity: int = 256,
+        flush_every: int = 64,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if flush_every < 1:
+            raise ValueError("flush_every must be >= 1")
+        self.path = path
+        self.capacity = capacity
+        self.flush_every = flush_every
+        self._clock = clock
+        self._ring: deque[dict] = deque(maxlen=capacity)
+        self.recorded = 0
+        self.dumps = 0
+        self._since_flush = 0
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+
+    def record(self, kind: str, **fields) -> None:
+        """Append one event; auto-dumps every ``flush_every`` records."""
+        entry = {"ts": self._clock(), "kind": kind}
+        entry.update(fields)
+        self._ring.append(entry)
+        self.recorded += 1
+        self._since_flush += 1
+        if self._since_flush >= self.flush_every:
+            self.dump(reason="periodic")
+
+    def dump(self, *, reason: str = "manual") -> str:
+        """Atomically write the ring to :attr:`path`; returns the path."""
+        header = {
+            "flight": 1,
+            "pid": os.getpid(),
+            "reason": reason,
+            "dumped_at": self._clock(),
+            "recorded": self.recorded,
+            "capacity": self.capacity,
+            "events": len(self._ring),
+        }
+        lines = [json.dumps(header, separators=(",", ":"))]
+        lines.extend(
+            json.dumps(entry, separators=(",", ":")) for entry in self._ring
+        )
+        payload = "\n".join(lines) + "\n"
+        tmp = self.path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+        self._since_flush = 0
+        self.dumps += 1
+        return self.path
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+
+def load_flight(path: str) -> dict:
+    """Parse one recording into ``{"header": ..., "events": [...]}``."""
+    with open(path, encoding="utf-8") as fh:
+        lines = [line for line in fh.read().splitlines() if line.strip()]
+    if not lines:
+        raise ValueError(f"empty flight recording {path!r}")
+    header = json.loads(lines[0])
+    if not isinstance(header, dict) or "flight" not in header:
+        raise ValueError(f"not a flight recording {path!r}")
+    return {
+        "header": header,
+        "events": [json.loads(line) for line in lines[1:]],
+    }
+
+
+def harvest_flight_dir(root: str) -> dict[str, dict]:
+    """Every parseable ``*.flight.jsonl`` under ``root``, by filename.
+
+    Unparseable or torn files are skipped, not fatal — a postmortem
+    sweep should surface every recording it *can* read.
+    """
+    recordings: dict[str, dict] = {}
+    if not os.path.isdir(root):
+        return recordings
+    for name in sorted(os.listdir(root)):
+        if not name.endswith(FLIGHT_SUFFIX):
+            continue
+        try:
+            recordings[name] = load_flight(os.path.join(root, name))
+        except (OSError, ValueError, json.JSONDecodeError):
+            continue
+    return recordings

@@ -7,7 +7,10 @@ Serves exactly what an operations loop needs and nothing else:
   hook so snapshot-style series (α, ρ, queue depths, NodeStats mirrors)
   are synced at scrape time;
 * ``GET /healthz``  — a small JSON liveness document from the ``health``
-  hook (HTTP 200 while the node is up, 503 once it is closing).
+  hook (HTTP 200 while the node is up, 503 once it is closing);
+* ``GET /trace``    — the node's retained query spans as JSON lines
+  (one event per line, GUID-keyed), when a ``trace`` hook is wired;
+  404 on nodes that run without a tracer.
 
 Implemented directly on :mod:`asyncio` streams — no web framework, in
 keeping with the repo's no-new-dependencies rule.  Connections are
@@ -28,18 +31,20 @@ _READ_TIMEOUT = 5.0
 
 
 class ObsHttpServer:
-    """Serve ``/metrics`` and ``/healthz`` for one registry."""
+    """Serve ``/metrics``, ``/healthz`` and ``/trace`` for one node."""
 
     def __init__(
         self,
         *,
         render: Callable[[], str],
         health: Callable[[], dict] | None = None,
+        trace: Callable[[], str] | None = None,
         host: str = "127.0.0.1",
         port: int = 0,
     ) -> None:
         self._render = render
         self._health = health or (lambda: {"status": "ok"})
+        self._trace = trace
         self.host = host
         self.port = port
         self._server: asyncio.Server | None = None
@@ -108,6 +113,14 @@ class ObsHttpServer:
                     status,
                     "application/json",
                     json.dumps(doc) + "\n",
+                    include_body=method == "GET",
+                )
+            elif path == "/trace" and self._trace is not None:
+                await self._respond(
+                    writer,
+                    200,
+                    "application/x-ndjson",
+                    self._trace(),
                     include_body=method == "GET",
                 )
             else:

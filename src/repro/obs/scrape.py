@@ -19,7 +19,15 @@ from __future__ import annotations
 
 import urllib.request
 
-__all__ = ["parse_labels", "parse_samples", "scrape_text", "scrape_totals"]
+__all__ = [
+    "histogram_quantile",
+    "merge_histograms",
+    "parse_histograms",
+    "parse_labels",
+    "parse_samples",
+    "scrape_text",
+    "scrape_totals",
+]
 
 
 def parse_labels(spec: str) -> dict[str, str]:
@@ -83,6 +91,87 @@ def parse_samples(text: str) -> list[tuple[str, dict[str, str], float]]:
             value = float(value_text)
         samples.append((name.strip(), labels, value))
     return samples
+
+
+def parse_histograms(text: str, *, prefix: str = "") -> dict[str, dict]:
+    """Histogram series in one exposition, keyed by base metric name.
+
+    Each value is ``{"buckets": {upper_bound: cumulative_count}, "sum":
+    float, "count": float}`` with samples summed across label
+    combinations (the ``le`` bound aside), so a multi-labelled histogram
+    collapses to one distribution per name.  The ``le`` strings become
+    float bounds (``"+Inf"`` → ``inf``).  Only names that actually
+    expose ``_bucket`` series are returned — a plain counter that
+    happens to end in ``_sum`` is not mistaken for a histogram.
+    """
+    buckets: dict[str, dict[float, float]] = {}
+    sums: dict[str, float] = {}
+    counts: dict[str, float] = {}
+    for name, labels, value in parse_samples(text):
+        if name.endswith("_bucket"):
+            base = name[: -len("_bucket")]
+            if prefix and not base.startswith(prefix):
+                continue
+            le = labels.get("le")
+            if le is None:
+                continue
+            bound = float("inf") if le == "+Inf" else float(le)
+            per = buckets.setdefault(base, {})
+            per[bound] = per.get(bound, 0.0) + value
+        elif name.endswith("_sum"):
+            base = name[: -len("_sum")]
+            sums[base] = sums.get(base, 0.0) + value
+        elif name.endswith("_count"):
+            base = name[: -len("_count")]
+            counts[base] = counts.get(base, 0.0) + value
+    return {
+        base: {
+            "buckets": per,
+            "sum": sums.get(base, 0.0),
+            "count": counts.get(base, 0.0),
+        }
+        for base, per in buckets.items()
+    }
+
+
+def merge_histograms(*histogram_maps: dict[str, dict]) -> dict[str, dict]:
+    """Merge per-node histogram maps into cluster-wide distributions.
+
+    Cumulative bucket counts sum bucket-by-bucket (summing cumulative
+    series is still cumulative), as do ``sum`` and ``count`` — every
+    worker records into identically configured registries, so the bucket
+    bounds line up by construction.
+    """
+    merged: dict[str, dict] = {}
+    for histograms in histogram_maps:
+        for base, hist in histograms.items():
+            out = merged.setdefault(
+                base, {"buckets": {}, "sum": 0.0, "count": 0.0}
+            )
+            for bound, count in hist["buckets"].items():
+                out["buckets"][bound] = out["buckets"].get(bound, 0.0) + count
+            out["sum"] += hist["sum"]
+            out["count"] += hist["count"]
+    return merged
+
+
+def histogram_quantile(hist: dict, q: float) -> float:
+    """Upper-bound estimate of the ``q`` quantile of one histogram.
+
+    Walks the cumulative buckets to the first bound covering ``q`` of
+    the observations — the standard text-format quantile read, accurate
+    to one bucket width.  Returns 0.0 for an empty histogram.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be in [0, 1]")
+    total = hist.get("count", 0.0) or hist["buckets"].get(float("inf"), 0.0)
+    if total <= 0:
+        return 0.0
+    target = q * total
+    for bound in sorted(hist["buckets"]):
+        if hist["buckets"][bound] >= target:
+            return bound
+    return float("inf")
 
 
 def scrape_text(url: str, *, timeout: float = 5.0) -> str:

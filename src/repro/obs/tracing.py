@@ -24,19 +24,35 @@ Event kinds used by the instrumented stack:
 ``timeout``      harness marker: the query quiesced with no hit
 ========== ==========================================================
 
+Routing decisions carry *explainability* fields: a ``rule_routed`` event
+records the matched rule's antecedent/consequent plus its live windowed
+support and confidence; a ``flooded`` event records the fallback
+``reason``; forward-path events record the descriptor ``ttl``.  Every
+event also carries ``latency`` — seconds since this node first saw the
+GUID — so hop latency survives export.
+
+Timestamps come from ``time.time`` (wall clock) by default so spans
+recorded in *different processes* merge onto one comparable timeline;
+tests inject a fake clock instead of sleeping.
+
 Retention is TTL-bounded on both axes: at most ``max_traces`` distinct
 GUIDs are kept (oldest evicted first) and whole traces expire ``ttl``
 seconds after their last event, so a long-running daemon's tracer is a
-ring buffer, not a leak.  :data:`NULL_TRACER` is the disabled twin whose
-``record`` is a no-op; hot paths guard with ``tracer is not None`` or
-call the null object unconditionally.
+ring buffer, not a leak.  ``sample`` thins the stream by GUID —
+``traced_guid(guid, n)`` keeps 1-in-``n`` — so the load generator and
+every worker agree on which queries are traced without coordination.
+:data:`NULL_TRACER` is the disabled twin whose ``record`` is a no-op;
+hot paths guard with ``tracer is not None`` or call the null object
+unconditionally.
 """
 
 from __future__ import annotations
 
+import json
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from typing import Callable
 
 __all__ = [
     "NULL_TRACER",
@@ -45,7 +61,18 @@ __all__ = [
     "QueryTracer",
     "TraceEvent",
     "format_trace",
+    "traced_guid",
 ]
+
+
+def traced_guid(guid: int, sample: int) -> bool:
+    """Is this GUID in the 1-in-``sample`` traced subset?
+
+    ``sample <= 1`` traces everything.  Both the load generator and the
+    worker servents mint GUIDs sequentially, so ``guid % sample == 0``
+    picks an even 1-in-N slice with zero coordination between processes.
+    """
+    return sample <= 1 or guid % sample == 0
 
 
 @dataclass(frozen=True)
@@ -57,6 +84,15 @@ class TraceEvent:
     kind: str
     peer: int | None = None
     info: str = ""
+    # Routing explainability (populated where the decision is made).
+    ttl: int | None = None
+    antecedent: int | None = None
+    consequent: int | None = None
+    confidence: float | None = None
+    support: int | None = None
+    reason: str = ""
+    # Seconds since this node first saw the GUID (node-local hop latency).
+    latency: float | None = None
 
     def render(self, t0: float) -> str:
         parts = [f"+{self.ts - t0:8.4f}s", f"node {self.node:<4}", self.kind]
@@ -65,7 +101,62 @@ class TraceEvent:
             parts.append(f"{arrow} {self.peer}")
         if self.info:
             parts.append(f"[{self.info}]")
+        if self.confidence is not None:
+            parts.append(
+                f"rule({self.antecedent}=>{self.consequent}"
+                f" conf={self.confidence:.2f} sup={self.support})"
+            )
+        if self.ttl is not None:
+            parts.append(f"ttl={self.ttl}")
+        if self.reason:
+            parts.append(f"reason={self.reason}")
         return "  ".join(parts)
+
+    def to_dict(self) -> dict:
+        """Plain-data form for JSON-lines export; ``None`` fields omitted."""
+        doc: dict = {"ts": self.ts, "node": self.node, "kind": self.kind}
+        if self.peer is not None:
+            doc["peer"] = self.peer
+        if self.info:
+            doc["info"] = self.info
+        if self.ttl is not None:
+            doc["ttl"] = self.ttl
+        if self.antecedent is not None:
+            doc["antecedent"] = self.antecedent
+        if self.consequent is not None:
+            doc["consequent"] = self.consequent
+        if self.confidence is not None:
+            doc["confidence"] = self.confidence
+        if self.support is not None:
+            doc["support"] = self.support
+        if self.reason:
+            doc["reason"] = self.reason
+        if self.latency is not None:
+            doc["latency"] = self.latency
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "TraceEvent":
+        return cls(
+            ts=float(doc["ts"]),
+            node=int(doc["node"]),
+            kind=str(doc["kind"]),
+            peer=None if doc.get("peer") is None else int(doc["peer"]),
+            info=str(doc.get("info", "")),
+            ttl=None if doc.get("ttl") is None else int(doc["ttl"]),
+            antecedent=(
+                None if doc.get("antecedent") is None else int(doc["antecedent"])
+            ),
+            consequent=(
+                None if doc.get("consequent") is None else int(doc["consequent"])
+            ),
+            confidence=(
+                None if doc.get("confidence") is None else float(doc["confidence"])
+            ),
+            support=None if doc.get("support") is None else int(doc["support"]),
+            reason=str(doc.get("reason", "")),
+            latency=None if doc.get("latency") is None else float(doc["latency"]),
+        )
 
 
 @dataclass
@@ -108,16 +199,30 @@ class QueryTracer:
         *,
         max_traces: int = 1024,
         ttl: float = 300.0,
-        clock=time.monotonic,
+        clock: Callable[[], float] = time.time,
+        sample: int = 1,
+        on_event: Callable[[int, TraceEvent], None] | None = None,
     ) -> None:
         if max_traces < 1:
             raise ValueError("max_traces must be >= 1")
         if ttl <= 0:
             raise ValueError("ttl must be positive")
+        if sample < 1:
+            raise ValueError("sample must be >= 1")
         self.max_traces = max_traces
         self.ttl = ttl
+        self.sample = sample
+        self.on_event = on_event
         self._clock = clock
         self._traces: "OrderedDict[int, QueryTrace]" = OrderedDict()
+
+    def wants(self, guid: int) -> bool:
+        """Would ``record`` keep events for this GUID?
+
+        Hot paths check this *before* computing explainability extras
+        (rule confidence, support) so untraced queries pay nothing.
+        """
+        return traced_guid(guid, self.sample)
 
     def record(
         self,
@@ -127,14 +232,42 @@ class QueryTracer:
         *,
         peer: int | None = None,
         info: str = "",
+        ttl: int | None = None,
+        antecedent: int | None = None,
+        consequent: int | None = None,
+        confidence: float | None = None,
+        support: int | None = None,
+        reason: str = "",
     ) -> None:
         """Append one event to the GUID's trace (creating it on first use)."""
+        if not traced_guid(guid, self.sample):
+            return
         now = self._clock()
         trace = self._traces.get(guid)
         if trace is None:
             self._evict(now)
             trace = self._traces[guid] = QueryTrace(guid)
-        trace.events.append(TraceEvent(now, node, kind, peer, info))
+        first_local = next(
+            (e.ts for e in trace.events if e.node == node), None
+        )
+        latency = 0.0 if first_local is None else now - first_local
+        event = TraceEvent(
+            now,
+            node,
+            kind,
+            peer,
+            info,
+            ttl=ttl,
+            antecedent=antecedent,
+            consequent=consequent,
+            confidence=confidence,
+            support=support,
+            reason=reason,
+            latency=latency,
+        )
+        trace.events.append(event)
+        if self.on_event is not None:
+            self.on_event(guid, event)
 
     def _evict(self, now: float) -> None:
         """Drop expired traces, then the oldest beyond ``max_traces - 1``."""
@@ -168,6 +301,21 @@ class QueryTracer:
             return f"no trace for guid {guid}"
         return format_trace(trace)
 
+    def export_jsonl(self) -> str:
+        """Every retained event as JSON lines (the ``/trace`` payload).
+
+        One line per event, each self-describing with its ``guid``, so a
+        collector can concatenate payloads from many nodes and merge by
+        GUID without per-node framing.
+        """
+        lines = []
+        for guid, trace in self._traces.items():
+            for event in trace.events:
+                doc = {"guid": guid}
+                doc.update(event.to_dict())
+                lines.append(json.dumps(doc, separators=(",", ":")))
+        return "\n".join(lines) + ("\n" if lines else "")
+
 
 def format_trace(trace: QueryTrace) -> str:
     """A human-readable hop-by-hop rendering of one query trace."""
@@ -187,7 +335,10 @@ class NullTracer:
 
     enabled = False
 
-    def record(self, guid, node, kind, *, peer=None, info="") -> None:
+    def wants(self, guid) -> bool:
+        return False
+
+    def record(self, guid, node, kind, **fields) -> None:
         pass
 
     def trace(self, guid) -> QueryTrace | None:
@@ -204,6 +355,9 @@ class NullTracer:
 
     def format(self, guid) -> str:
         return "tracing disabled"
+
+    def export_jsonl(self) -> str:
+        return ""
 
 
 NULL_TRACER = NullTracer()

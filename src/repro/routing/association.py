@@ -81,6 +81,21 @@ class NeighborRuleTable:
             if count >= self.min_support_count
         )
 
+    def rule_stats(self, upstream: int, downstream: int) -> tuple[int, float]:
+        """Windowed ``(support, confidence)`` for one rule.
+
+        Confidence divides the pair's count by every windowed observation
+        with the same antecedent — the per-rule measures trace events
+        carry for routing explainability.
+        """
+        counter = self._counts.get(upstream)
+        if not counter:
+            return 0, 0.0
+        support = counter.get(downstream, 0)
+        if support == 0:
+            return 0, 0.0
+        return support, support / sum(counter.values())
+
     def clear(self) -> None:
         self._events.clear()
         self._counts.clear()

@@ -50,7 +50,7 @@ from repro.scale.supervisor import (
     WorkerHandle,
     partitioned_specs,
 )
-from repro.scale.worker import WorkerSpec
+from repro.scale.worker import WorkerSpec, flight_path
 
 __all__ = [
     "CLIENT_ID_BASE",
@@ -67,6 +67,7 @@ __all__ = [
     "WorkerHandle",
     "WorkerSpec",
     "build_schedule",
+    "flight_path",
     "format_saturation_markdown",
     "install_uvloop",
     "loop_implementation",

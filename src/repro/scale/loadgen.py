@@ -46,6 +46,7 @@ from repro.network.protocol import (
     encode_message,
 )
 from repro.obs.logging import get_logger
+from repro.obs.tracing import traced_guid
 from repro.scale.histogram import LatencyHistogram
 
 __all__ = [
@@ -104,10 +105,17 @@ class LoadConfig:
     request_timeout: float = 2.0
     #: TTL on issued Query descriptors.
     max_ttl: int = 7
+    #: GUID-sampled tracing: 0 disables, N marks the 1-in-N GUID subset
+    #: (``traced_guid``) the *workers'* tracers record spans for — the
+    #: generator mints sequential GUIDs, so the sampling decision needs
+    #: no coordination, only the same modulus on both sides.
+    trace_sample: int = 0
 
     def __post_init__(self) -> None:
         if self.rps <= 0:
             raise ValueError("rps must be positive")
+        if self.trace_sample < 0:
+            raise ValueError("trace_sample must be >= 0")
         if self.duration <= 0:
             raise ValueError("duration must be positive")
         if self.think not in _THINK_DISTRIBUTIONS:
@@ -283,6 +291,8 @@ class LoadResult:
     completed: int = 0
     timeouts: int = 0
     errors: int = 0
+    #: requests whose GUID fell in the traced 1-in-N subset.
+    traced: int = 0
     histogram: LatencyHistogram = field(default_factory=LatencyHistogram)
     achieved_rps: float = 0.0
     schedule_stretch: float = 0.0
@@ -311,6 +321,7 @@ class LoadResult:
             "completed": self.completed,
             "timeouts": self.timeouts,
             "errors": self.errors,
+            "traced": self.traced,
             "error_rate": self.error_rate,
             "achieved_rps": self.achieved_rps,
             "schedule_stretch": self.schedule_stretch,
@@ -447,6 +458,10 @@ class LoadGenerator:
                     result.issued[task.kind] = (
                         result.issued.get(task.kind, 0) + 1
                     )
+                    if self.config.trace_sample and traced_guid(
+                        guid, self.config.trace_sample
+                    ):
+                        result.traced += 1
             if now >= next_sweep:
                 self._sweep_pending(now)
                 next_sweep = now + sweep_every

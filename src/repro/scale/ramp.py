@@ -76,6 +76,7 @@ async def run_ramp_async(
             think_sigma=base.think_sigma,
             request_timeout=base.request_timeout,
             max_ttl=base.max_ttl,
+            trace_sample=base.trace_sample,
         )
         before = cluster_totals() if cluster_totals is not None else {}
         generator = LoadGenerator(addresses, vocabulary, config)

@@ -42,9 +42,11 @@ import time
 from dataclasses import replace
 
 from repro.live.stats import NodeStats, combine_stats
+from repro.obs.collect import ClusterTraceCollector
+from repro.obs.flight import load_flight
 from repro.obs.logging import get_logger
 from repro.obs.scrape import scrape_totals
-from repro.scale.worker import WorkerSpec, worker_main
+from repro.scale.worker import WorkerSpec, flight_path, worker_main
 
 __all__ = ["ClusterSupervisor", "WorkerHandle", "partitioned_specs"]
 
@@ -136,6 +138,9 @@ class ClusterSupervisor:
         self._closing = False
         #: (node_id, reason) for every unexpected worker death seen.
         self.crashes: list[tuple[int, str]] = []
+        #: flight recordings harvested after hard kills and crashes,
+        #: keyed by node id (most recent harvest wins).
+        self.flight_reports: dict[int, dict] = {}
 
     # -- lifecycle --------------------------------------------------------
     def start(self) -> "ClusterSupervisor":
@@ -318,6 +323,49 @@ class ClusterSupervisor:
         external-observer view of :meth:`totals`."""
         return scrape_totals(self.metrics_urls(), prefix=prefix)
 
+    def obs_endpoints(self) -> list[tuple[int, str]]:
+        """(node_id, base URL) of every live worker's obs server."""
+        return [
+            (h.node_id, f"http://{h.spec.host}:{h.obs_port}")
+            for h in sorted(self.handles.values(), key=lambda h: h.node_id)
+            if h.alive and h.obs_port
+        ]
+
+    def trace_urls(self) -> list[str]:
+        """Every live worker's span-export ``/trace`` URL."""
+        return [base + "/trace" for _node, base in self.obs_endpoints()]
+
+    def collector(self, **kwargs) -> ClusterTraceCollector:
+        """A cluster-wide trace collector over the workers' obs
+        endpoints (see :mod:`repro.obs.collect`)."""
+        return ClusterTraceCollector(self.obs_endpoints(), **kwargs)
+
+    # -- flight recordings -------------------------------------------------
+    def harvest_flight(self, node_id: int) -> dict | None:
+        """Read one worker's flight recording off disk, if it left one.
+
+        A SIGKILL'd worker runs no handlers, so what the harvest finds
+        is the recorder's last periodic flush — by design the freshest
+        evidence a hard crash can leave.  Parsed recordings are cached
+        in :attr:`flight_reports`.
+        """
+        handle = self.handles[node_id]
+        path = flight_path(handle.spec)
+        if path is None or not os.path.exists(path):
+            return None
+        try:
+            report = load_flight(path)
+        except (OSError, ValueError):
+            return None
+        self.flight_reports[node_id] = report
+        return report
+
+    def flight_recordings(self) -> dict[int, dict]:
+        """Harvest every worker's on-disk flight recording."""
+        for node_id in sorted(self.handles):
+            self.harvest_flight(node_id)
+        return dict(self.flight_reports)
+
     # -- stop / kill / restart --------------------------------------------
     def stop(
         self, node_id: int, *, checkpoint: bool = True, timeout: float = 10.0
@@ -367,6 +415,9 @@ class ClusterSupervisor:
             if handle.process is not None:
                 handle.process.kill()
                 handle.process.join(timeout)
+            # SIGKILL ran no handlers; whatever periodic flush the
+            # worker's flight recorder last wrote is the postmortem.
+            self.harvest_flight(node_id)
 
     def restart(self, node_id: int, *, wire: bool = True) -> dict:
         """Respawn a dead worker on its pinned port; returns ready info.
@@ -429,6 +480,7 @@ class ClusterSupervisor:
                 reason = f"exit code {handle.process.exitcode}"
                 self.crashes.append((node_id, reason))
                 crashed.append(node_id)
+                self.harvest_flight(node_id)
                 _log.warning(
                     "worker crashed",
                     extra={"node": node_id, "reason": reason},

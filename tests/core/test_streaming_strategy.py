@@ -185,3 +185,37 @@ class TestStreamingRules:
         run = StreamingRules(min_support_count=2).run(blocks)
         assert run.n_trials == 3  # first block is warmup, like training
         assert [t.block_index for t in run.trials] == [1, 2, 3]
+
+
+class TestRuleStats:
+    def test_exact_support_and_confidence_from_window(self):
+        counts = _ExactWindowCounts(window_pairs=100, min_support_count=2)
+        for _ in range(3):
+            counts.push(1, 2)
+        counts.push(1, 3)
+        support, confidence = counts.rule_stats(1, 2)
+        assert support == 3
+        assert confidence == pytest.approx(3 / 4)
+        assert counts.rule_stats(1, 9) == (0, 0.0)
+        assert counts.rule_stats(7, 2) == (0, 0.0)
+
+    def test_exact_stats_age_out_with_the_window(self):
+        counts = _ExactWindowCounts(window_pairs=2, min_support_count=1)
+        counts.push(1, 2)
+        counts.push(3, 4)
+        counts.push(3, 5)  # (1, 2) slides out
+        assert counts.rule_stats(1, 2) == (0, 0.0)
+        support, confidence = counts.rule_stats(3, 4)
+        assert support == 1
+        assert confidence == pytest.approx(0.5)
+
+    def test_lossy_stats_match_exact_on_small_streams(self):
+        counts = _LossyCounts(epsilon=0.001, min_support_count=2)
+        for _ in range(6):
+            counts.push(1, 2)
+        for _ in range(2):
+            counts.push(1, 3)
+        support, confidence = counts.rule_stats(1, 2)
+        assert support == 6
+        assert confidence == pytest.approx(6 / 8)
+        assert counts.rule_stats(1, 9) == (0, 0.0)

@@ -1,0 +1,120 @@
+"""Tests for the crash flight recorder."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.flight import (
+    FLIGHT_SUFFIX,
+    FlightRecorder,
+    harvest_flight_dir,
+    load_flight,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestRing:
+    def test_ring_keeps_only_the_last_capacity_events(self, tmp_path):
+        recorder = FlightRecorder(
+            str(tmp_path / "n.flight.jsonl"),
+            capacity=3,
+            flush_every=1000,
+            clock=FakeClock(),
+        )
+        for i in range(10):
+            recorder.record("step", i=i)
+        assert len(recorder) == 3
+        assert recorder.recorded == 10
+        recorder.dump()
+        events = load_flight(recorder.path)["events"]
+        assert [e["i"] for e in events] == [7, 8, 9]
+
+    def test_bad_parameters_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            FlightRecorder(str(tmp_path / "x"), capacity=0)
+        with pytest.raises(ValueError):
+            FlightRecorder(str(tmp_path / "x"), flush_every=0)
+
+
+class TestDump:
+    def test_round_trip_with_header(self, tmp_path):
+        clock = FakeClock()
+        path = str(tmp_path / "deep" / "n.flight.jsonl")
+        recorder = FlightRecorder(path, capacity=8, clock=clock)
+        recorder.record("lifecycle", what="start", node=3)
+        clock.now = 101.5
+        recorder.record("trace", guid=7, event="issued")
+        recorder.dump(reason="sigterm")
+        report = load_flight(path)
+        assert report["header"]["flight"] == 1
+        assert report["header"]["reason"] == "sigterm"
+        assert report["header"]["events"] == 2
+        assert report["header"]["pid"] == os.getpid()
+        assert report["events"][0] == {
+            "ts": 100.0, "kind": "lifecycle", "what": "start", "node": 3
+        }
+        assert report["events"][1]["guid"] == 7
+
+    def test_dump_is_atomic_leaves_no_tmp(self, tmp_path):
+        path = str(tmp_path / "n.flight.jsonl")
+        recorder = FlightRecorder(path, clock=FakeClock())
+        recorder.record("x")
+        recorder.dump()
+        recorder.record("y")
+        recorder.dump()
+        assert os.listdir(tmp_path) == ["n.flight.jsonl"]
+
+    def test_periodic_flush_every_n_records(self, tmp_path):
+        path = str(tmp_path / "n.flight.jsonl")
+        recorder = FlightRecorder(
+            path, capacity=16, flush_every=4, clock=FakeClock()
+        )
+        for i in range(3):
+            recorder.record("step", i=i)
+        assert not os.path.exists(path)  # SIGKILL here would lose 3 events
+        recorder.record("step", i=3)
+        assert recorder.dumps == 1
+        assert load_flight(path)["header"]["reason"] == "periodic"
+        for i in range(4, 8):
+            recorder.record("step", i=i)
+        assert recorder.dumps == 2
+
+
+class TestLoad:
+    def test_load_rejects_empty_and_foreign_files(self, tmp_path):
+        empty = tmp_path / "empty.flight.jsonl"
+        empty.write_text("")
+        with pytest.raises(ValueError):
+            load_flight(str(empty))
+        foreign = tmp_path / "foreign.flight.jsonl"
+        foreign.write_text('{"not": "a flight header"}\n')
+        with pytest.raises(ValueError):
+            load_flight(str(foreign))
+
+    def test_harvest_dir_skips_unparseable(self, tmp_path):
+        good = FlightRecorder(
+            str(tmp_path / f"node-000{FLIGHT_SUFFIX}"), clock=FakeClock()
+        )
+        good.record("lifecycle", what="start")
+        good.dump()
+        (tmp_path / f"node-001{FLIGHT_SUFFIX}").write_text("torn{{{\n")
+        (tmp_path / "unrelated.txt").write_text("ignored\n")
+        recordings = harvest_flight_dir(str(tmp_path))
+        assert list(recordings) == [f"node-000{FLIGHT_SUFFIX}"]
+        assert harvest_flight_dir(str(tmp_path / "missing")) == {}
+
+    def test_header_line_is_json_first(self, tmp_path):
+        path = str(tmp_path / "n.flight.jsonl")
+        recorder = FlightRecorder(path, clock=FakeClock())
+        recorder.record("x")
+        recorder.dump()
+        first = open(path, encoding="utf-8").readline()
+        assert json.loads(first)["flight"] == 1

@@ -104,6 +104,42 @@ class TestEndpoints:
         run(body())
 
 
+class TestTraceEndpoint:
+    def test_trace_serves_jsonl_when_hooked(self):
+        async def body():
+            server = ObsHttpServer(
+                render=lambda: "",
+                trace=lambda: '{"guid": 1, "kind": "issued"}\n',
+            )
+            await server.start()
+            try:
+                response = await _request(
+                    server.port, b"GET /trace HTTP/1.1\r\n\r\n"
+                )
+            finally:
+                await server.close()
+            head, payload = _split(response)
+            assert "200 OK" in head
+            assert "application/x-ndjson" in head
+            assert json.loads(payload)["guid"] == 1
+
+        run(body())
+
+    def test_trace_404_without_hook(self):
+        async def body():
+            server = ObsHttpServer(render=lambda: "")
+            await server.start()
+            try:
+                response = await _request(
+                    server.port, b"GET /trace HTTP/1.1\r\n\r\n"
+                )
+            finally:
+                await server.close()
+            assert b"404" in response
+
+        run(body())
+
+
 class TestErrors:
     def test_unknown_path_404(self):
         async def body():
@@ -142,6 +178,49 @@ class TestErrors:
             finally:
                 await server.close()
             assert b"400" in response
+
+        run(body())
+
+    def test_oversized_request_head_431(self):
+        # Between the server's 8 KiB head cap and the stream reader's
+        # 64 KiB buffer limit, so the size check (not the transport)
+        # rejects it.
+        async def body():
+            server = ObsHttpServer(render=lambda: "")
+            await server.start()
+            try:
+                huge = b"GET /" + b"a" * 16384 + b" HTTP/1.1\r\n\r\n"
+                response = await _request(server.port, huge)
+            finally:
+                await server.close()
+            assert b"431" in response
+
+        run(body())
+
+    def test_client_disconnect_mid_request_keeps_serving(self):
+        async def body():
+            server = ObsHttpServer(render=lambda: "ok\n")
+            await server.start()
+            try:
+                # Half a request head, then an abrupt close: the handler
+                # sees IncompleteReadError and must not take the server
+                # down with it.
+                _reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                writer.write(b"GET /metr")
+                await writer.drain()
+                writer.close()
+                await asyncio.sleep(0.05)
+                assert server.running
+                response = await _request(
+                    server.port, b"GET /metrics HTTP/1.1\r\n\r\n"
+                )
+            finally:
+                await server.close()
+            head, payload = _split(response)
+            assert "200 OK" in head
+            assert payload == "ok\n"
 
         run(body())
 

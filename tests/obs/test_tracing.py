@@ -1,12 +1,17 @@
 """Tests for GUID-keyed query tracing."""
 
+import json
+import time
+
 import pytest
 
 from repro.obs.tracing import (
     NULL_TRACER,
     NullTracer,
     QueryTracer,
+    TraceEvent,
     format_trace,
+    traced_guid,
 )
 
 
@@ -111,6 +116,108 @@ class TestFormatting:
         tracer.record(1, 0, "flooded", peer=4)
         assert "-> 4" in tracer.format(1)
         assert "(unanswered)" in tracer.format(1)
+
+
+class TestSampling:
+    def test_traced_guid_picks_one_in_n(self):
+        assert traced_guid(7, 1)
+        assert traced_guid(7, 0)
+        assert traced_guid(8, 4)
+        assert not traced_guid(7, 4)
+        kept = sum(1 for guid in range(100) if traced_guid(guid, 4))
+        assert kept == 25
+
+    def test_sampled_tracer_drops_unselected_guids(self):
+        tracer = QueryTracer(sample=4, clock=FakeClock())
+        tracer.record(8, 0, "issued")
+        tracer.record(9, 0, "issued")
+        assert tracer.wants(8) and not tracer.wants(9)
+        assert tracer.guids() == [8]
+
+    def test_bad_sample_rejected(self):
+        with pytest.raises(ValueError):
+            QueryTracer(sample=0)
+
+
+class TestExplainability:
+    def test_rule_fields_recorded_and_rendered(self):
+        clock = FakeClock()
+        tracer = QueryTracer(clock=clock)
+        tracer.record(1, 0, "issued", ttl=7)
+        tracer.record(
+            1, 0, "rule_routed", peer=2,
+            ttl=6, antecedent=5, consequent=2,
+            confidence=0.75, support=12,
+        )
+        tracer.record(1, 0, "flooded", peer=3, reason="no_covering_rule")
+        events = tracer.trace(1).events
+        assert events[0].ttl == 7
+        assert events[1].antecedent == 5 and events[1].consequent == 2
+        assert events[1].confidence == 0.75 and events[1].support == 12
+        text = tracer.format(1)
+        assert "rule(5=>2 conf=0.75 sup=12)" in text
+        assert "ttl=7" in text
+        assert "reason=no_covering_rule" in text
+
+    def test_latency_is_node_local(self):
+        clock = FakeClock()
+        tracer = QueryTracer(clock=clock)
+        tracer.record(1, 0, "issued")
+        clock.now = 0.5
+        tracer.record(1, 1, "received", peer=0)  # first sight of node 1
+        clock.now = 0.7
+        tracer.record(1, 1, "hit")
+        events = tracer.trace(1).events
+        assert events[0].latency == 0.0
+        assert events[1].latency == 0.0
+        assert events[2].latency == pytest.approx(0.2)
+
+    def test_default_clock_is_wall_time(self):
+        # Cross-process merge needs wall-clock timestamps; monotonic
+        # clocks have per-process epochs.
+        tracer = QueryTracer()
+        before = time.time()
+        tracer.record(1, 0, "issued")
+        after = time.time()
+        assert before <= tracer.trace(1).events[0].ts <= after
+
+
+class TestExport:
+    def test_event_dict_round_trip(self):
+        event = TraceEvent(
+            1.5, 3, "rule_routed", 4, "kw",
+            ttl=6, antecedent=2, consequent=4,
+            confidence=0.5, support=9, reason="", latency=0.25,
+        )
+        assert TraceEvent.from_dict(event.to_dict()) == event
+
+    def test_to_dict_omits_unset_fields(self):
+        doc = TraceEvent(0.0, 1, "issued").to_dict()
+        assert doc == {"ts": 0.0, "node": 1, "kind": "issued"}
+
+    def test_export_jsonl_one_event_per_line(self):
+        tracer = QueryTracer(clock=FakeClock())
+        tracer.record(5, 0, "issued", ttl=7)
+        tracer.record(5, 1, "received", peer=0)
+        tracer.record(6, 1, "issued")
+        lines = tracer.export_jsonl().splitlines()
+        docs = [json.loads(line) for line in lines]
+        assert [d["guid"] for d in docs] == [5, 5, 6]
+        assert docs[0]["kind"] == "issued" and docs[0]["ttl"] == 7
+        assert docs[1]["peer"] == 0
+        assert QueryTracer().export_jsonl() == ""
+
+    def test_on_event_sees_every_recorded_event(self):
+        seen = []
+        tracer = QueryTracer(
+            clock=FakeClock(),
+            sample=2,
+            on_event=lambda guid, event: seen.append((guid, event.kind)),
+        )
+        tracer.record(2, 0, "issued")
+        tracer.record(3, 0, "issued")  # unsampled: no callback
+        tracer.record(2, 1, "received", peer=0)
+        assert seen == [(2, "issued"), (2, "received")]
 
 
 class TestNullTracer:

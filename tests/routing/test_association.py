@@ -38,6 +38,25 @@ class TestNeighborRuleTable:
         assert table.consequents(1) == []
         assert table.consequents(2) == [20]
 
+    def test_rule_stats_support_and_confidence(self):
+        table = NeighborRuleTable(window=100, min_support_count=1)
+        for _ in range(3):
+            table.observe(1, 10)
+        table.observe(1, 11)
+        support, confidence = table.rule_stats(1, 10)
+        assert support == 3
+        assert confidence == pytest.approx(3 / 4)
+        assert table.rule_stats(1, 99) == (0, 0.0)
+        assert table.rule_stats(99, 10) == (0, 0.0)
+
+    def test_rule_stats_follow_window_eviction(self):
+        table = NeighborRuleTable(window=2, min_support_count=1)
+        table.observe(1, 10)
+        table.observe(2, 20)
+        table.observe(2, 21)  # (1, 10) ages out
+        assert table.rule_stats(1, 10) == (0, 0.0)
+        assert table.rule_stats(2, 20) == (1, pytest.approx(0.5))
+
     def test_n_rules(self):
         table = NeighborRuleTable(window=100, min_support_count=2)
         table.observe(1, 10)

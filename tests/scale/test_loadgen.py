@@ -78,6 +78,8 @@ class TestSchedule:
         with pytest.raises(ValueError):
             LoadConfig(rps=0.0, duration=1.0)
         with pytest.raises(ValueError):
+            LoadConfig(rps=1.0, duration=1.0, trace_sample=-1)
+        with pytest.raises(ValueError):
             LoadConfig(rps=1.0, duration=1.0, think="uniform")
         with pytest.raises(ValueError):
             LoadConfig(rps=1.0, duration=1.0, mix=(("query", -1.0),))

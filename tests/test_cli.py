@@ -120,3 +120,89 @@ class TestPersistInspect:
     def test_inspect_requires_subcommand(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["persist"])
+
+
+class TestTraceViewCli:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["trace-view"])
+        assert args.command == "trace-view"
+        assert args.endpoint == []
+        assert args.ports_file is None
+        assert args.guid is None
+        assert args.polls == 2 and args.trees == 1
+
+    def test_cluster_tracing_flags(self):
+        args = build_parser().parse_args(
+            ["cluster", "--trace-sample", "4", "--flight-dir", "fd",
+             "--ports-file", "ports.json"]
+        )
+        assert args.trace_sample == 4
+        assert args.flight_dir == "fd"
+        assert args.ports_file == "ports.json"
+
+    def test_no_endpoints_is_an_error(self):
+        assert main(["trace-view"]) == 2
+
+    def test_bad_ports_file_is_an_error(self, tmp_path):
+        missing = tmp_path / "nope.json"
+        assert main(["trace-view", "--ports-file", str(missing)]) == 2
+
+    def test_ports_file_feeds_endpoints(self, tmp_path, monkeypatch):
+        import json
+
+        ports = tmp_path / "ports.json"
+        ports.write_text(json.dumps({
+            "nodes": [
+                {"node": 0, "host": "127.0.0.1", "port": 1, "obs_port": 9100},
+                {"node": 1, "host": "127.0.0.1", "port": 2, "obs_port": None},
+            ]
+        }))
+        captured = {}
+
+        class FakeCollector:
+            def __init__(self, endpoints, **kwargs):
+                captured["endpoints"] = endpoints
+                self.traces = {}
+                self.per_node = {0: {}}
+                self.errors = 0
+
+            def poll(self):
+                return {"nodes": 1, "traces": 0, "window": None}
+
+            def answered_guids(self):
+                return []
+
+        monkeypatch.setattr(
+            "repro.obs.collect.ClusterTraceCollector", FakeCollector
+        )
+        monkeypatch.setattr(
+            "repro.obs.collect.format_cluster_rollup", lambda c: "rollup"
+        )
+        code = main(
+            ["trace-view", "--ports-file", str(ports), "--polls", "1"]
+        )
+        assert code == 0
+        # the obs-port-less node is skipped, not dialled.
+        assert captured["endpoints"] == [(0, "http://127.0.0.1:9100")]
+
+    def test_unknown_guid_is_an_error(self, monkeypatch):
+        class FakeCollector:
+            def __init__(self, endpoints, **kwargs):
+                self.traces = {}
+                self.per_node = {0: {}}
+                self.errors = 0
+
+            def poll(self):
+                return {"nodes": 1, "traces": 0, "window": None}
+
+        monkeypatch.setattr(
+            "repro.obs.collect.ClusterTraceCollector", FakeCollector
+        )
+        monkeypatch.setattr(
+            "repro.obs.collect.format_cluster_rollup", lambda c: "rollup"
+        )
+        code = main(
+            ["trace-view", "--endpoint", "127.0.0.1:9100",
+             "--polls", "1", "--guid", "deadbeef"]
+        )
+        assert code == 2
