@@ -18,8 +18,38 @@ from __future__ import annotations
 
 import json
 import os
+import sys
 
-__all__ = ["bench_output_dir", "emit_bench_json"]
+__all__ = ["bench_output_dir", "emit_bench_json", "peak_rss"]
+
+
+def peak_rss() -> int:
+    """This process's peak resident set size, in bytes.
+
+    ``getrusage`` reports ``ru_maxrss`` in kilobytes on Linux and bytes
+    on darwin; when ``resource`` is unavailable (or reports zero) the
+    Linux ``/proc/self/status`` ``VmHWM`` line is the fallback.  Returns
+    0 if neither source is readable.
+    """
+    maxrss = 0
+    try:
+        import resource
+
+        maxrss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        if sys.platform != "darwin":
+            maxrss *= 1024
+    except (ImportError, ValueError, OSError):
+        maxrss = 0
+    if maxrss:
+        return int(maxrss)
+    try:
+        with open("/proc/self/status", encoding="ascii", errors="replace") as fh:
+            for line in fh:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        pass
+    return 0
 
 
 def bench_output_dir() -> str:
@@ -32,8 +62,12 @@ def emit_bench_json(name: str, payload: dict) -> str:
 
     ``payload`` must be JSON-serialisable apart from stray objects, which
     are stringified rather than rejected — a bench run should never die
-    on its own reporting.
+    on its own reporting.  Every payload gets a ``peak_rss_bytes`` field
+    (the emitting process's high-water mark) unless the producer already
+    supplied one.
     """
+    payload = dict(payload)
+    payload.setdefault("peak_rss_bytes", peak_rss())
     path = os.path.join(bench_output_dir(), f"BENCH_{name}.json")
     with open(path, "w", encoding="utf-8") as fh:
         json.dump({"name": name, **payload}, fh, indent=2, default=str)

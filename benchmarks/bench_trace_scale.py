@@ -1,0 +1,288 @@
+"""Out-of-core trace store scale gate (``python -m benchmarks.bench_trace_scale``).
+
+Proves the three claims behind :mod:`repro.trace.store` (the paper's full
+regime is 10.5M query–reply pairs — far past what the in-memory path
+should be asked to hold twice):
+
+* **Write throughput** — the append-only chunked writer streams generator
+  output to disk without holding the trace; pairs/sec written is recorded.
+* **Bit-identical evaluation** — a strategy run streaming blocks off the
+  store equals the same run over in-memory ``blocks_from_arrays`` blocks,
+  trial for trial.
+* **O(blocks) memory** — evaluation peak RSS is measured in fresh spawn
+  subprocesses (so each measurement owns its high-water mark) for a base
+  store and one ``--growth`` times larger; the gate *asserts* the RSS
+  delta stays within a block-sized allowance instead of eyeballing it.
+
+Results land in ``BENCH_trace_scale.json``; a failed gate exits non-zero.
+``--quick`` (CI smoke) scales the base trace down to 100k pairs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import multiprocessing
+import os
+import tempfile
+from time import perf_counter
+
+#: evaluation strategies exercised by the bit-identity check.
+_IDENTITY_STRATEGIES = ("static", "sliding", "lazy", "adaptive")
+
+#: RSS allowance floor for the growth gate (interpreter noise, pools).
+_RSS_FLOOR_BYTES = 48 * 1024 * 1024
+
+
+def _make_strategy(name: str):
+    from repro.core.strategies import (
+        AdaptiveSlidingWindow,
+        LazySlidingWindow,
+        SlidingWindow,
+        StaticRuleset,
+    )
+
+    return {
+        "static": StaticRuleset,
+        "sliding": SlidingWindow,
+        "lazy": LazySlidingWindow,
+        "adaptive": AdaptiveSlidingWindow,
+    }[name]()
+
+
+def _write_stores(
+    small_path: str,
+    large_path: str,
+    *,
+    base_pairs: int,
+    growth: int,
+    block_size: int,
+    chunk_size: int,
+    seed: int,
+) -> dict:
+    """One generator pass, two stores: base trace and its 10x continuation.
+
+    Streaming both writers from the same chunk sequence means the large
+    store's first ``base_pairs`` pairs are byte-identical to the small
+    store, and the parent never holds more than ``chunk_size`` pairs of
+    generated trace.
+    """
+    from repro.trace.store import TraceStoreWriter
+    from repro.workload.tracegen import MonitorTraceConfig, MonitorTraceGenerator
+
+    gen = MonitorTraceGenerator(MonitorTraceConfig(block_size=block_size), seed=seed)
+    total_pairs = base_pairs * growth
+    written = 0
+    t0 = perf_counter()
+    with TraceStoreWriter(small_path, block_size=block_size) as small:
+        with TraceStoreWriter(large_path, block_size=block_size) as large:
+            while written < total_pairs:
+                n = min(chunk_size, total_pairs - written)
+                arrays = gen.generate_pair_arrays(n)
+                large.append(arrays.source, arrays.replier)
+                if written < base_pairs:
+                    take = min(n, base_pairs - written)
+                    small.append(arrays.source[:take], arrays.replier[:take])
+                written += n
+    seconds = perf_counter() - t0
+    return {
+        "base_pairs": base_pairs,
+        "total_pairs": total_pairs,
+        "write_seconds": seconds,
+        "write_pairs_per_sec": total_pairs / seconds if seconds else float("inf"),
+        "small_bytes": os.path.getsize(small_path),
+        "large_bytes": os.path.getsize(large_path),
+    }
+
+
+def _check_bit_identity(store_path: str) -> dict:
+    """Strategy runs off the store must equal runs off in-memory blocks."""
+    import numpy as np
+
+    from repro.trace.blocks import blocks_from_arrays
+    from repro.trace.store import TraceStoreReader
+
+    reader = TraceStoreReader(store_path)
+    sources = np.concatenate([b.sources for b in reader.iter_blocks()])
+    repliers = np.concatenate([b.repliers for b in reader.iter_blocks()])
+    in_memory = blocks_from_arrays(sources, repliers, block_size=reader.block_size)
+
+    mismatches = []
+    for name in _IDENTITY_STRATEGIES:
+        memory_run = _make_strategy(name).run(in_memory)
+        store_run = _make_strategy(name).run(
+            TraceStoreReader(store_path).iter_blocks()
+        )
+        if memory_run != store_run:
+            mismatches.append(name)
+    return {
+        "strategies": list(_IDENTITY_STRATEGIES),
+        "identical": not mismatches,
+        "mismatched_strategies": mismatches,
+    }
+
+
+def _eval_store_child(store_path: str, conn) -> None:
+    """Spawn target: stream-evaluate one store, report own peak RSS."""
+    from benchmarks._emit import peak_rss
+    from repro.trace.store import TraceStoreReader
+
+    reader = TraceStoreReader(store_path)
+    strategy = _make_strategy("sliding")
+    t0 = perf_counter()
+    run = strategy.run(reader.iter_blocks())
+    seconds = perf_counter() - t0
+    conn.send(
+        {
+            "n_pairs": reader.n_pairs,
+            "n_blocks": reader.n_blocks,
+            "n_trials": run.n_trials,
+            "avg_coverage": run.average_coverage,
+            "avg_success": run.average_success,
+            "eval_seconds": seconds,
+            "eval_pairs_per_sec": reader.n_pairs / seconds if seconds else float("inf"),
+            "peak_rss_bytes": peak_rss(),
+        }
+    )
+    conn.close()
+
+
+def _eval_in_subprocess(store_path: str) -> dict:
+    """Run the streaming evaluation in a fresh spawn process.
+
+    A fresh process owns its RSS high-water mark — measuring in the
+    parent would report whatever earlier phase (trace generation, the
+    identity check) peaked at.
+    """
+    ctx = multiprocessing.get_context("spawn")
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    proc = ctx.Process(target=_eval_store_child, args=(store_path, child_conn))
+    proc.start()
+    child_conn.close()
+    try:
+        payload = parent_conn.recv()
+    finally:
+        proc.join()
+        parent_conn.close()
+    if proc.exitcode != 0:
+        raise RuntimeError(f"evaluation subprocess exited {proc.exitcode}")
+    return payload
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks.bench_trace_scale",
+        description="out-of-core trace store scale gate",
+    )
+    parser.add_argument(
+        "--pairs",
+        type=int,
+        default=1_000_000,
+        help="base trace size in pairs (default: 1,000,000)",
+    )
+    parser.add_argument(
+        "--growth",
+        type=int,
+        default=10,
+        help="large store is this many times the base (default: 10)",
+    )
+    parser.add_argument(
+        "--block-size", type=int, default=10_000, help="pairs per block"
+    )
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=50_000,
+        help="pairs generated per writer append (default: 50,000)",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="100k-pair base trace (CI smoke)",
+    )
+    args = parser.parse_args(argv)
+
+    from benchmarks._emit import emit_bench_json, peak_rss
+
+    base_pairs = 100_000 if args.quick else args.pairs
+    if args.growth < 2:
+        parser.error("--growth must be >= 2")
+
+    with tempfile.TemporaryDirectory(prefix="trace_scale_") as tmp:
+        small_path = os.path.join(tmp, "base.rptrace")
+        large_path = os.path.join(tmp, "grown.rptrace")
+
+        print(
+            f"writing stores: base {base_pairs:,} pairs, "
+            f"grown {base_pairs * args.growth:,} pairs ..."
+        )
+        write = _write_stores(
+            small_path,
+            large_path,
+            base_pairs=base_pairs,
+            growth=args.growth,
+            block_size=args.block_size,
+            chunk_size=args.chunk_size,
+            seed=args.seed,
+        )
+        print(
+            f"  {write['write_seconds']:.2f}s "
+            f"({write['write_pairs_per_sec']:,.0f} pairs/sec, "
+            f"{write['large_bytes'] / 1e6:.1f} MB on disk)"
+        )
+
+        print("bit-identity: store-streamed vs in-memory strategy runs ...")
+        identity = _check_bit_identity(small_path)
+        print(
+            "  identical"
+            if identity["identical"]
+            else f"  MISMATCH in {', '.join(identity['mismatched_strategies'])}"
+        )
+
+        print("streaming evaluation RSS (spawn subprocesses) ...")
+        eval_small = _eval_in_subprocess(small_path)
+        eval_large = _eval_in_subprocess(large_path)
+        block_bytes = 3 * args.block_size * 8  # sources + repliers + packed
+        rss_allowance = max(_RSS_FLOOR_BYTES, 64 * block_bytes)
+        rss_delta = eval_large["peak_rss_bytes"] - eval_small["peak_rss_bytes"]
+        rss_ok = rss_delta <= rss_allowance
+        print(
+            f"  base:  {eval_small['peak_rss_bytes'] / 1e6:.1f} MB peak RSS, "
+            f"{eval_small['eval_pairs_per_sec']:,.0f} pairs/sec mined+tested"
+        )
+        print(
+            f"  grown: {eval_large['peak_rss_bytes'] / 1e6:.1f} MB peak RSS, "
+            f"{eval_large['eval_pairs_per_sec']:,.0f} pairs/sec mined+tested"
+        )
+        print(
+            f"  delta {rss_delta / 1e6:+.1f} MB over a {args.growth}x trace "
+            f"(allowance {rss_allowance / 1e6:.0f} MB): "
+            + ("OK" if rss_ok else "FAILED — evaluation memory scales with trace")
+        )
+
+        payload = {
+            "quick": args.quick,
+            "seed": args.seed,
+            "block_size": args.block_size,
+            "chunk_size": args.chunk_size,
+            "growth": args.growth,
+            "write": write,
+            "bit_identity": identity,
+            "eval_base": eval_small,
+            "eval_grown": eval_large,
+            "rss_delta_bytes": rss_delta,
+            "rss_allowance_bytes": rss_allowance,
+            "rss_bounded": rss_ok,
+            "parent_peak_rss_bytes": peak_rss(),
+        }
+        path = emit_bench_json("trace_scale", payload)
+        print(f"bench json written: {path}")
+
+    ok = identity["identical"] and rss_ok
+    if not ok:
+        print("GATE FAILED")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

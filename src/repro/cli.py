@@ -150,6 +150,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace = sub.add_parser("trace", help="profile a generated trace prefix")
     trace.add_argument("--blocks", type=int, default=5, help="blocks to profile")
+    trace.add_argument(
+        "--store",
+        metavar="PATH",
+        default=None,
+        help="profile blocks streamed from an on-disk trace store instead "
+        "of generating a fresh trace",
+    )
+
+    tracegen = sub.add_parser(
+        "tracegen",
+        help="stream a generated trace into an on-disk columnar trace store",
+    )
+    tracegen.add_argument("path", metavar="PATH", help="store file to write")
+    tracegen.add_argument(
+        "--pairs",
+        type=int,
+        default=None,
+        help="total pairs to generate (default: --blocks * block size)",
+    )
+    tracegen.add_argument(
+        "--blocks",
+        type=int,
+        default=100,
+        help="trace length in blocks when --pairs is not given (default: 100)",
+    )
+    tracegen.add_argument(
+        "--chunk-size",
+        type=int,
+        default=50_000,
+        help="pairs generated per writer append (default: 50,000)",
+    )
 
     live_node = sub.add_parser(
         "live-node", help="run one live servent daemon over TCP"
@@ -1199,21 +1230,66 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "trace":
         from repro.trace.analysis import coverage_ceiling, profile_block, source_turnover
         from repro.trace.blocks import blocks_from_arrays
-        from repro.workload.tracegen import MonitorTraceConfig, MonitorTraceGenerator
 
-        config = MonitorTraceConfig()
-        seed = args.seed if args.seed is not None else 20060814
-        generator = MonitorTraceGenerator(config, seed=seed)
-        arrays = generator.generate_pair_arrays(args.blocks * config.block_size)
-        blocks = blocks_from_arrays(
-            arrays.source, arrays.replier, block_size=config.block_size
-        )
-        for block in blocks:
-            print(f"block {block.index}: {profile_block(block)}")
+        if args.store is not None:
+            from repro.trace.store import TraceStoreReader
+
+            reader = TraceStoreReader(args.store)
+            if reader.recovered:
+                print(f"note: footer missing/corrupt, recovered {reader.n_blocks} block(s)")
+            blocks = []
+            for block in reader.iter_blocks():
+                print(f"block {block.index}: {profile_block(block)}")
+                if len(blocks) < 4:
+                    blocks.append(block)
+                if block.index + 1 >= args.blocks:
+                    break
+        else:
+            from repro.workload.tracegen import MonitorTraceConfig, MonitorTraceGenerator
+
+            config = MonitorTraceConfig()
+            seed = args.seed if args.seed is not None else 20060814
+            generator = MonitorTraceGenerator(config, seed=seed)
+            arrays = generator.generate_pair_arrays(args.blocks * config.block_size)
+            blocks = blocks_from_arrays(
+                arrays.source, arrays.replier, block_size=config.block_size
+            )
+            for block in blocks:
+                print(f"block {block.index}: {profile_block(block)}")
         for lag in range(1, min(len(blocks), 4)):
             turnover = source_turnover(blocks[0], blocks[lag])
             print(f"volume from sources unseen in block 0, lag {lag}: {turnover:.3f}")
         print(f"in-block coverage ceiling (threshold 10): {coverage_ceiling(blocks[0]):.3f}")
+        return 0
+
+    if args.command == "tracegen":
+        from time import perf_counter
+
+        from repro.trace.store import TraceStoreWriter
+        from repro.workload.tracegen import MonitorTraceConfig, MonitorTraceGenerator
+
+        config = MonitorTraceConfig()
+        seed = args.seed if args.seed is not None else 20060814
+        total = args.pairs if args.pairs is not None else args.blocks * config.block_size
+        if total < 1:
+            print("nothing to generate (need at least 1 pair)", file=sys.stderr)
+            return 2
+        generator = MonitorTraceGenerator(config, seed=seed)
+        written = 0
+        t0 = perf_counter()
+        with TraceStoreWriter(args.path, block_size=config.block_size) as writer:
+            while written < total:
+                n = min(max(args.chunk_size, 1), total - written)
+                arrays = generator.generate_pair_arrays(n)
+                writer.append(arrays.source, arrays.replier)
+                written += n
+            n_blocks = writer.n_blocks + (1 if writer.pending_pairs else 0)
+        seconds = perf_counter() - t0
+        rate = written / seconds if seconds else float("inf")
+        print(
+            f"wrote {written:,} pairs / {n_blocks} block(s) to {args.path} "
+            f"in {seconds:.2f}s ({rate:,.0f} pairs/sec, seed {seed})"
+        )
         return 0
 
     return 2  # pragma: no cover - argparse enforces the command set

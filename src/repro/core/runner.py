@@ -10,7 +10,7 @@ blocks").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Iterable
 
 from repro.core.evaluation import RulesetTestResult
 from repro.trace.blocks import PairBlock
@@ -98,6 +98,10 @@ class StrategyRun:
         )
 
 
-def run_strategy(strategy, blocks: Sequence[PairBlock]) -> StrategyRun:
-    """Execute ``strategy`` over ``blocks`` (thin convenience wrapper)."""
+def run_strategy(strategy, blocks: Iterable[PairBlock]) -> StrategyRun:
+    """Execute ``strategy`` over ``blocks`` (thin convenience wrapper).
+
+    ``blocks`` may be any iterable — a list or a one-shot generator such
+    as a trace-store block stream; strategies retain O(1) blocks.
+    """
     return strategy.run(blocks)

@@ -6,13 +6,23 @@ is generated from one block and tested against subsequent blocks; the
 strategies differ only in *when* they regenerate.  All of them share the
 generation parameters (support-prune threshold, optional top-k /
 confidence pruning) through the common base class.
+
+``run`` accepts any *iterable* of blocks — a list, or a one-shot
+generator such as :meth:`repro.trace.store.TraceStoreReader.iter_blocks`.
+Every strategy needs at most the previous block to regenerate from, so
+streaming consumption retains O(1) blocks: a disk-resident trace far
+larger than memory evaluates with the same results as the in-memory
+path (regeneration that the eager loop performed after testing block
+``b`` is deferred to just before testing ``b+1``, which produces the
+identical rule sets because it only ever fires when a next block
+exists).
 """
 
 from __future__ import annotations
 
 import abc
 from time import perf_counter
-from typing import Sequence
+from typing import Iterable, Iterator
 
 from repro.core.evaluation import RulesetTestResult, ruleset_test
 from repro.core.rules import RuleSet
@@ -87,19 +97,36 @@ class RulesetStrategy(abc.ABC):
         return result
 
     @abc.abstractmethod
-    def run(self, blocks: Sequence[PairBlock]) -> StrategyRun:
-        """Process the block sequence and return the per-trial results.
+    def run(self, blocks: Iterable[PairBlock]) -> StrategyRun:
+        """Process the block stream and return the per-trial results.
 
         Every strategy trains on at least the first block, so the first
-        *tested* block is ``blocks[1]`` and a run needs >= 2 blocks.
+        *tested* block is the second one and a run needs >= 2 blocks.
+        ``blocks`` may be a one-shot generator; strategies hold at most
+        the previous block.
         """
 
-    def _require_blocks(self, blocks: Sequence[PairBlock]) -> None:
-        if len(blocks) < 2:
+    def _stream(self, blocks: Iterable[PairBlock]) -> tuple[PairBlock, Iterator[PairBlock]]:
+        """Split a block stream into (training block, test-block iterator).
+
+        Raises up front when the stream holds fewer than two blocks, so
+        list and generator inputs fail identically.
+        """
+        it = iter(blocks)
+        first = next(it, None)
+        second = next(it, None)
+        if first is None or second is None:
+            n = 0 if first is None else 1
             raise ValueError(
                 f"{self.name} needs at least 2 blocks (1 train + 1 test), "
-                f"got {len(blocks)}"
+                f"got {n}"
             )
+
+        def rest() -> Iterator[PairBlock]:
+            yield second
+            yield from it
+
+        return first, rest()
 
 
 class StaticRuleset(RulesetStrategy):
@@ -107,11 +134,11 @@ class StaticRuleset(RulesetStrategy):
 
     name = "static"
 
-    def run(self, blocks: Sequence[PairBlock]) -> StrategyRun:
-        self._require_blocks(blocks)
-        ruleset = self._generate(blocks[0])
+    def run(self, blocks: Iterable[PairBlock]) -> StrategyRun:
+        train, rest = self._stream(blocks)
+        ruleset = self._generate(train)
         trials = []
-        for i, block in enumerate(blocks[1:], start=1):
+        for i, block in enumerate(rest, start=1):
             trials.append(
                 TrialResult(
                     block_index=block.index,
@@ -128,21 +155,22 @@ class SlidingWindow(RulesetStrategy):
 
     name = "sliding"
 
-    def run(self, blocks: Sequence[PairBlock]) -> StrategyRun:
-        self._require_blocks(blocks)
+    def run(self, blocks: Iterable[PairBlock]) -> StrategyRun:
+        previous, rest = self._stream(blocks)
         trials = []
         n_generations = 0
-        for b in range(1, len(blocks)):
-            ruleset = self._generate(blocks[b - 1])
+        for block in rest:
+            ruleset = self._generate(previous)
             n_generations += 1
             trials.append(
                 TrialResult(
-                    block_index=blocks[b].index,
-                    result=self._test(ruleset, blocks[b]),
+                    block_index=block.index,
+                    result=self._test(ruleset, block),
                     fresh_ruleset=True,
                     ruleset_size=len(ruleset),
                 )
             )
+            previous = block
         return StrategyRun(self.name, tuple(trials), n_generations=n_generations)
 
 
@@ -162,27 +190,32 @@ class LazySlidingWindow(RulesetStrategy):
             raise ValueError("laziness must be >= 1")
         self.laziness = int(laziness)
 
-    def run(self, blocks: Sequence[PairBlock]) -> StrategyRun:
-        self._require_blocks(blocks)
-        ruleset = self._generate(blocks[0])
+    def run(self, blocks: Iterable[PairBlock]) -> StrategyRun:
+        previous, rest = self._stream(blocks)
+        ruleset = self._generate(previous)
         n_generations = 1
         trials = []
         trials_since_generation = 0
-        for b in range(1, len(blocks)):
+        for block in rest:
+            # Deferred regeneration: the eager loop regenerated from the
+            # just-tested block only when another block followed; firing
+            # at the top of the next iteration (from the retained
+            # previous block) is the streaming-safe equivalent.
+            if trials_since_generation >= self.laziness:
+                ruleset = self._generate(previous)
+                n_generations += 1
+                trials_since_generation = 0
             fresh = trials_since_generation == 0
             trials.append(
                 TrialResult(
-                    block_index=blocks[b].index,
-                    result=self._test(ruleset, blocks[b]),
+                    block_index=block.index,
+                    result=self._test(ruleset, block),
                     fresh_ruleset=fresh,
                     ruleset_size=len(ruleset),
                 )
             )
             trials_since_generation += 1
-            if trials_since_generation >= self.laziness and b + 1 < len(blocks):
-                ruleset = self._generate(blocks[b])
-                n_generations += 1
-                trials_since_generation = 0
+            previous = block
         return StrategyRun(self.name, tuple(trials), n_generations=n_generations)
 
 
@@ -214,25 +247,35 @@ class AdaptiveSlidingWindow(RulesetStrategy):
         if self.history < 1:
             raise ValueError("history must be >= 1")
 
-    def run(self, blocks: Sequence[PairBlock]) -> StrategyRun:
-        self._require_blocks(blocks)
+    def run(self, blocks: Iterable[PairBlock]) -> StrategyRun:
+        previous, rest = self._stream(blocks)
         coverage_threshold = RollingThreshold(
             self.history, initial=self.initial_threshold, slack=self.slack
         )
         success_threshold = RollingThreshold(
             self.history, initial=self.initial_threshold, slack=self.slack
         )
-        ruleset = self._generate(blocks[0])
+        ruleset = self._generate(previous)
         n_generations = 1
         fresh = True
+        regenerate = False
         trials = []
-        for b in range(1, len(blocks)):
+        for block in rest:
+            if regenerate:
+                # Deferred from the previous trial's threshold breach —
+                # fires only when another block arrived, matching the
+                # eager loop's "regenerate unless this was the last
+                # block" guard.
+                ruleset = self._generate(previous)
+                n_generations += 1
+                fresh = True
+                regenerate = False
             ct = coverage_threshold.current()
             st = success_threshold.current()
-            result = self._test(ruleset, blocks[b])
+            result = self._test(ruleset, block)
             trials.append(
                 TrialResult(
-                    block_index=blocks[b].index,
+                    block_index=block.index,
                     result=result,
                     fresh_ruleset=fresh,
                     ruleset_size=len(ruleset),
@@ -241,8 +284,6 @@ class AdaptiveSlidingWindow(RulesetStrategy):
             coverage_threshold.observe(result.coverage)
             success_threshold.observe(result.success)
             fresh = False
-            if (result.coverage < ct or result.success < st) and b + 1 < len(blocks):
-                ruleset = self._generate(blocks[b])
-                n_generations += 1
-                fresh = True
+            regenerate = result.coverage < ct or result.success < st
+            previous = block
         return StrategyRun(self.name, tuple(trials), n_generations=n_generations)

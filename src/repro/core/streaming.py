@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from collections import deque
 from time import perf_counter
-from typing import Sequence
+from typing import Iterable
 
 from repro.core.evaluation import RulesetTestResult
 from repro.core.runner import StrategyRun, TrialResult
@@ -39,29 +39,44 @@ __all__ = ["StreamingRules"]
 
 
 class _ExactWindowCounts:
-    """Exact pair counts over a sliding window of the last W pairs."""
+    """Exact pair counts over a sliding window of the last W pairs.
+
+    Every read and update is O(1) (amortized): counts are kept per
+    source (``_by_source``), antecedent totals and the live rule count
+    are maintained incrementally on push/evict, so neither per-block
+    evaluation (``n_rules``) nor per-query explainability
+    (``rule_stats``) ever re-scans historical counts.
+    """
 
     def __init__(self, window_pairs: int, min_support_count: int) -> None:
         self.window = deque()  # of (source, replier)
         self.window_pairs = window_pairs
         self.threshold = min_support_count
-        self._pair_counts: dict[tuple[int, int], int] = {}
+        # source -> {replier -> windowed count}
+        self._by_source: dict[int, dict[int, int]] = {}
+        # source -> windowed pairs from that source (confidence denominator)
+        self._source_totals: dict[int, int] = {}
         # source -> number of consequents currently at/above threshold;
         # maintained incrementally so coverage checks are O(1).
         self._qualified: dict[int, int] = {}
+        self._n_rules = 0
 
     def covers(self, source: int) -> bool:
         return self._qualified.get(source, 0) > 0
 
     def matches(self, source: int, replier: int) -> bool:
-        return self._pair_counts.get((source, replier), 0) >= self.threshold
+        counts = self._by_source.get(source)
+        return counts is not None and counts.get(replier, 0) >= self.threshold
 
     def consequents(self, source: int, k: int | None = None) -> list[int]:
         """Qualified repliers for ``source``, highest windowed count first."""
+        counts = self._by_source.get(source)
+        if not counts:
+            return []
         qualified = [
             (count, replier)
-            for (src, replier), count in self._pair_counts.items()
-            if src == source and count >= self.threshold
+            for replier, count in counts.items()
+            if count >= self.threshold
         ]
         qualified.sort(key=lambda cr: (-cr[0], cr[1]))
         out = [replier for _count, replier in qualified]
@@ -69,31 +84,41 @@ class _ExactWindowCounts:
 
     def push(self, source: int, replier: int) -> bool:
         """Fold in one pair; True if it just crossed the rule threshold."""
-        key = (source, replier)
-        new = self._pair_counts.get(key, 0) + 1
-        self._pair_counts[key] = new
+        counts = self._by_source.setdefault(source, {})
+        new = counts.get(replier, 0) + 1
+        counts[replier] = new
+        self._source_totals[source] = self._source_totals.get(source, 0) + 1
         newly_qualified = new == self.threshold
         if newly_qualified:
             self._qualified[source] = self._qualified.get(source, 0) + 1
-        self.window.append(key)
+            self._n_rules += 1
+        self.window.append((source, replier))
         if len(self.window) > self.window_pairs:
-            old_key = self.window.popleft()
-            old = self._pair_counts[old_key] - 1
+            old_src, old_rep = self.window.popleft()
+            old_counts = self._by_source[old_src]
+            old = old_counts[old_rep] - 1
             if old == 0:
-                del self._pair_counts[old_key]
+                del old_counts[old_rep]
+                if not old_counts:
+                    del self._by_source[old_src]
             else:
-                self._pair_counts[old_key] = old
+                old_counts[old_rep] = old
+            total = self._source_totals[old_src] - 1
+            if total == 0:
+                del self._source_totals[old_src]
+            else:
+                self._source_totals[old_src] = total
             if old == self.threshold - 1:
-                src = old_key[0]
-                remaining = self._qualified[src] - 1
+                self._n_rules -= 1
+                remaining = self._qualified[old_src] - 1
                 if remaining == 0:
-                    del self._qualified[src]
+                    del self._qualified[old_src]
                 else:
-                    self._qualified[src] = remaining
+                    self._qualified[old_src] = remaining
         return newly_qualified
 
     def n_rules(self) -> int:
-        return sum(1 for c in self._pair_counts.values() if c >= self.threshold)
+        return self._n_rules
 
     def rule_stats(self, source: int, replier: int) -> tuple[int, float]:
         """Windowed ``(support, confidence)`` for one rule.
@@ -101,17 +126,14 @@ class _ExactWindowCounts:
         Support is the pair's count inside the sliding window; confidence
         is that count over every windowed pair with the same antecedent —
         the association-rule measures the paper mines per block, read
-        live.  ``(0, 0.0)`` when the pair left the window.
+        live (both O(1) lookups).  ``(0, 0.0)`` when the pair left the
+        window.
         """
-        support = self._pair_counts.get((source, replier), 0)
+        counts = self._by_source.get(source)
+        support = counts.get(replier, 0) if counts else 0
         if support == 0:
             return 0, 0.0
-        antecedent_total = sum(
-            count
-            for (src, _replier), count in self._pair_counts.items()
-            if src == source
-        )
-        return support, support / antecedent_total
+        return support, support / self._source_totals[source]
 
     # -- durable state (consumed by repro.persist) ------------------------
     def state(self) -> dict:
@@ -149,6 +171,10 @@ class _LossyCounts:
         self._counter = StreamingPairCounter(epsilon)
         self.threshold = min_support_count
         self._qualified: dict[int, int] = {}
+        # source -> estimated windowless pair volume (confidence
+        # denominator); incremented per push, trued up on rebuild.
+        self._source_totals: dict[int, int] = {}
+        self._n_rules = 0
         self._since_refresh = 0
         self.refresh_every = max(1000, int(1.0 / epsilon))
 
@@ -179,6 +205,8 @@ class _LossyCounts:
         newly_qualified = before < self.threshold <= after
         if newly_qualified:
             self._qualified[source] = self._qualified.get(source, 0) + 1
+            self._n_rules += 1
+        self._source_totals[source] = self._source_totals.get(source, 0) + 1
         self._since_refresh += 1
         if self._since_refresh >= self.refresh_every:
             self._rebuild_qualified()
@@ -186,32 +214,41 @@ class _LossyCounts:
         return newly_qualified
 
     def _rebuild_qualified(self) -> None:
+        """True the incremental caches up against the sketch.
+
+        Sketch compression can silently evict entries (including
+        qualified ones), which the O(1) push path cannot observe; this
+        periodic pass — amortized over ``refresh_every`` pushes, so
+        still O(1)/pair — reconciles the qualified map, the live rule
+        count and the per-source totals with what the sketch retains.
+        """
         qualified: dict[int, int] = {}
-        for (source, _replier), _count in self._counter.pairs_over_count(
-            self.threshold
-        ).items():
-            qualified[source] = qualified.get(source, 0) + 1
+        totals: dict[int, int] = {}
+        n_rules = 0
+        for (source, _replier), count in self._counter.pairs_over_count(1).items():
+            totals[source] = totals.get(source, 0) + count
+            if count >= self.threshold:
+                qualified[source] = qualified.get(source, 0) + 1
+                n_rules += 1
         self._qualified = qualified
+        self._source_totals = totals
+        self._n_rules = n_rules
 
     def n_rules(self) -> int:
-        return len(self._counter.pairs_over_count(self.threshold))
+        return self._n_rules
 
     def rule_stats(self, source: int, replier: int) -> tuple[int, float]:
         """Estimated ``(support, confidence)`` for one rule.
 
         Support is the sketch's lower-bound estimate; confidence divides
-        by the summed estimates of every retained pair with the same
-        antecedent (evicted pairs contribute nothing, so confidence is an
-        over-estimate exactly where the sketch undercounts the tail).
+        by the incrementally maintained per-source volume (trued up
+        against the retained sketch entries on every periodic rebuild),
+        so the read is O(1) instead of a sketch scan.
         """
         support = self._counter.estimate(source, replier)
         if support == 0:
             return 0, 0.0
-        antecedent_total = sum(
-            count
-            for (src, _replier), count in self._counter.pairs_over_count(1).items()
-            if src == source
-        )
+        antecedent_total = self._source_totals.get(source, 0)
         return support, support / antecedent_total if antecedent_total else 0.0
 
     # -- durable state (consumed by repro.persist) ------------------------
@@ -305,28 +342,33 @@ class StreamingRules:
             return _ExactWindowCounts(self.window_pairs, self.min_support_count)
         return _LossyCounts(self.epsilon, self.min_support_count)
 
-    def run(self, blocks: Sequence[PairBlock]) -> StrategyRun:
-        """Prequentially process ``blocks``.
+    def run(self, blocks: Iterable[PairBlock]) -> StrategyRun:
+        """Prequentially process ``blocks`` (any iterable, e.g. a store
+        reader's block generator — no block is retained after its pairs
+        fold into the counts).
 
         The first block only warms the counts (it is the other strategies'
         training block, so per-trial series stay aligned across
         strategies); every subsequent block yields a
         :class:`~repro.core.runner.TrialResult`.
         """
-        if len(blocks) < 2:
+        it = iter(blocks)
+        warmup = next(it, None)
+        if warmup is None:
             raise ValueError("streaming needs at least 2 blocks")
         counts = self.make_counts()
         for source, replier in zip(
-            blocks[0].sources.tolist(), blocks[0].repliers.tolist()
+            warmup.sources.tolist(), warmup.repliers.tolist()
         ):
             counts.push(source, replier)
+        del warmup
         trials = []
         timings = get_global_registry().histogram(
             "repro_offline_test_seconds",
             "Per-block test duration in the offline simulator.",
             ("strategy",),
         ).labels(self.name)
-        for block in blocks[1:]:
+        for block in it:
             t0 = perf_counter()
             n_total = len(block)
             n_covered = 0
@@ -352,6 +394,8 @@ class StreamingRules:
                     ruleset_size=counts.n_rules(),
                 )
             )
+        if not trials:
+            raise ValueError("streaming needs at least 2 blocks")
         # Continuous maintenance: report zero batch generations; the
         # blocks_per_generation metric is inf by construction.
         return StrategyRun(self.name, tuple(trials), n_generations=0)

@@ -48,7 +48,11 @@ from repro.parallel.provider import (
     install_trace_provider,
     trace_key,
 )
-from repro.parallel.shm import AttachedTraceStore, SharedTraceStore
+from repro.parallel.shm import (
+    DEFAULT_SPILL_THRESHOLD,
+    AttachedTraceStore,
+    SharedTraceStore,
+)
 from repro.workload.tracegen import MonitorTraceConfig
 
 __all__ = [
@@ -187,12 +191,16 @@ class ParallelExperimentEngine:
         *,
         cache_size: int = DEFAULT_CACHE_SIZE,
         prewarm: bool = True,
+        spill_dir: str | os.PathLike | None = None,
+        spill_threshold_bytes: int = DEFAULT_SPILL_THRESHOLD,
     ) -> None:
         if workers < 0:
             raise ValueError("workers must be >= 0")
         self.workers = int(workers)
         self.cache_size = int(cache_size)
         self.prewarm = bool(prewarm)
+        self.spill_dir = spill_dir
+        self.spill_threshold_bytes = int(spill_threshold_bytes)
 
     # -- public API ---------------------------------------------------------
     def run_ids(
@@ -249,7 +257,10 @@ class ParallelExperimentEngine:
                     store.put(key, sources, repliers)
 
     def _run_pooled(self, tasks: list[ExperimentTask]) -> EngineRun:
-        with SharedTraceStore() as store:
+        with SharedTraceStore(
+            spill_dir=self.spill_dir,
+            spill_threshold_bytes=self.spill_threshold_bytes,
+        ) as store:
             t0 = perf_counter()
             if self.prewarm:
                 self._prewarm_store(tasks, store)

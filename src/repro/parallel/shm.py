@@ -1,4 +1,4 @@
-"""Shared-memory transport for trace pair columns.
+"""Shared-memory (and spill-to-disk) transport for trace pair columns.
 
 The experiment engine fans tasks out to ``ProcessPoolExecutor`` workers.
 A full-scale trace is tens of megabytes of int64 columns; pickling it
@@ -9,36 +9,58 @@ picklable :class:`TraceHandle` instead.  Workers map the segment and
 build zero-copy numpy views — and the :class:`~repro.trace.blocks.PairBlock`
 slices the experiments consume are views of those views.
 
+Traces past paper scale do not fit a shm segment comfortably (shm is
+RAM), so the store can **spill**: given a ``spill_dir``, any trace at or
+above ``spill_threshold_bytes`` is written once as an on-disk columnar
+trace store (:mod:`repro.trace.store`) instead, and both the parent and
+every worker attach zero-copy ``np.memmap`` views directly to the file's
+column segments — same array contents, so pooled results stay
+bit-identical to serial; the OS shares the page cache across processes
+the way shm shares the segment.
+
 Lifecycle: the parent (:class:`SharedTraceStore`) owns every segment and
-unlinks them in :meth:`close`; workers only attach.  Worker-side
-attachments are deliberately unregistered from the multiprocessing
-resource tracker — the parent's unlink is authoritative, and without the
-unregister every worker exit would log spurious leak warnings.
+spill file and unlinks them in :meth:`close`; workers only attach.
+Worker-side shm attachments are deliberately unregistered from the
+multiprocessing resource tracker — the parent's unlink is authoritative,
+and without the unregister every worker exit would log spurious leak
+warnings.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
 
 import numpy as np
 
-__all__ = ["TraceHandle", "SharedTraceStore", "AttachedTraceStore"]
+__all__ = [
+    "TraceHandle",
+    "SharedTraceStore",
+    "AttachedTraceStore",
+    "DEFAULT_SPILL_THRESHOLD",
+]
 
 _ITEMSIZE = np.dtype(np.int64).itemsize
+
+#: default spill cutoff with a spill_dir configured: traces at/above this
+#: many bytes (both columns) go to disk instead of shared memory.
+DEFAULT_SPILL_THRESHOLD = 256 * 1024 * 1024
 
 
 @dataclass(frozen=True)
 class TraceHandle:
-    """Picklable reference to one trace's columns in shared memory.
+    """Picklable reference to one trace's columns.
 
-    The segment holds ``n_pairs`` int64 sources followed by ``n_pairs``
-    int64 repliers.
+    Shared-memory traces carry the segment name (``n_pairs`` int64
+    sources followed by ``n_pairs`` int64 repliers); spilled traces
+    carry the trace-store ``path`` instead (``shm_name`` is None).
     """
 
-    shm_name: str
+    shm_name: str | None
     n_pairs: int
+    path: str | None = None
 
 
 def _views(buf, n_pairs: int) -> tuple[np.ndarray, np.ndarray]:
@@ -49,15 +71,58 @@ def _views(buf, n_pairs: int) -> tuple[np.ndarray, np.ndarray]:
     return sources, repliers
 
 
-class SharedTraceStore:
-    """Parent-side owner of shared trace segments, keyed by trace spec."""
+def _spill_arrays(path: str) -> tuple[np.ndarray, np.ndarray]:
+    """Memmap (sources, repliers) from a single-block spill store file."""
+    from repro.trace.store import TraceStoreReader
 
-    def __init__(self) -> None:
+    reader = TraceStoreReader(path)
+    return reader.columns(0)
+
+
+class SharedTraceStore:
+    """Parent-side owner of shared trace segments, keyed by trace spec.
+
+    With ``spill_dir`` set, traces whose columns total at least
+    ``spill_threshold_bytes`` are written once to disk as a single-block
+    trace store instead of copied into shm; workers memmap the file's
+    column segments directly.
+    """
+
+    def __init__(
+        self,
+        *,
+        spill_dir: str | os.PathLike | None = None,
+        spill_threshold_bytes: int = DEFAULT_SPILL_THRESHOLD,
+    ) -> None:
         self._segments: dict[object, shared_memory.SharedMemory] = {}
         self._handles: dict[object, TraceHandle] = {}
+        self._spill_paths: dict[object, str] = {}
+        self._spill_dir = os.fspath(spill_dir) if spill_dir is not None else None
+        self._spill_threshold = int(spill_threshold_bytes)
+        self._spill_counter = 0
+
+    def _spill(self, key: object, sources: np.ndarray, repliers: np.ndarray) -> TraceHandle:
+        from repro.trace.store import TraceStoreWriter
+
+        assert self._spill_dir is not None
+        os.makedirs(self._spill_dir, exist_ok=True)
+        path = os.path.join(
+            self._spill_dir, f"trace-{os.getpid()}-{self._spill_counter}.rptrace"
+        )
+        self._spill_counter += 1
+        n_pairs = len(sources)
+        # One block holding the whole trace: attach is a single memmap
+        # per column; the packed-key segment is skipped because workers
+        # re-slice the columns into evaluation blocks anyway.
+        with TraceStoreWriter(path, block_size=n_pairs, include_packed=False) as writer:
+            writer.append(sources, repliers)
+        self._spill_paths[key] = path
+        handle = TraceHandle(shm_name=None, n_pairs=n_pairs, path=path)
+        self._handles[key] = handle
+        return handle
 
     def put(self, key: object, sources: np.ndarray, repliers: np.ndarray) -> TraceHandle:
-        """Copy one trace's columns into a fresh shared segment."""
+        """Store one trace's columns (shared segment, or disk when spilling)."""
         if key in self._handles:
             return self._handles[key]
         sources = np.ascontiguousarray(sources, dtype=np.int64)
@@ -65,6 +130,12 @@ class SharedTraceStore:
         if sources.shape != repliers.shape or sources.ndim != 1:
             raise ValueError("trace columns must be matching 1-D arrays")
         n_pairs = len(sources)
+        if (
+            self._spill_dir is not None
+            and n_pairs > 0
+            and 2 * n_pairs * _ITEMSIZE >= self._spill_threshold
+        ):
+            return self._spill(key, sources, repliers)
         shm = shared_memory.SharedMemory(
             create=True, size=max(2 * n_pairs * _ITEMSIZE, 1)
         )
@@ -78,25 +149,34 @@ class SharedTraceStore:
 
     def arrays(self, key: object) -> tuple[np.ndarray, np.ndarray]:
         """Zero-copy views of a stored trace (parent-side reuse)."""
+        handle = self._handles[key]
+        if handle.path is not None:
+            return _spill_arrays(handle.path)
         shm = self._segments[key]
-        return _views(shm.buf, self._handles[key].n_pairs)
+        return _views(shm.buf, handle.n_pairs)
 
     def handles(self) -> dict[object, TraceHandle]:
         """Picklable {trace key: handle} map for worker initializers."""
         return dict(self._handles)
 
     def __len__(self) -> int:
-        return len(self._segments)
+        return len(self._handles)
 
     def close(self) -> None:
-        """Release and unlink every owned segment."""
+        """Release and unlink every owned segment and spill file."""
         for shm in self._segments.values():
             try:
                 shm.close()
                 shm.unlink()
             except FileNotFoundError:  # already unlinked (double close)
                 pass
+        for path in self._spill_paths.values():
+            try:
+                os.unlink(path)
+            except FileNotFoundError:
+                pass
         self._segments.clear()
+        self._spill_paths.clear()
         self._handles.clear()
 
     def __enter__(self) -> "SharedTraceStore":
@@ -122,6 +202,10 @@ class AttachedTraceStore:
     def arrays(self, key: object) -> tuple[np.ndarray, np.ndarray]:
         """Zero-copy (sources, repliers) views for one trace key."""
         handle = self._handles[key]
+        if handle.path is not None:
+            # Spilled trace: memmap the column segments straight off the
+            # parent's store file — no shm segment exists for this key.
+            return _spill_arrays(handle.path)
         shm = self._attached.get(key)
         if shm is None:
             shm = shared_memory.SharedMemory(name=handle.shm_name)

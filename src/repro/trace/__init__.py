@@ -14,6 +14,8 @@ simulator.  This subpackage reproduces that pipeline on top of
 * :mod:`~repro.trace.blocks` — `PairBlock` (columnar numpy view of a block
   of pairs) and block partitioning;
 * :mod:`~repro.trace.io` — CSV-ish (de)serialization for persisting traces;
+* :mod:`~repro.trace.store` — out-of-core mmap-backed columnar trace store
+  (append-only chunked writer, zero-copy block readers, O(block) memory);
 * :mod:`~repro.trace.analysis` — descriptive trace statistics (turnover,
   concentration, coverage ceilings).
 """
@@ -24,8 +26,22 @@ from repro.trace.analysis import (
     profile_block,
     source_turnover,
 )
-from repro.trace.blocks import PairBlock, blocks_from_arrays, partition_pairs
+from repro.trace.blocks import (
+    PairBlock,
+    blocks_from_arrays,
+    blocks_from_store,
+    iter_blocks_from_arrays,
+    iter_partition_pairs,
+    partition_pairs,
+)
 from repro.trace.dedup import dedup_queries, dedup_replies
+from repro.trace.store import (
+    TraceStoreCorruption,
+    TraceStoreError,
+    TraceStoreReader,
+    TraceStoreWriter,
+    write_trace_store,
+)
 from repro.trace.pairing import build_pair_table, pair_records
 from repro.trace.records import (
     PAIR_COLUMNS,
@@ -48,10 +64,18 @@ __all__ = [
     "QueryReplyPair",
     "REPLY_COLUMNS",
     "ReplyRecord",
+    "TraceStoreCorruption",
+    "TraceStoreError",
+    "TraceStoreReader",
+    "TraceStoreWriter",
     "blocks_from_arrays",
+    "blocks_from_store",
     "build_pair_table",
     "dedup_queries",
     "dedup_replies",
+    "iter_blocks_from_arrays",
+    "iter_partition_pairs",
     "pair_records",
     "partition_pairs",
+    "write_trace_store",
 ]

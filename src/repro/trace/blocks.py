@@ -12,12 +12,21 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
 from repro.store.table import Table
 
-__all__ = ["PairBlock", "partition_pairs", "blocks_from_arrays", "scan_id_range"]
+__all__ = [
+    "PairBlock",
+    "partition_pairs",
+    "blocks_from_arrays",
+    "iter_blocks_from_arrays",
+    "iter_partition_pairs",
+    "blocks_from_store",
+    "scan_id_range",
+]
 
 #: node ids must stay below this for (source << 32) | replier key packing.
 ID_LIMIT = 1 << 31
@@ -89,13 +98,20 @@ class PairBlock:
             object.__setattr__(self, "_ids_validated", True)
 
     def packed_keys(self) -> np.ndarray:
-        """Memoized ``(source << 32) | replier`` int64 keys for this block."""
+        """Memoized ``(source << 32) | replier`` int64 keys for this block.
+
+        All key packing funnels through
+        :func:`repro.core.generation.pack_pair_keys` (resolved at call
+        time so tests can install a counting hook); store-resident
+        blocks arrive with this memo pre-seeded from the file's packed
+        segment and never pack at all.
+        """
         cached = self.__dict__.get("_packed_keys")
         if cached is None:
+            from repro.core.generation import pack_pair_keys
+
             self.validate_ids()
-            sources = np.asarray(self.sources, dtype=np.int64)
-            repliers = np.asarray(self.repliers, dtype=np.int64)
-            cached = (sources << 32) | repliers
+            cached = pack_pair_keys(self.sources, self.repliers, validate=False)
             object.__setattr__(self, "_packed_keys", cached)
         return cached
 
@@ -120,6 +136,37 @@ class PairBlock:
         return cached
 
 
+def iter_blocks_from_arrays(
+    sources: np.ndarray,
+    repliers: np.ndarray,
+    *,
+    block_size: int,
+    drop_partial: bool = True,
+) -> Iterator[PairBlock]:
+    """Lazily split parallel source/replier arrays into consecutive blocks.
+
+    Blocks are views of the input arrays, yielded one at a time — the
+    generator form the streaming strategies consume (with memmap-backed
+    inputs nothing beyond the current block need be resident).
+    """
+    if block_size < 1:
+        raise ValueError("block_size must be >= 1")
+    sources = np.asarray(sources, dtype=np.int64)
+    repliers = np.asarray(repliers, dtype=np.int64)
+    if sources.shape != repliers.shape:
+        raise ValueError("sources and repliers must have the same shape")
+    n = len(sources)
+    for b, start in enumerate(range(0, n, block_size)):
+        stop = min(start + block_size, n)
+        if drop_partial and stop - start < block_size:
+            break
+        yield PairBlock(
+            sources=sources[start:stop],
+            repliers=repliers[start:stop],
+            index=b,
+        )
+
+
 def blocks_from_arrays(
     sources: np.ndarray,
     repliers: np.ndarray,
@@ -138,34 +185,51 @@ def blocks_from_arrays(
         (the paper's fixed-size blocks imply this; keep it for analyses
         that must not lose data).
     """
-    if block_size < 1:
-        raise ValueError("block_size must be >= 1")
-    sources = np.asarray(sources, dtype=np.int64)
-    repliers = np.asarray(repliers, dtype=np.int64)
-    if sources.shape != repliers.shape:
-        raise ValueError("sources and repliers must have the same shape")
-    n = len(sources)
-    blocks: list[PairBlock] = []
-    for b, start in enumerate(range(0, n, block_size)):
-        stop = min(start + block_size, n)
-        if drop_partial and stop - start < block_size:
-            break
-        blocks.append(
-            PairBlock(
-                sources=sources[start:stop],
-                repliers=repliers[start:stop],
-                index=b,
-            )
+    return list(
+        iter_blocks_from_arrays(
+            sources, repliers, block_size=block_size, drop_partial=drop_partial
         )
-    return blocks
+    )
+
+
+def _pair_table_columns(pair_table: Table) -> tuple[np.ndarray, np.ndarray]:
+    sources = np.fromiter(pair_table.column("source"), dtype=np.int64)
+    repliers = np.fromiter(pair_table.column("replier"), dtype=np.int64)
+    return sources, repliers
+
+
+def iter_partition_pairs(
+    pair_table: Table, *, block_size: int, drop_partial: bool = True
+) -> Iterator[PairBlock]:
+    """Lazily partition a pipeline pair table into :class:`PairBlock` views."""
+    sources, repliers = _pair_table_columns(pair_table)
+    return iter_blocks_from_arrays(
+        sources, repliers, block_size=block_size, drop_partial=drop_partial
+    )
 
 
 def partition_pairs(
     pair_table: Table, *, block_size: int, drop_partial: bool = True
 ) -> list[PairBlock]:
     """Partition a pipeline pair table into :class:`PairBlock` objects."""
-    sources = np.fromiter(pair_table.column("source"), dtype=np.int64)
-    repliers = np.fromiter(pair_table.column("replier"), dtype=np.int64)
-    return blocks_from_arrays(
-        sources, repliers, block_size=block_size, drop_partial=drop_partial
+    return list(
+        iter_partition_pairs(
+            pair_table, block_size=block_size, drop_partial=drop_partial
+        )
     )
+
+
+def blocks_from_store(path_or_reader) -> Iterator[PairBlock]:
+    """Stream blocks from an on-disk trace store (path or open reader).
+
+    The store-backed twin of :func:`iter_blocks_from_arrays`: each block
+    is a zero-copy ``np.memmap`` view with packed keys and fingerprint
+    pre-seeded, so evaluation over a disk-resident trace keeps O(block)
+    memory.  See :mod:`repro.trace.store`.
+    """
+    from repro.trace.store import TraceStoreReader
+
+    reader = path_or_reader
+    if not hasattr(reader, "iter_blocks"):
+        reader = TraceStoreReader(reader)
+    return reader.iter_blocks()

@@ -4,12 +4,18 @@ Tab-separated persistence for query and reply tables, so traces can be
 generated once and replayed across experiment runs (the paper's 2.6 GB
 database served the same purpose).  The format is line-oriented and
 append-friendly; strings are the last field so they may contain spaces.
+
+Readers decode in streaming chunks: :func:`iter_query_rows` /
+:func:`iter_reply_rows` yield decoded row tuples one at a time, and the
+table builders feed the tables via chunked ``extend`` calls so only
+``chunk_size`` decoded rows are ever held outside the table — a 7-day
+full-scale trace file loads without a second full-trace list in memory.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Iterable
+from typing import Iterable, Iterator
 
 from repro.store.table import Table
 from repro.trace.records import (
@@ -19,10 +25,20 @@ from repro.trace.records import (
     ReplyRecord,
 )
 
-__all__ = ["write_queries", "read_queries", "write_replies", "read_replies"]
+__all__ = [
+    "write_queries",
+    "read_queries",
+    "iter_query_rows",
+    "write_replies",
+    "read_replies",
+    "iter_reply_rows",
+]
 
 _QUERY_HEADER = "time\tguid\tsource\tquery_string"
 _REPLY_HEADER = "time\tguid\treplier\thost\tfile_name"
+
+#: rows decoded per ``Table.extend`` call in the chunked readers.
+DEFAULT_CHUNK_SIZE = 8192
 
 
 def write_queries(path: str | os.PathLike, records: Iterable[QueryRecord]) -> int:
@@ -38,17 +54,43 @@ def write_queries(path: str | os.PathLike, records: Iterable[QueryRecord]) -> in
     return n
 
 
-def read_queries(path: str | os.PathLike) -> Table:
-    """Read query records into a fresh ``queries`` table."""
-    table = Table("queries", QUERY_COLUMNS)
+def iter_query_rows(path: str | os.PathLike) -> Iterator[tuple]:
+    """Yield decoded ``(time, guid, source, query_string)`` rows lazily."""
     with open(path, encoding="utf-8") as fh:
         header = fh.readline().rstrip("\n")
         if header != _QUERY_HEADER:
             raise ValueError(f"not a query trace file: header {header!r}")
         for line in fh:
             time_s, guid_s, source_s, qs = line.rstrip("\n").split("\t", 3)
-            table.append((float(time_s), int(guid_s), int(source_s), qs))
+            yield (float(time_s), int(guid_s), int(source_s), qs)
+
+
+def _fill_table(table: Table, rows: Iterator[tuple], chunk_size: int) -> Table:
+    """Feed a row iterator into ``table`` in chunks of ``chunk_size``."""
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    chunk: list[tuple] = []
+    for row in rows:
+        chunk.append(row)
+        if len(chunk) >= chunk_size:
+            table.extend(chunk)
+            chunk.clear()
+    if chunk:
+        table.extend(chunk)
     return table
+
+
+def read_queries(
+    path: str | os.PathLike, *, chunk_size: int = DEFAULT_CHUNK_SIZE
+) -> Table:
+    """Read query records into a fresh ``queries`` table.
+
+    Rows stream from disk in ``chunk_size`` batches; at no point does
+    the reader hold a full-trace row list alongside the table.
+    """
+    return _fill_table(
+        Table("queries", QUERY_COLUMNS), iter_query_rows(path), chunk_size
+    )
 
 
 def write_replies(path: str | os.PathLike, records: Iterable[ReplyRecord]) -> int:
@@ -66,16 +108,25 @@ def write_replies(path: str | os.PathLike, records: Iterable[ReplyRecord]) -> in
     return n
 
 
-def read_replies(path: str | os.PathLike) -> Table:
-    """Read reply records into a fresh ``replies`` table."""
-    table = Table("replies", REPLY_COLUMNS)
+def iter_reply_rows(path: str | os.PathLike) -> Iterator[tuple]:
+    """Yield decoded ``(time, guid, replier, host, file_name)`` rows lazily."""
     with open(path, encoding="utf-8") as fh:
         header = fh.readline().rstrip("\n")
         if header != _REPLY_HEADER:
             raise ValueError(f"not a reply trace file: header {header!r}")
         for line in fh:
             time_s, guid_s, replier_s, host_s, fname = line.rstrip("\n").split("\t", 4)
-            table.append(
-                (float(time_s), int(guid_s), int(replier_s), int(host_s), fname)
-            )
-    return table
+            yield (float(time_s), int(guid_s), int(replier_s), int(host_s), fname)
+
+
+def read_replies(
+    path: str | os.PathLike, *, chunk_size: int = DEFAULT_CHUNK_SIZE
+) -> Table:
+    """Read reply records into a fresh ``replies`` table.
+
+    Rows stream from disk in ``chunk_size`` batches; at no point does
+    the reader hold a full-trace row list alongside the table.
+    """
+    return _fill_table(
+        Table("replies", REPLY_COLUMNS), iter_reply_rows(path), chunk_size
+    )

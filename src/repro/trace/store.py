@@ -1,0 +1,499 @@
+"""Out-of-core columnar trace store (mmap-backed block files).
+
+The paper's evaluation runs over 10,514,090 queries / ~3.25M query–reply
+pairs — far more than the in-memory :class:`~repro.trace.blocks.PairBlock`
+pipeline should ever hold at once.  This module persists a trace as one
+append-only file of fixed little-endian columnar segments, so that
+
+* :class:`TraceStoreWriter` streams pairs to disk in chunks — ``tracegen``
+  never materializes the full trace (O(chunk) memory while writing), and
+* :class:`TraceStoreReader` serves zero-copy ``np.memmap`` views block by
+  block — evaluation streams the trace with O(block) resident memory,
+  however large the file grows.
+
+File layout (all integers little-endian)::
+
+    header   (32 B)  magic "RPTRACE1" | version u32 | flags u32
+                     | block_size u64 | reserved u64
+    block*           block header (32 B): magic "RPTB" | pad u32
+                     | n_pairs u64 | blake2b-128 fingerprint (16 B)
+                     followed by the column segments:
+                     sources  int64[n]   (raw LE)
+                     repliers int64[n]   (raw LE)
+                     packed   int64[n]   (only when flags bit 0 is set)
+    footer   index:  one 32 B entry per block
+                     (block_offset u64 | n_pairs u64 | fingerprint 16 B)
+             trailer (40 B): magic "RPTFOOT1" | index_offset u64
+                     | n_blocks u64 | total_pairs u64
+                     | index crc32 u32 | version u32
+
+The per-block fingerprint is byte-identical to
+:meth:`PairBlock.fingerprint` (blake2b-128 over the source column bytes
+then the replier column bytes), so store-resident blocks plug straight
+into the content-addressed ruleset cache without re-hashing.
+
+Durability mirrors the WAL torn-tail semantics of ``repro.persist``: the
+footer is written only on a clean :meth:`TraceStoreWriter.close`, and a
+reader that finds a missing, truncated, or corrupt footer falls back to
+scanning block headers from the top of the file — verifying each block's
+fingerprint — and recovers everything up to the last complete, intact
+block.  A mid-write crash therefore loses at most the block being
+written, never the store.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.trace.blocks import PairBlock
+
+__all__ = [
+    "TraceStoreError",
+    "TraceStoreCorruption",
+    "TraceStoreWriter",
+    "TraceStoreReader",
+    "write_trace_store",
+    "iter_store_blocks",
+]
+
+_HEADER = struct.Struct("<8sIIQQ")
+_BLOCK_HEADER = struct.Struct("<4sIQ16s")
+_INDEX_ENTRY = struct.Struct("<QQ16s")
+_TRAILER = struct.Struct("<8sQQQII")
+
+_MAGIC = b"RPTRACE1"
+_BLOCK_MAGIC = b"RPTB"
+_FOOTER_MAGIC = b"RPTFOOT1"
+_VERSION = 1
+
+#: flags bit 0 — packed-key segments are present after each replier segment.
+_FLAG_PACKED = 1
+
+_I8 = np.dtype("<i8")
+_ITEMSIZE = _I8.itemsize
+
+
+class TraceStoreError(Exception):
+    """The file is not a trace store (bad magic/version/arguments)."""
+
+
+class TraceStoreCorruption(TraceStoreError):
+    """The store exists but its contents fail an integrity check."""
+
+
+@dataclass(frozen=True)
+class _BlockEntry:
+    """One footer-index row: where a block's segments live."""
+
+    offset: int  # file offset of the block *header*
+    n_pairs: int
+    fingerprint: bytes  # blake2b-128 raw digest
+
+
+def _column_bytes(array: np.ndarray) -> bytes:
+    return np.ascontiguousarray(array, dtype=_I8).tobytes()
+
+
+def _block_digest(sources: np.ndarray, repliers: np.ndarray) -> bytes:
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(_column_bytes(sources))
+    digest.update(_column_bytes(repliers))
+    return digest.digest()
+
+
+class TraceStoreWriter:
+    """Append-only chunked writer of a trace store file.
+
+    ``append(sources, repliers)`` buffers at most one block's worth of
+    pairs; every time the buffer reaches ``block_size`` a complete block
+    is flushed to disk, so writing a 100M-pair trace needs O(block_size)
+    memory.  ``append_block`` writes an already-built
+    :class:`~repro.trace.blocks.PairBlock` directly, reusing its memoized
+    packed keys and fingerprint (each block's keys are packed exactly
+    once, at write time — readers hand the stored segment back).
+
+    The footer index lands only in :meth:`close`; a crash (or an
+    exception inside the ``with`` block) leaves an append-only prefix
+    that :class:`TraceStoreReader` recovers up to the last complete
+    block.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        *,
+        block_size: int = 10_000,
+        include_packed: bool = True,
+    ) -> None:
+        if block_size < 1:
+            raise ValueError("block_size must be >= 1")
+        self.path = os.fspath(path)
+        self.block_size = int(block_size)
+        self.include_packed = bool(include_packed)
+        self._entries: list[_BlockEntry] = []
+        self._pending: list[np.ndarray] = []  # interleaved (src, rep) chunks
+        self._pending_pairs = 0
+        self._closed = False
+        self._fh = open(self.path, "wb")
+        flags = _FLAG_PACKED if self.include_packed else 0
+        self._fh.write(_HEADER.pack(_MAGIC, _VERSION, flags, self.block_size, 0))
+
+    # -- appending ----------------------------------------------------------
+    def append(self, sources: np.ndarray, repliers: np.ndarray) -> int:
+        """Buffer a chunk of pairs, flushing every completed block.
+
+        Chunks may be any length (including spanning several blocks);
+        returns the number of *blocks* flushed by this call.
+        """
+        self._check_open()
+        sources = np.asarray(sources, dtype=np.int64)
+        repliers = np.asarray(repliers, dtype=np.int64)
+        if sources.shape != repliers.shape or sources.ndim != 1:
+            raise ValueError("sources and repliers must be matching 1-D arrays")
+        self._pending.append(sources)
+        self._pending.append(repliers)
+        self._pending_pairs += len(sources)
+        flushed = 0
+        while self._pending_pairs >= self.block_size:
+            self._flush_block(self.block_size)
+            flushed += 1
+        return flushed
+
+    def append_block(self, block: PairBlock) -> None:
+        """Write one pre-built block as-is (any length).
+
+        Only valid while no partial chunk is buffered — interleaving
+        buffered pairs with whole blocks would reorder the trace.
+        """
+        self._check_open()
+        if self._pending_pairs:
+            raise TraceStoreError(
+                "append_block with buffered pairs would reorder the trace"
+            )
+        if len(block) == 0:
+            return
+        self._write_block(block)
+
+    def _flush_block(self, n_pairs: int) -> None:
+        """Assemble ``n_pairs`` buffered pairs into one block and write it."""
+        sources = np.empty(n_pairs, dtype=np.int64)
+        repliers = np.empty(n_pairs, dtype=np.int64)
+        filled = 0
+        while filled < n_pairs:
+            src, rep = self._pending[0], self._pending[1]
+            take = min(len(src), n_pairs - filled)
+            sources[filled : filled + take] = src[:take]
+            repliers[filled : filled + take] = rep[:take]
+            if take == len(src):
+                del self._pending[:2]
+            else:
+                self._pending[0] = src[take:]
+                self._pending[1] = rep[take:]
+            filled += take
+        self._pending_pairs -= n_pairs
+        self._write_block(
+            PairBlock(sources=sources, repliers=repliers, index=len(self._entries))
+        )
+
+    def _write_block(self, block: PairBlock) -> None:
+        offset = self._fh.tell()
+        fingerprint = bytes.fromhex(block.fingerprint())
+        self._fh.write(
+            _BLOCK_HEADER.pack(_BLOCK_MAGIC, 0, len(block), fingerprint)
+        )
+        self._fh.write(_column_bytes(block.sources))
+        self._fh.write(_column_bytes(block.repliers))
+        if self.include_packed:
+            # packed_keys() is memoized on the block: built blocks pack
+            # exactly once here; buffered blocks pack on first use.
+            self._fh.write(_column_bytes(block.packed_keys()))
+        self._entries.append(_BlockEntry(offset, len(block), fingerprint))
+
+    # -- lifecycle ----------------------------------------------------------
+    @property
+    def n_blocks(self) -> int:
+        return len(self._entries)
+
+    @property
+    def n_pairs(self) -> int:
+        return sum(e.n_pairs for e in self._entries)
+
+    @property
+    def pending_pairs(self) -> int:
+        """Buffered pairs not yet part of a complete block."""
+        return self._pending_pairs
+
+    def close(self, *, drop_partial: bool = True) -> None:
+        """Flush, write the footer index, fsync, and close.
+
+        ``drop_partial=False`` writes any buffered tail as one final
+        short block (analyses that must not lose data); the default
+        mirrors the paper's fixed-size blocks and discards it.
+        """
+        if self._closed:
+            return
+        if self._pending_pairs and not drop_partial:
+            self._flush_block(self._pending_pairs)
+        self._pending.clear()
+        self._pending_pairs = 0
+        index_offset = self._fh.tell()
+        index = b"".join(
+            _INDEX_ENTRY.pack(e.offset, e.n_pairs, e.fingerprint)
+            for e in self._entries
+        )
+        self._fh.write(index)
+        self._fh.write(
+            _TRAILER.pack(
+                _FOOTER_MAGIC,
+                index_offset,
+                len(self._entries),
+                self.n_pairs,
+                zlib.crc32(index),
+                _VERSION,
+            )
+        )
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._fh.close()
+        self._closed = True
+
+    def abandon(self) -> None:
+        """Close the file *without* a footer (simulates a crash mid-write)."""
+        if not self._closed:
+            self._fh.flush()
+            self._fh.close()
+            self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise TraceStoreError("writer is closed")
+
+    def __enter__(self) -> "TraceStoreWriter":
+        return self
+
+    def __exit__(self, exc_type, *exc) -> None:
+        # A clean exit finalizes the store; an exception leaves the
+        # append-only prefix for footer-less recovery (torn-tail
+        # semantics), exactly like a crash would.
+        if exc_type is None:
+            self.close()
+        else:
+            self.abandon()
+
+
+class TraceStoreReader:
+    """Zero-copy block reader over a trace store file.
+
+    Every :meth:`block` call maps only that block's byte range
+    (``np.memmap`` with an explicit offset), so iterating a 10GB store
+    keeps O(block_size) pages resident: each yielded block's mappings
+    are released as soon as the consumer drops the block.
+
+    Opening prefers the footer index (O(1), trusted after its CRC
+    check).  A missing or corrupt footer triggers a header scan that
+    verifies each block's fingerprint and stops at the first torn or
+    corrupt block (``recovered`` is then True).  ``verify=True`` forces
+    the fingerprint sweep even when the footer is intact, truncating the
+    visible store at the first mismatching block.
+    """
+
+    def __init__(self, path: str | os.PathLike, *, verify: bool = False) -> None:
+        self.path = os.fspath(path)
+        self._size = os.path.getsize(self.path)
+        self.recovered = False
+        with open(self.path, "rb") as fh:
+            header = fh.read(_HEADER.size)
+            if len(header) < _HEADER.size:
+                raise TraceStoreError(f"{self.path}: too short for a trace store")
+            magic, version, flags, block_size, _ = _HEADER.unpack(header)
+            if magic != _MAGIC:
+                raise TraceStoreError(f"{self.path}: bad magic {magic!r}")
+            if version != _VERSION:
+                raise TraceStoreError(f"{self.path}: unsupported version {version}")
+            self.block_size = int(block_size)
+            self.has_packed = bool(flags & _FLAG_PACKED)
+            self._entries = self._load_footer(fh)
+            if self._entries is None:
+                self._entries = self._scan_blocks(fh)
+                self.recovered = True
+            elif verify:
+                self._entries = self._verified_prefix(fh, self._entries)
+
+    # -- opening ------------------------------------------------------------
+    def _load_footer(self, fh) -> list[_BlockEntry] | None:
+        """Parse the footer index; None when absent/torn/corrupt."""
+        if self._size < _HEADER.size + _TRAILER.size:
+            return None
+        fh.seek(self._size - _TRAILER.size)
+        magic, index_offset, n_blocks, total_pairs, crc, version = _TRAILER.unpack(
+            fh.read(_TRAILER.size)
+        )
+        if magic != _FOOTER_MAGIC or version != _VERSION:
+            return None
+        index_size = n_blocks * _INDEX_ENTRY.size
+        if index_offset + index_size + _TRAILER.size != self._size:
+            return None
+        fh.seek(index_offset)
+        index = fh.read(index_size)
+        if len(index) != index_size or zlib.crc32(index) != crc:
+            return None
+        entries = [
+            _BlockEntry(*_INDEX_ENTRY.unpack_from(index, off))
+            for off in range(0, index_size, _INDEX_ENTRY.size)
+        ]
+        if sum(e.n_pairs for e in entries) != total_pairs:
+            return None
+        for entry in entries:
+            if entry.offset + self._block_extent(entry.n_pairs) > index_offset:
+                return None
+        return entries
+
+    def _block_extent(self, n_pairs: int) -> int:
+        columns = 3 if self.has_packed else 2
+        return _BLOCK_HEADER.size + columns * n_pairs * _ITEMSIZE
+
+    def _scan_blocks(self, fh) -> list[_BlockEntry]:
+        """Walk block headers from the top, keeping verified blocks.
+
+        Mirrors WAL torn-tail recovery: the first header that is
+        truncated, mis-tagged, out of bounds, or whose columns fail the
+        fingerprint check ends the store.
+        """
+        entries: list[_BlockEntry] = []
+        offset = _HEADER.size
+        while True:
+            fh.seek(offset)
+            raw = fh.read(_BLOCK_HEADER.size)
+            if len(raw) < _BLOCK_HEADER.size:
+                break
+            magic, _pad, n_pairs, fingerprint = _BLOCK_HEADER.unpack(raw)
+            if magic != _BLOCK_MAGIC or n_pairs < 1:
+                break
+            extent = self._block_extent(n_pairs)
+            if offset + extent > self._size:
+                break  # torn tail: the block's columns never fully landed
+            sources, repliers = self._column_views(offset, n_pairs)
+            if _block_digest(sources, repliers) != fingerprint:
+                break
+            entries.append(_BlockEntry(offset, n_pairs, fingerprint))
+            offset += extent
+        return entries
+
+    def _verified_prefix(self, fh, entries: list[_BlockEntry]) -> list[_BlockEntry]:
+        good: list[_BlockEntry] = []
+        for entry in entries:
+            sources, repliers = self._column_views(entry.offset, entry.n_pairs)
+            if _block_digest(sources, repliers) != entry.fingerprint:
+                break
+            good.append(entry)
+        return good
+
+    # -- reading ------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self._entries)
+
+    @property
+    def n_pairs(self) -> int:
+        return sum(e.n_pairs for e in self._entries)
+
+    def _column_views(self, offset: int, n_pairs: int):
+        data = offset + _BLOCK_HEADER.size
+        nbytes = n_pairs * _ITEMSIZE
+        sources = np.memmap(
+            self.path, dtype=_I8, mode="r", offset=data, shape=(n_pairs,)
+        )
+        repliers = np.memmap(
+            self.path, dtype=_I8, mode="r", offset=data + nbytes, shape=(n_pairs,)
+        )
+        return sources, repliers
+
+    def block(self, i: int) -> PairBlock:
+        """Zero-copy :class:`PairBlock` view of block ``i``.
+
+        The returned block's memoized ``packed_keys`` / ``fingerprint``
+        / id validation are pre-seeded from the store, so mining and
+        testing it never re-packs or re-hashes — the write-side work is
+        reused verbatim.
+        """
+        entry = self._entries[i]
+        sources, repliers = self._column_views(entry.offset, entry.n_pairs)
+        block = PairBlock(sources=sources, repliers=repliers, index=i)
+        object.__setattr__(block, "_fingerprint", entry.fingerprint.hex())
+        object.__setattr__(block, "_ids_validated", True)
+        if self.has_packed:
+            data = entry.offset + _BLOCK_HEADER.size
+            packed = np.memmap(
+                self.path,
+                dtype=_I8,
+                mode="r",
+                offset=data + 2 * entry.n_pairs * _ITEMSIZE,
+                shape=(entry.n_pairs,),
+            )
+            object.__setattr__(block, "_packed_keys", packed)
+        return block
+
+    def columns(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        """Raw (sources, repliers) memmap views of block ``i``."""
+        entry = self._entries[i]
+        return self._column_views(entry.offset, entry.n_pairs)
+
+    def iter_blocks(self) -> Iterator[PairBlock]:
+        """Yield blocks in trace order, mapping one block at a time."""
+        for i in range(len(self._entries)):
+            yield self.block(i)
+
+    def verify_blocks(self, *, strict: bool = False) -> int:
+        """Re-hash every visible block; returns how many are intact.
+
+        Stops counting at the first fingerprint mismatch (the store is
+        usable up to — not including — that block).  ``strict=True``
+        raises :class:`TraceStoreCorruption` instead of returning a
+        short count.
+        """
+        with open(self.path, "rb") as fh:
+            intact = len(self._verified_prefix(fh, self._entries))
+        if strict and intact != len(self._entries):
+            raise TraceStoreCorruption(
+                f"{self.path}: block {intact} fails its fingerprint check "
+                f"({intact}/{len(self._entries)} blocks intact)"
+            )
+        return intact
+
+
+def write_trace_store(
+    path: str | os.PathLike,
+    sources: np.ndarray,
+    repliers: np.ndarray,
+    *,
+    block_size: int = 10_000,
+    drop_partial: bool = True,
+    include_packed: bool = True,
+) -> TraceStoreReader:
+    """Write in-memory columns as a store file and reopen it for reading."""
+    writer = TraceStoreWriter(
+        path, block_size=block_size, include_packed=include_packed
+    )
+    try:
+        writer.append(sources, repliers)
+    except BaseException:
+        writer.abandon()
+        raise
+    writer.close(drop_partial=drop_partial)
+    return TraceStoreReader(path)
+
+
+def iter_store_blocks(path: str | os.PathLike) -> Iterator[PairBlock]:
+    """Stream a store file's blocks (one-shot convenience wrapper)."""
+    reader = TraceStoreReader(path)
+    yield from reader.iter_blocks()

@@ -146,3 +146,63 @@ class TestStrategyValidation:
     def test_min_support_validation(self):
         with pytest.raises(ValueError):
             SlidingWindow(min_support_count=0)
+
+
+class TestGeneratorInput:
+    """Strategies must accept one-shot block iterators (store streaming)."""
+
+    def realistic_blocks(self, n_blocks=8):
+        import numpy as np
+
+        from repro.trace.blocks import blocks_from_arrays
+
+        rng = np.random.default_rng(42)
+        n = n_blocks * 60
+        return blocks_from_arrays(
+            rng.integers(0, 12, size=n).astype(np.int64),
+            rng.integers(50, 58, size=n).astype(np.int64),
+            block_size=60,
+        )
+
+    @pytest.mark.parametrize(
+        "strategy_cls",
+        [StaticRuleset, SlidingWindow, LazySlidingWindow, AdaptiveSlidingWindow],
+    )
+    def test_generator_run_equals_list_run(self, strategy_cls):
+        blocks = self.realistic_blocks()
+        from_list = strategy_cls(min_support_count=2).run(blocks)
+        from_generator = strategy_cls(min_support_count=2).run(iter(blocks))
+        assert from_generator == from_list
+
+    @pytest.mark.parametrize(
+        "strategy_cls",
+        [StaticRuleset, SlidingWindow, LazySlidingWindow, AdaptiveSlidingWindow],
+    )
+    def test_generator_with_too_few_blocks(self, strategy_cls):
+        blocks = stationary_blocks(1)
+        with pytest.raises(ValueError):
+            strategy_cls(min_support_count=2).run(iter(blocks))
+
+    def test_lazy_generation_cadence_preserved_on_generator(self):
+        blocks = drifting_blocks(12)
+        eager = LazySlidingWindow(min_support_count=2, laziness=3).run(blocks)
+        lazy = LazySlidingWindow(min_support_count=2, laziness=3).run(iter(blocks))
+        assert lazy.n_generations == eager.n_generations
+        assert [t.fresh_ruleset for t in lazy.trials] == [
+            t.fresh_ruleset for t in eager.trials
+        ]
+
+    def test_run_off_trace_store_matches_in_memory(self, tmp_path):
+        import numpy as np
+
+        from repro.trace.store import write_trace_store
+
+        blocks = self.realistic_blocks()
+        sources = np.concatenate([b.sources for b in blocks])
+        repliers = np.concatenate([b.repliers for b in blocks])
+        reader = write_trace_store(
+            tmp_path / "t.rptrace", sources, repliers, block_size=60
+        )
+        in_memory = SlidingWindow(min_support_count=2).run(blocks)
+        from_store = SlidingWindow(min_support_count=2).run(reader.iter_blocks())
+        assert from_store == in_memory

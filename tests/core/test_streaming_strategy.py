@@ -219,3 +219,18 @@ class TestRuleStats:
         assert support == 6
         assert confidence == pytest.approx(6 / 8)
         assert counts.rule_stats(1, 9) == (0, 0.0)
+
+
+class TestGeneratorInput:
+    @pytest.mark.parametrize("backend", ["exact", "lossy"])
+    def test_generator_run_equals_list_run(self, backend):
+        blocks = drifting_blocks(8)
+        from_list = StreamingRules(min_support_count=2, backend=backend).run(blocks)
+        from_generator = StreamingRules(min_support_count=2, backend=backend).run(
+            iter(blocks)
+        )
+        assert from_generator == from_list
+
+    def test_generator_with_too_few_blocks(self):
+        with pytest.raises(ValueError):
+            StreamingRules(min_support_count=2).run(iter(drifting_blocks(1)))

@@ -91,3 +91,75 @@ class TestAttachedTraceStore:
                 np.testing.assert_array_equal(again, sources)
             finally:
                 attached.close()
+
+
+class TestSpillPath:
+    def test_large_trace_spills_to_disk(self, tmp_path):
+        sources, repliers = columns(4096)
+        with SharedTraceStore(spill_dir=tmp_path, spill_threshold_bytes=1024) as store:
+            handle = store.put("spec", sources, repliers)
+            assert handle.shm_name is None
+            assert handle.path is not None
+            assert len(store) == 1
+            out_sources, out_repliers = store.arrays("spec")
+            np.testing.assert_array_equal(out_sources, sources)
+            np.testing.assert_array_equal(out_repliers, repliers)
+        assert list(tmp_path.iterdir()) == []  # close() unlinked the file
+
+    def test_small_trace_stays_in_shm(self, tmp_path):
+        sources, repliers = columns(8)
+        with SharedTraceStore(spill_dir=tmp_path, spill_threshold_bytes=1 << 20) as store:
+            handle = store.put("spec", sources, repliers)
+            assert handle.shm_name is not None
+            assert handle.path is None
+
+    def test_no_spill_without_spill_dir(self):
+        sources, repliers = columns(4096)
+        with SharedTraceStore(spill_threshold_bytes=1) as store:
+            handle = store.put("spec", sources, repliers)
+            assert handle.path is None
+
+    def test_empty_trace_never_spills(self, tmp_path):
+        empty = np.array([], dtype=np.int64)
+        with SharedTraceStore(spill_dir=tmp_path, spill_threshold_bytes=0) as store:
+            handle = store.put("spec", empty, empty)
+            assert handle.path is None
+            assert len(store.arrays("spec")[0]) == 0
+
+    def test_attached_store_reads_spilled_trace(self, tmp_path):
+        sources, repliers = columns(2048, seed=3)
+        with SharedTraceStore(spill_dir=tmp_path, spill_threshold_bytes=1024) as store:
+            store.put("spec", sources, repliers)
+            handles = pickle.loads(pickle.dumps(store.handles()))
+            attached = AttachedTraceStore(handles)
+            try:
+                out_sources, out_repliers = attached.arrays("spec")
+                np.testing.assert_array_equal(out_sources, sources)
+                np.testing.assert_array_equal(out_repliers, repliers)
+                assert isinstance(out_sources, np.memmap)
+            finally:
+                attached.close()
+
+    def test_spill_put_copies(self, tmp_path):
+        """The spilled file must capture the columns at put() time."""
+        sources, repliers = columns(2048)
+        with SharedTraceStore(spill_dir=tmp_path, spill_threshold_bytes=1024) as store:
+            store.put("spec", sources, repliers)
+            original_first = sources[0]
+            sources[:] = -1
+            assert store.arrays("spec")[0][0] == original_first
+
+    def test_mixed_spill_and_shm_traces(self, tmp_path):
+        big_s, big_r = columns(4096, seed=1)
+        small_s, small_r = columns(8, seed=2)
+        with SharedTraceStore(spill_dir=tmp_path, spill_threshold_bytes=1024) as store:
+            big = store.put("big", big_s, big_r)
+            small = store.put("small", small_s, small_r)
+            assert big.path is not None and small.path is None
+            assert len(store) == 2
+            attached = AttachedTraceStore(store.handles())
+            try:
+                np.testing.assert_array_equal(attached.arrays("big")[0], big_s)
+                np.testing.assert_array_equal(attached.arrays("small")[0], small_s)
+            finally:
+                attached.close()

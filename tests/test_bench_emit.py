@@ -1,0 +1,33 @@
+"""Tests for the shared benchmark emit helpers (benchmarks/_emit.py)."""
+
+import json
+
+from benchmarks._emit import emit_bench_json, peak_rss
+
+
+class TestPeakRss:
+    def test_reports_positive_bytes(self):
+        rss = peak_rss()
+        assert isinstance(rss, int)
+        # A running CPython interpreter is at least a few MB resident.
+        assert rss > 4 * 1024 * 1024
+
+    def test_monotonic_non_decreasing(self):
+        before = peak_rss()
+        ballast = bytearray(8 * 1024 * 1024)  # push the high-water mark
+        ballast[::4096] = b"x" * len(ballast[::4096])
+        assert peak_rss() >= before
+
+
+class TestEmitBenchJson:
+    def test_payload_gets_peak_rss(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("BENCH_OUTPUT_DIR", str(tmp_path))
+        path = emit_bench_json("unit", {"metric": 1})
+        payload = json.loads(open(path).read())
+        assert payload["metric"] == 1
+        assert payload["peak_rss_bytes"] > 0
+
+    def test_producer_supplied_rss_kept(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("BENCH_OUTPUT_DIR", str(tmp_path))
+        path = emit_bench_json("unit", {"peak_rss_bytes": 123})
+        assert json.loads(open(path).read())["peak_rss_bytes"] == 123

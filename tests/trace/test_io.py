@@ -58,3 +58,58 @@ class TestReplyRoundtrip:
         path = tmp_path / "empty.tsv"
         write_replies(path, [])
         assert len(read_replies(path)) == 0
+
+
+class TestChunkedReads:
+    def _many_queries(self, n=23):
+        return [
+            QueryRecord(time=float(i), guid=i, source=i % 5, query_string=f"q {i}")
+            for i in range(n)
+        ]
+
+    def test_chunk_size_does_not_change_result(self, tmp_path):
+        path = tmp_path / "queries.tsv"
+        write_queries(path, self._many_queries())
+        baseline = read_queries(path)
+        for chunk_size in (1, 2, 7, 23, 1000):
+            table = read_queries(path, chunk_size=chunk_size)
+            assert len(table) == len(baseline)
+            assert table.row(22) == baseline.row(22)
+
+    def test_reply_chunk_sizes(self, tmp_path):
+        path = tmp_path / "replies.tsv"
+        records = [
+            ReplyRecord(time=float(i), guid=i, replier=i, host=i, file_name=f"f {i}")
+            for i in range(11)
+        ]
+        write_replies(path, records)
+        assert len(read_replies(path, chunk_size=4)) == 11
+
+    def test_rejects_bad_chunk_size(self, tmp_path):
+        path = tmp_path / "queries.tsv"
+        write_queries(path, self._many_queries(3))
+        with pytest.raises(ValueError):
+            read_queries(path, chunk_size=0)
+
+    def test_row_iterators_stream_lazily(self, tmp_path):
+        from repro.trace.io import iter_query_rows, iter_reply_rows
+
+        qpath = tmp_path / "queries.tsv"
+        write_queries(qpath, self._many_queries(5))
+        it = iter_query_rows(qpath)
+        assert next(it) == (0.0, 0, 0, "q 0")
+        assert len(list(it)) == 4
+
+        rpath = tmp_path / "replies.tsv"
+        write_replies(
+            rpath, [ReplyRecord(time=1.0, guid=2, replier=3, host=4, file_name="x y")]
+        )
+        assert list(iter_reply_rows(rpath)) == [(1.0, 2, 3, 4, "x y")]
+
+    def test_row_iterator_bad_header(self, tmp_path):
+        from repro.trace.io import iter_query_rows
+
+        path = tmp_path / "bogus.tsv"
+        path.write_text("nope\n")
+        with pytest.raises(ValueError):
+            next(iter_query_rows(path))

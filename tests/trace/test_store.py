@@ -1,0 +1,248 @@
+"""Tests for the on-disk columnar trace store (repro.trace.store)."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.trace.blocks import PairBlock, blocks_from_arrays, blocks_from_store
+from repro.trace.store import (
+    TraceStoreCorruption,
+    TraceStoreError,
+    TraceStoreReader,
+    TraceStoreWriter,
+    iter_store_blocks,
+    write_trace_store,
+)
+
+
+def columns(n=100, seed=0):
+    rng = np.random.default_rng(seed)
+    return (
+        rng.integers(0, 50, size=n).astype(np.int64),
+        rng.integers(100, 150, size=n).astype(np.int64),
+    )
+
+
+def make_store(path, n=250, block_size=100, seed=0, **kwargs):
+    sources, repliers = columns(n, seed)
+    reader = write_trace_store(path, sources, repliers, block_size=block_size, **kwargs)
+    return reader, sources, repliers
+
+
+class TestRoundTrip:
+    def test_blocks_match_in_memory_partition(self, tmp_path):
+        path = tmp_path / "t.rptrace"
+        reader, sources, repliers = make_store(
+            path, n=250, block_size=100, drop_partial=False
+        )
+        expected = blocks_from_arrays(
+            sources, repliers, block_size=100, drop_partial=False
+        )
+        got = list(reader.iter_blocks())
+        assert len(got) == len(expected) == 3
+        for mem, disk in zip(expected, got):
+            assert disk.index == mem.index
+            np.testing.assert_array_equal(disk.sources, mem.sources)
+            np.testing.assert_array_equal(disk.repliers, mem.repliers)
+            assert disk.fingerprint() == mem.fingerprint()
+            np.testing.assert_array_equal(disk.packed_keys(), mem.packed_keys())
+
+    def test_drop_partial_tail(self, tmp_path):
+        reader, _, _ = make_store(tmp_path / "t.rptrace", n=250, block_size=100)
+        assert reader.n_blocks == 2
+        assert reader.n_pairs == 200
+
+    def test_chunked_appends_equal_single_append(self, tmp_path):
+        sources, repliers = columns(500)
+        with TraceStoreWriter(tmp_path / "a.rptrace", block_size=64) as w:
+            for lo in range(0, 500, 7):  # ragged chunks crossing block edges
+                w.append(sources[lo : lo + 7], repliers[lo : lo + 7])
+        with TraceStoreWriter(tmp_path / "b.rptrace", block_size=64) as w:
+            w.append(sources, repliers)
+        a = TraceStoreReader(tmp_path / "a.rptrace")
+        b = TraceStoreReader(tmp_path / "b.rptrace")
+        assert a.n_blocks == b.n_blocks
+        for i in range(a.n_blocks):
+            np.testing.assert_array_equal(a.block(i).sources, b.block(i).sources)
+            assert a.block(i).fingerprint() == b.block(i).fingerprint()
+
+    def test_append_block_direct(self, tmp_path):
+        sources, repliers = columns(80)
+        block = PairBlock(sources=sources, repliers=repliers, index=0)
+        with TraceStoreWriter(tmp_path / "t.rptrace", block_size=80) as w:
+            w.append_block(block)
+        reader = TraceStoreReader(tmp_path / "t.rptrace")
+        assert reader.n_blocks == 1
+        assert reader.block(0).fingerprint() == block.fingerprint()
+
+    def test_append_block_rejects_buffered_pairs(self, tmp_path):
+        sources, repliers = columns(80)
+        with TraceStoreWriter(tmp_path / "t.rptrace", block_size=100) as w:
+            w.append(sources[:10], repliers[:10])
+            assert w.pending_pairs == 10
+            with pytest.raises(TraceStoreError):
+                w.append_block(PairBlock(sources=sources, repliers=repliers))
+            w.append(sources[10:], repliers[10:])  # still usable
+
+    def test_without_packed_segment(self, tmp_path):
+        reader, sources, _ = make_store(
+            tmp_path / "t.rptrace", n=200, block_size=100, include_packed=False
+        )
+        assert not reader.has_packed
+        block = reader.block(0)
+        expected = blocks_from_arrays(sources[:100], reader.block(0).repliers, block_size=100)
+        np.testing.assert_array_equal(
+            block.packed_keys(), expected[0].packed_keys()
+        )
+
+    def test_iter_store_blocks_and_blocks_from_store(self, tmp_path):
+        path = tmp_path / "t.rptrace"
+        make_store(path, n=200, block_size=100)
+        assert sum(len(b) for b in iter_store_blocks(path)) == 200
+        reader = TraceStoreReader(path)
+        assert [b.index for b in blocks_from_store(reader)] == [0, 1]
+        assert [b.index for b in blocks_from_store(path)] == [0, 1]
+
+
+class TestPreseededMemoization:
+    def test_fingerprint_and_packed_preseeded(self, tmp_path, monkeypatch):
+        """Store-resident blocks must not re-hash or re-pack columns."""
+        path = tmp_path / "t.rptrace"
+        make_store(path, n=200, block_size=100)
+        block = TraceStoreReader(path).block(0)
+
+        import repro.core.generation as generation
+
+        def boom(*a, **k):  # pragma: no cover - failure path
+            raise AssertionError("pack_pair_keys called on a preseeded block")
+
+        monkeypatch.setattr(generation, "pack_pair_keys", boom)
+        block.packed_keys()  # served from the store's packed segment
+        assert len(block.fingerprint()) == 32
+
+    def test_writer_packs_each_block_exactly_once(self, tmp_path, monkeypatch):
+        """The writer reuses PairBlock.packed_keys memoization: one
+        pack_pair_keys call per block even though fingerprinting,
+        writing, and validation all touch the keys."""
+        import repro.core.generation as generation
+
+        calls = {"n": 0}
+        real = generation.pack_pair_keys
+
+        def counting(*args, **kwargs):
+            calls["n"] += 1
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(generation, "pack_pair_keys", counting)
+        sources, repliers = columns(300)
+        with TraceStoreWriter(tmp_path / "t.rptrace", block_size=100) as w:
+            w.append(sources, repliers)
+        assert calls["n"] == 3  # exactly one pack per written block
+
+
+class TestCorruption:
+    def test_truncated_footer_recovers_all_blocks(self, tmp_path):
+        path = tmp_path / "t.rptrace"
+        make_store(path, n=300, block_size=100)
+        data = path.read_bytes()
+        path.write_bytes(data[:-25])  # tear the trailer
+        reader = TraceStoreReader(path)
+        assert reader.recovered
+        assert reader.n_blocks == 3
+        assert reader.n_pairs == 300
+
+    def test_mid_write_crash_leaves_complete_blocks_readable(self, tmp_path):
+        path = tmp_path / "t.rptrace"
+        sources, repliers = columns(250)
+        writer = TraceStoreWriter(path, block_size=100)
+        writer.append(sources, repliers)  # 2 complete blocks + 50 pending
+        writer.abandon()  # simulated crash: no footer, no tail flush
+        reader = TraceStoreReader(path)
+        assert reader.recovered
+        assert reader.n_blocks == 2
+        np.testing.assert_array_equal(reader.block(1).sources, sources[100:200])
+
+    def test_exception_in_writer_context_abandons(self, tmp_path):
+        path = tmp_path / "t.rptrace"
+        sources, repliers = columns(150)
+        with pytest.raises(RuntimeError):
+            with TraceStoreWriter(path, block_size=100) as w:
+                w.append(sources, repliers)
+                raise RuntimeError("crash")
+        reader = TraceStoreReader(path)
+        assert reader.recovered
+        assert reader.n_blocks == 1
+
+    def test_bad_fingerprint_detected_by_verify(self, tmp_path):
+        path = tmp_path / "t.rptrace"
+        make_store(path, n=300, block_size=100)
+        clean = TraceStoreReader(path)
+        offset = clean._entries[1].offset  # corrupt a byte inside block 1
+        expected_first = np.array(clean.block(0).sources)
+        data = bytearray(path.read_bytes())
+        data[offset + 40] ^= 0xFF
+        path.write_bytes(bytes(data))
+        # Footer fast path still lists 3 blocks; verify=True truncates at
+        # the first bad fingerprint.
+        verified = TraceStoreReader(path, verify=True)
+        assert verified.n_blocks == 1
+        np.testing.assert_array_equal(verified.block(0).sources, expected_first)
+        assert TraceStoreReader(path).verify_blocks() == 1
+        with pytest.raises(TraceStoreCorruption):
+            TraceStoreReader(path).verify_blocks(strict=True)
+
+    def test_bad_fingerprint_stops_footerless_scan(self, tmp_path):
+        path = tmp_path / "t.rptrace"
+        make_store(path, n=300, block_size=100)
+        offset = TraceStoreReader(path)._entries[1].offset
+        data = bytearray(path.read_bytes())
+        data[offset + 40] ^= 0xFF
+        path.write_bytes(bytes(data[:-25]))  # bad block AND torn footer
+        reader = TraceStoreReader(path)
+        assert reader.recovered
+        assert reader.n_blocks == 1
+
+    def test_not_a_store_file(self, tmp_path):
+        path = tmp_path / "bogus.rptrace"
+        path.write_bytes(b"definitely not a trace store")
+        with pytest.raises(TraceStoreError):
+            TraceStoreReader(path)
+
+    def test_bad_trailer_crc_falls_back_to_scan(self, tmp_path):
+        path = tmp_path / "t.rptrace"
+        make_store(path, n=200, block_size=100)
+        data = bytearray(path.read_bytes())
+        # Flip a byte inside the footer index (covered by the trailer CRC).
+        trailer = data[-40:]
+        index_offset = struct.unpack("<8sQQQII", bytes(trailer))[1]
+        data[index_offset + 3] ^= 0xFF
+        path.write_bytes(bytes(data))
+        reader = TraceStoreReader(path)
+        assert reader.recovered  # footer rejected, block scan succeeded
+        assert reader.n_blocks == 2
+
+
+class TestValidation:
+    def test_rejects_mismatched_columns(self, tmp_path):
+        sources, repliers = columns(50)
+        with TraceStoreWriter(tmp_path / "t.rptrace") as w:
+            with pytest.raises(ValueError):
+                w.append(sources, repliers[:-1])
+
+    def test_empty_store_round_trips(self, tmp_path):
+        path = tmp_path / "t.rptrace"
+        with TraceStoreWriter(path):
+            pass
+        reader = TraceStoreReader(path)
+        assert reader.n_blocks == 0
+        assert list(reader.iter_blocks()) == []
+
+    def test_writer_close_is_idempotent(self, tmp_path):
+        path = tmp_path / "t.rptrace"
+        w = TraceStoreWriter(path, block_size=10)
+        sources, repliers = columns(10)
+        w.append(sources, repliers)
+        w.close()
+        w.close()
+        assert TraceStoreReader(path).n_blocks == 1
