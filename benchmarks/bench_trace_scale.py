@@ -1,8 +1,9 @@
 """Out-of-core trace store scale gate (``python -m benchmarks.bench_trace_scale``).
 
-Proves the three claims behind :mod:`repro.trace.store` (the paper's full
-regime is 10.5M query–reply pairs — far past what the in-memory path
-should be asked to hold twice):
+Proves the claims behind :mod:`repro.trace.store` and
+:mod:`repro.parallel.partition` (the paper's full regime is 10.5M
+query–reply pairs — far past what the in-memory path should be asked to
+hold twice):
 
 * **Write throughput** — the append-only chunked writer streams generator
   output to disk without holding the trace; pairs/sec written is recorded.
@@ -13,9 +14,16 @@ should be asked to hold twice):
   subprocesses (so each measurement owns its high-water mark) for a base
   store and one ``--growth`` times larger; the gate *asserts* the RSS
   delta stays within a block-sized allowance instead of eyeballing it.
+* **Partitioned speedup** — a 4-worker partitioned evaluation of the base
+  store must merge bit-identical to the serial run, and (full runs only —
+  CI smoke hosts may have 2 cores) deliver >= 2x serial pairs/sec.
+* **Compression round-trip** — a zlib (v2) copy of the base store must
+  shrink the file and evaluate bit-identically to the raw store.
 
-Results land in ``BENCH_trace_scale.json``; a failed gate exits non-zero.
-``--quick`` (CI smoke) scales the base trace down to 100k pairs.
+Results land in ``BENCH_trace_scale.json`` (including
+``partitioned_pairs_per_sec`` and ``compression_ratio``); a failed gate
+exits non-zero.  ``--quick`` (CI smoke) scales the base trace down to
+100k pairs and gates identity but not the speedup ratio.
 """
 
 from __future__ import annotations
@@ -31,6 +39,12 @@ _IDENTITY_STRATEGIES = ("static", "sliding", "lazy", "adaptive")
 
 #: RSS allowance floor for the growth gate (interpreter noise, pools).
 _RSS_FLOOR_BYTES = 48 * 1024 * 1024
+
+#: workers for the partitioned gate (the ISSUE's acceptance shape).
+_PARTITION_WORKERS = 4
+
+#: required partitioned/serial throughput ratio on full (non-quick) runs.
+_PARTITION_SPEEDUP = 2.0
 
 
 def _make_strategy(name: str):
@@ -101,23 +115,105 @@ def _check_bit_identity(store_path: str) -> dict:
     from repro.trace.blocks import blocks_from_arrays
     from repro.trace.store import TraceStoreReader
 
-    reader = TraceStoreReader(store_path)
-    sources = np.concatenate([b.sources for b in reader.iter_blocks()])
-    repliers = np.concatenate([b.repliers for b in reader.iter_blocks()])
-    in_memory = blocks_from_arrays(sources, repliers, block_size=reader.block_size)
+    with TraceStoreReader(store_path) as reader:
+        sources = np.concatenate([b.sources for b in reader.iter_blocks()])
+        repliers = np.concatenate([b.repliers for b in reader.iter_blocks()])
+        block_size = reader.block_size
+    in_memory = blocks_from_arrays(sources, repliers, block_size=block_size)
 
     mismatches = []
     for name in _IDENTITY_STRATEGIES:
         memory_run = _make_strategy(name).run(in_memory)
-        store_run = _make_strategy(name).run(
-            TraceStoreReader(store_path).iter_blocks()
-        )
+        with TraceStoreReader(store_path) as reader:
+            store_run = _make_strategy(name).run(reader.iter_blocks())
         if memory_run != store_run:
             mismatches.append(name)
     return {
         "strategies": list(_IDENTITY_STRATEGIES),
         "identical": not mismatches,
         "mismatched_strategies": mismatches,
+    }
+
+
+def _check_partitioned(store_path: str, *, quick: bool) -> dict:
+    """4-worker partitioned evaluation: merged-run identity + speedup.
+
+    The serial reference is timed in-process right next to the
+    partitioned run so the ratio compares like with like (same host
+    state, same page cache).  Identity is gated always; the >= 2x
+    speedup only on full runs on hosts with >= ``_PARTITION_WORKERS``
+    CPUs — partitioning does not shed work, so a 1–2 core CI smoke host
+    cannot honestly promise 2x.
+    """
+    from repro.parallel.partition import evaluate_store, evaluate_store_partitioned
+
+    strategy = _make_strategy("sliding")
+    t0 = perf_counter()
+    serial_run = evaluate_store(store_path, strategy)
+    serial_seconds = perf_counter() - t0
+
+    from repro.trace.store import TraceStoreReader
+
+    with TraceStoreReader(store_path) as reader:
+        n_pairs = reader.n_pairs
+
+    t0 = perf_counter()
+    partitioned_run = evaluate_store_partitioned(
+        store_path, strategy, workers=_PARTITION_WORKERS
+    )
+    partitioned_seconds = perf_counter() - t0
+
+    serial_rate = n_pairs / serial_seconds if serial_seconds else float("inf")
+    partitioned_rate = (
+        n_pairs / partitioned_seconds if partitioned_seconds else float("inf")
+    )
+    speedup = serial_seconds / partitioned_seconds if partitioned_seconds else float("inf")
+    identical = partitioned_run == serial_run
+    cpus = os.cpu_count() or 1
+    gate_speedup = not quick and cpus >= _PARTITION_WORKERS
+    speedup_ok = not gate_speedup or speedup >= _PARTITION_SPEEDUP
+    return {
+        "workers": _PARTITION_WORKERS,
+        "strategy": "sliding",
+        "host_cpus": cpus,
+        "serial_seconds": serial_seconds,
+        "serial_pairs_per_sec": serial_rate,
+        "partitioned_seconds": partitioned_seconds,
+        "partitioned_pairs_per_sec": partitioned_rate,
+        "speedup": speedup,
+        "speedup_required": _PARTITION_SPEEDUP if gate_speedup else None,
+        "identical": identical,
+        "ok": identical and speedup_ok,
+    }
+
+
+def _check_compression(store_path: str, compressed_path: str) -> dict:
+    """Zlib (v2) copy of the store: size ratio + evaluation identity."""
+    from repro.trace.store import TraceStoreReader, TraceStoreWriter
+
+    t0 = perf_counter()
+    with TraceStoreReader(store_path) as reader:
+        with TraceStoreWriter(
+            compressed_path, block_size=reader.block_size, codec="zlib"
+        ) as writer:
+            for block in reader.iter_blocks():
+                writer.append_block(block)
+    compress_seconds = perf_counter() - t0
+
+    strategy = _make_strategy("sliding")
+    with TraceStoreReader(store_path) as reader:
+        raw_run = strategy.run(reader.iter_blocks())
+    with TraceStoreReader(compressed_path) as reader:
+        compressed_run = _make_strategy("sliding").run(reader.iter_blocks())
+
+    raw_bytes = os.path.getsize(store_path)
+    compressed_bytes = os.path.getsize(compressed_path)
+    return {
+        "raw_bytes": raw_bytes,
+        "compressed_bytes": compressed_bytes,
+        "compression_ratio": raw_bytes / compressed_bytes if compressed_bytes else 0.0,
+        "compress_seconds": compress_seconds,
+        "identical": compressed_run == raw_run,
     }
 
 
@@ -239,6 +335,41 @@ def main(argv=None) -> int:
             else f"  MISMATCH in {', '.join(identity['mismatched_strategies'])}"
         )
 
+        print(
+            f"partitioned evaluation ({_PARTITION_WORKERS} workers, "
+            "merged vs serial) ..."
+        )
+        partitioned = _check_partitioned(small_path, quick=args.quick)
+        print(
+            f"  serial {partitioned['serial_pairs_per_sec']:,.0f} pairs/sec, "
+            f"partitioned {partitioned['partitioned_pairs_per_sec']:,.0f} pairs/sec "
+            f"({partitioned['speedup']:.2f}x), "
+            + (
+                "merged run bit-identical"
+                if partitioned["identical"]
+                else "MISMATCH vs serial"
+            )
+        )
+        if not partitioned["ok"]:
+            print(
+                "  FAILED — "
+                + (
+                    "merged run differs from serial"
+                    if not partitioned["identical"]
+                    else f"speedup below {_PARTITION_SPEEDUP:.1f}x"
+                )
+            )
+
+        print("compressed (zlib v2) store round-trip ...")
+        compressed_path = os.path.join(tmp, "base-zlib.rptrace")
+        compression = _check_compression(small_path, compressed_path)
+        print(
+            f"  {compression['raw_bytes'] / 1e6:.1f} MB -> "
+            f"{compression['compressed_bytes'] / 1e6:.1f} MB "
+            f"({compression['compression_ratio']:.2f}x), "
+            + ("evaluation identical" if compression["identical"] else "MISMATCH")
+        )
+
         print("streaming evaluation RSS (spawn subprocesses) ...")
         eval_small = _eval_in_subprocess(small_path)
         eval_large = _eval_in_subprocess(large_path)
@@ -268,6 +399,10 @@ def main(argv=None) -> int:
             "growth": args.growth,
             "write": write,
             "bit_identity": identity,
+            "partitioned": partitioned,
+            "partitioned_pairs_per_sec": partitioned["partitioned_pairs_per_sec"],
+            "compression": compression,
+            "compression_ratio": compression["compression_ratio"],
             "eval_base": eval_small,
             "eval_grown": eval_large,
             "rss_delta_bytes": rss_delta,
@@ -278,7 +413,12 @@ def main(argv=None) -> int:
         path = emit_bench_json("trace_scale", payload)
         print(f"bench json written: {path}")
 
-    ok = identity["identical"] and rss_ok
+    ok = (
+        identity["identical"]
+        and rss_ok
+        and partitioned["ok"]
+        and compression["identical"]
+    )
     if not ok:
         print("GATE FAILED")
     return 0 if ok else 1

@@ -181,6 +181,44 @@ def build_parser() -> argparse.ArgumentParser:
         default=50_000,
         help="pairs generated per writer append (default: 50,000)",
     )
+    tracegen.add_argument(
+        "--codec",
+        choices=("none", "zlib"),
+        default="none",
+        help="compress cold column segments (zlib writes a v2 store; "
+        "default: %(default)s)",
+    )
+    tracegen.add_argument(
+        "--compress-level",
+        type=int,
+        default=6,
+        help="zlib level 1-9 when --codec zlib (default: %(default)s)",
+    )
+
+    trace_eval = sub.add_parser(
+        "trace-eval",
+        help="evaluate a strategy over an on-disk trace store, "
+        "optionally partitioned across worker processes",
+    )
+    trace_eval.add_argument("path", metavar="PATH", help="store file to evaluate")
+    trace_eval.add_argument(
+        "--strategy",
+        choices=("static", "sliding", "lazy", "adaptive", "streaming"),
+        default="sliding",
+        help="mine/test strategy (default: %(default)s)",
+    )
+    trace_eval.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes; 1 = serial streaming run (default: 1)",
+    )
+    trace_eval.add_argument(
+        "--check-serial",
+        action="store_true",
+        help="also run serially and verify the merged partitioned run "
+        "is bit-identical",
+    )
 
     live_node = sub.add_parser(
         "live-node", help="run one live servent daemon over TCP"
@@ -1231,19 +1269,35 @@ def main(argv: list[str] | None = None) -> int:
         from repro.trace.analysis import coverage_ceiling, profile_block, source_turnover
         from repro.trace.blocks import blocks_from_arrays
 
+        def _turnover_report(blocks) -> None:
+            for lag in range(1, min(len(blocks), 4)):
+                turnover = source_turnover(blocks[0], blocks[lag])
+                print(
+                    f"volume from sources unseen in block 0, lag {lag}: {turnover:.3f}"
+                )
+            print(
+                f"in-block coverage ceiling (threshold 10): "
+                f"{coverage_ceiling(blocks[0]):.3f}"
+            )
+
         if args.store is not None:
             from repro.trace.store import TraceStoreReader
 
-            reader = TraceStoreReader(args.store)
-            if reader.recovered:
-                print(f"note: footer missing/corrupt, recovered {reader.n_blocks} block(s)")
-            blocks = []
-            for block in reader.iter_blocks():
-                print(f"block {block.index}: {profile_block(block)}")
-                if len(blocks) < 4:
-                    blocks.append(block)
-                if block.index + 1 >= args.blocks:
-                    break
+            # The report runs inside the with-block: closing the reader
+            # invalidates the retained block views.
+            with TraceStoreReader(args.store) as reader:
+                if reader.recovered:
+                    print(
+                        f"note: footer missing/corrupt, recovered {reader.n_blocks} block(s)"
+                    )
+                blocks = []
+                for block in reader.iter_blocks():
+                    print(f"block {block.index}: {profile_block(block)}")
+                    if len(blocks) < 4:
+                        blocks.append(block)
+                    if block.index + 1 >= args.blocks:
+                        break
+                _turnover_report(blocks)
         else:
             from repro.workload.tracegen import MonitorTraceConfig, MonitorTraceGenerator
 
@@ -1256,10 +1310,7 @@ def main(argv: list[str] | None = None) -> int:
             )
             for block in blocks:
                 print(f"block {block.index}: {profile_block(block)}")
-        for lag in range(1, min(len(blocks), 4)):
-            turnover = source_turnover(blocks[0], blocks[lag])
-            print(f"volume from sources unseen in block 0, lag {lag}: {turnover:.3f}")
-        print(f"in-block coverage ceiling (threshold 10): {coverage_ceiling(blocks[0]):.3f}")
+            _turnover_report(blocks)
         return 0
 
     if args.command == "tracegen":
@@ -1275,9 +1326,15 @@ def main(argv: list[str] | None = None) -> int:
             print("nothing to generate (need at least 1 pair)", file=sys.stderr)
             return 2
         generator = MonitorTraceGenerator(config, seed=seed)
+        codec = None if args.codec == "none" else args.codec
         written = 0
         t0 = perf_counter()
-        with TraceStoreWriter(args.path, block_size=config.block_size) as writer:
+        with TraceStoreWriter(
+            args.path,
+            block_size=config.block_size,
+            codec=codec,
+            compress_level=args.compress_level,
+        ) as writer:
             while written < total:
                 n = min(max(args.chunk_size, 1), total - written)
                 arrays = generator.generate_pair_arrays(n)
@@ -1286,10 +1343,64 @@ def main(argv: list[str] | None = None) -> int:
             n_blocks = writer.n_blocks + (1 if writer.pending_pairs else 0)
         seconds = perf_counter() - t0
         rate = written / seconds if seconds else float("inf")
+        note = f", codec {codec}" if codec else ""
         print(
             f"wrote {written:,} pairs / {n_blocks} block(s) to {args.path} "
-            f"in {seconds:.2f}s ({rate:,.0f} pairs/sec, seed {seed})"
+            f"in {seconds:.2f}s ({rate:,.0f} pairs/sec, seed {seed}{note})"
         )
+        return 0
+
+    if args.command == "trace-eval":
+        from time import perf_counter
+
+        from repro.core.streaming import StreamingRules
+        from repro.core.strategies import (
+            AdaptiveSlidingWindow,
+            LazySlidingWindow,
+            SlidingWindow,
+            StaticRuleset,
+        )
+        from repro.parallel.partition import (
+            evaluate_store,
+            evaluate_store_partitioned,
+        )
+        from repro.trace.store import TraceStoreError, TraceStoreReader
+
+        factories = {
+            "static": StaticRuleset,
+            "sliding": SlidingWindow,
+            "lazy": LazySlidingWindow,
+            "adaptive": AdaptiveSlidingWindow,
+            "streaming": StreamingRules,
+        }
+        strategy = factories[args.strategy]()
+        try:
+            with TraceStoreReader(args.path) as reader:
+                n_pairs = reader.n_pairs
+                n_blocks = reader.n_blocks
+        except (OSError, TraceStoreError) as exc:
+            _log.error("cannot open trace store", extra={"error": str(exc)})
+            return 2
+        t0 = perf_counter()
+        run = evaluate_store_partitioned(
+            args.path, strategy, workers=max(args.workers, 1)
+        )
+        seconds = perf_counter() - t0
+        rate = n_pairs / seconds if seconds else float("inf")
+        print(
+            f"{run.strategy_name} over {n_blocks} block(s) / {n_pairs:,} pairs "
+            f"with {max(args.workers, 1)} worker(s): "
+            f"trials={run.n_trials} avg_coverage={run.average_coverage:.3f} "
+            f"avg_success={run.average_success:.3f} "
+            f"generations={run.n_generations} "
+            f"({seconds:.2f}s, {rate:,.0f} pairs/sec)"
+        )
+        if args.check_serial:
+            serial = evaluate_store(args.path, strategy)
+            if serial != run:
+                print("MISMATCH: partitioned run differs from serial", file=sys.stderr)
+                return 1
+            print("serial check: bit-identical")
         return 0
 
     return 2  # pragma: no cover - argparse enforces the command set

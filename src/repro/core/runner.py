@@ -5,6 +5,11 @@ A strategy consumes the trace's block sequence and produces a
 aggregate statistics.  The aggregates mirror how the paper reports results
 ("the average coverage was 0.80", "new rule sets were generated every 1.7
 blocks").
+
+Partitioned evaluation (:mod:`repro.parallel.partition`) splits one trace
+across workers by block range; each worker produces a partial
+:class:`StrategyRun` over its scored range, and :func:`merge_runs`
+reassembles the partials into the run the serial loop would have produced.
 """
 
 from __future__ import annotations
@@ -16,7 +21,7 @@ from repro.core.evaluation import RulesetTestResult
 from repro.trace.blocks import PairBlock
 from repro.utils.stats import SeriesSummary, summarize_series
 
-__all__ = ["TrialResult", "StrategyRun", "run_strategy"]
+__all__ = ["TrialResult", "StrategyRun", "run_strategy", "merge_runs"]
 
 
 @dataclass(frozen=True)
@@ -64,6 +69,12 @@ class StrategyRun:
 
     @property
     def average_coverage(self) -> float:
+        """Mean per-trial coverage; ``nan`` for a run with no trials.
+
+        ``nan`` marks "no data" for display, but must never be folded
+        into cross-partition aggregates — :func:`merge_runs` skips empty
+        partials instead of averaging them.
+        """
         series = self.coverage_series
         return sum(series) / len(series) if series else float("nan")
 
@@ -89,6 +100,13 @@ class StrategyRun:
     def success_summary(self) -> SeriesSummary:
         return summarize_series(self.success_series)
 
+    def merge(self, *others: "StrategyRun") -> "StrategyRun":
+        """Merge this run with partial runs over other block ranges.
+
+        Convenience instance form of :func:`merge_runs`.
+        """
+        return merge_runs([self, *others])
+
     def __str__(self) -> str:  # pragma: no cover - display convenience
         return (
             f"{self.strategy_name}: trials={self.n_trials} "
@@ -96,6 +114,52 @@ class StrategyRun:
             f"avg_success={self.average_success:.3f} "
             f"generations={self.n_generations}"
         )
+
+
+def merge_runs(runs: Iterable[StrategyRun]) -> StrategyRun:
+    """Reassemble partial runs over disjoint block ranges into one run.
+
+    Trials are concatenated in block order and ``n_generations`` summed,
+    so merging every partition of a trace reproduces the serial run
+    bit-for-bit (each partial counts only the generations the serial
+    loop would have performed inside its scored range).
+
+    Empty partials are skipped rather than merged: a partition whose
+    scored range held only warm-up blocks contributes no trials, and its
+    ``nan`` aggregate averages must not poison the merged aggregates.
+    Merging runs of *different* strategies raises ``ValueError`` — a
+    mixed merge is always a caller bug, and silently concatenating would
+    produce a run no strategy ever executed.
+    """
+    runs = list(runs)
+    if not runs:
+        raise ValueError("merge_runs needs at least one run")
+    names = {run.strategy_name for run in runs}
+    if len(names) > 1:
+        raise ValueError(
+            f"cannot merge runs of different strategies: {sorted(names)}"
+        )
+    name = runs[0].strategy_name
+    partials = sorted(
+        (run for run in runs if run.n_trials),
+        key=lambda run: run.trials[0].block_index,
+    )
+    if not partials:
+        return StrategyRun(name, (), n_generations=0)
+    trials: list[TrialResult] = []
+    for partial in partials:
+        trials.extend(partial.trials)
+    indices = [t.block_index for t in trials]
+    if any(b <= a for a, b in zip(indices, indices[1:])):
+        raise ValueError(
+            "partial runs overlap or repeat block indices; partitions "
+            "must cover disjoint block ranges"
+        )
+    return StrategyRun(
+        name,
+        tuple(trials),
+        n_generations=sum(partial.n_generations for partial in partials),
+    )
 
 
 def run_strategy(strategy, blocks: Iterable[PairBlock]) -> StrategyRun:

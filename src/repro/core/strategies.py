@@ -21,8 +21,9 @@ exists).
 from __future__ import annotations
 
 import abc
+from dataclasses import replace
 from time import perf_counter
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Sequence
 
 from repro.core.evaluation import RulesetTestResult, ruleset_test
 from repro.core.rules import RuleSet
@@ -106,6 +107,59 @@ class RulesetStrategy(abc.ABC):
         the previous block.
         """
 
+    # -- partitioned evaluation ---------------------------------------------
+    # A trace can be split across workers by contiguous block range
+    # (repro.parallel.partition).  Each strategy declares which blocks
+    # must *precede* a shard's scored range to reproduce the serial
+    # rule-set state at the shard boundary, and run_partition() replays
+    # warm-up + scored blocks, keeping only the scored trials.
+
+    def partition_warmup(
+        self, scored_start: int, block_pairs: Sequence[int] | None = None
+    ) -> Sequence[int]:
+        """Block indices needed before ``scored_start`` to seed state.
+
+        The returned indices are streamed (in order) ahead of the scored
+        range; trials they produce are discarded by
+        :meth:`run_partition`.  The base implementation is the safe
+        fallback — the full prefix, which replays the serial run exactly
+        and is therefore always bit-identical (used by strategies whose
+        state is unboundedly history-dependent, e.g. adaptive
+        thresholds).  Subclasses with bounded lookback override it.
+
+        ``block_pairs`` (per-block pair counts, e.g. from a store's
+        footer index) is only consulted by strategies whose warm-up is
+        denominated in pairs rather than blocks.
+        """
+        if scored_start < 1:
+            raise ValueError("scored_start must be >= 1 (block 0 only trains)")
+        return range(0, scored_start)
+
+    def run_partition(
+        self, blocks: Iterable[PairBlock], scored_start: int
+    ) -> StrategyRun:
+        """Run over warm-up + scored blocks, keeping only scored trials.
+
+        ``blocks`` must stream exactly
+        ``partition_warmup(scored_start)`` followed by the shard's
+        scored range.  ``n_generations`` of the returned partial run
+        counts only generations the serial loop would have performed
+        *inside* the scored range (a generation fires at the trial whose
+        ``fresh_ruleset`` flag it sets, so the kept-fresh count is that
+        attribution), which is what makes
+        :func:`~repro.core.runner.merge_runs` totals equal the serial
+        run's.
+        """
+        if scored_start < 1:
+            raise ValueError("scored_start must be >= 1 (block 0 only trains)")
+        run = self.run(blocks)
+        kept = tuple(t for t in run.trials if t.block_index >= scored_start)
+        return StrategyRun(
+            self.name,
+            kept,
+            n_generations=sum(1 for t in kept if t.fresh_ruleset),
+        )
+
     def _stream(self, blocks: Iterable[PairBlock]) -> tuple[PairBlock, Iterator[PairBlock]]:
         """Split a block stream into (training block, test-block iterator).
 
@@ -134,6 +188,30 @@ class StaticRuleset(RulesetStrategy):
 
     name = "static"
 
+    def partition_warmup(
+        self, scored_start: int, block_pairs: Sequence[int] | None = None
+    ) -> Sequence[int]:
+        # The only state is the rule set mined from block 0; a shard
+        # anywhere in the trace needs just that one training block.
+        super().partition_warmup(scored_start, block_pairs)
+        return (0,)
+
+    def run_partition(
+        self, blocks: Iterable[PairBlock], scored_start: int
+    ) -> StrategyRun:
+        run = super().run_partition(blocks, scored_start)
+        if scored_start > 1 and run.trials and run.trials[0].fresh_ruleset:
+            # The shard re-mined block 0 locally, so its first trial
+            # reports a fresh rule set — but serially only block 1's
+            # trial follows the (single) generation.  Clear the flag so
+            # merged partials equal the serial run, and leave the one
+            # real generation to the shard that scored block 1.
+            first = replace(run.trials[0], fresh_ruleset=False)
+            run = StrategyRun(
+                run.strategy_name, (first,) + run.trials[1:], n_generations=0
+            )
+        return run
+
     def run(self, blocks: Iterable[PairBlock]) -> StrategyRun:
         train, rest = self._stream(blocks)
         ruleset = self._generate(train)
@@ -154,6 +232,14 @@ class SlidingWindow(RulesetStrategy):
     """SLIDING-WINDOW: regenerate from block b-1 before testing block b."""
 
     name = "sliding"
+
+    def partition_warmup(
+        self, scored_start: int, block_pairs: Sequence[int] | None = None
+    ) -> Sequence[int]:
+        # The rule set tested against block b is always mined from block
+        # b-1: one overlapping prefix block fully seeds the shard.
+        super().partition_warmup(scored_start, block_pairs)
+        return (scored_start - 1,)
 
     def run(self, blocks: Iterable[PairBlock]) -> StrategyRun:
         previous, rest = self._stream(blocks)
@@ -189,6 +275,18 @@ class LazySlidingWindow(RulesetStrategy):
         if laziness < 1:
             raise ValueError("laziness must be >= 1")
         self.laziness = int(laziness)
+
+    def partition_warmup(
+        self, scored_start: int, block_pairs: Sequence[int] | None = None
+    ) -> Sequence[int]:
+        # The regeneration schedule is fixed (every ``laziness`` trials
+        # from block 0), so the serial rule set in force at block b was
+        # mined from the last schedule point g <= b-1.  Streaming from g
+        # re-aligns the shard's trials-since-generation counter with the
+        # serial schedule: at most ``laziness`` warm-up blocks.
+        super().partition_warmup(scored_start, block_pairs)
+        g = ((scored_start - 1) // self.laziness) * self.laziness
+        return range(g, scored_start)
 
     def run(self, blocks: Iterable[PairBlock]) -> StrategyRun:
         previous, rest = self._stream(blocks)
@@ -246,6 +344,15 @@ class AdaptiveSlidingWindow(RulesetStrategy):
         self.slack = float(slack)
         if self.history < 1:
             raise ValueError("history must be >= 1")
+
+    # partition_warmup: inherited full-prefix fallback.  The rolling
+    # coverage/success thresholds observe every trial, and each observed
+    # value depends on the rule set then in force — whose generation
+    # points are data-dependent — so the state at a shard boundary has
+    # no bounded lookback.  Replaying the full prefix is the only
+    # bit-identical warm-up; partitioned adaptive runs therefore gain
+    # correctness/uniform plumbing, not wall-clock (documented in
+    # docs/performance.md).
 
     def run(self, blocks: Iterable[PairBlock]) -> StrategyRun:
         previous, rest = self._stream(blocks)

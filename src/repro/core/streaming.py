@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from collections import deque
 from time import perf_counter
-from typing import Iterable
+from typing import Iterable, Sequence
 
 from repro.core.evaluation import RulesetTestResult
 from repro.core.runner import StrategyRun, TrialResult
@@ -341,6 +341,44 @@ class StreamingRules:
         if self.backend == "exact":
             return _ExactWindowCounts(self.window_pairs, self.min_support_count)
         return _LossyCounts(self.epsilon, self.min_support_count)
+
+    def partition_warmup(
+        self, scored_start: int, block_pairs: Sequence[int] | None = None
+    ) -> Sequence[int]:
+        """Blocks needed before ``scored_start`` for partitioned runs.
+
+        The exact backend's entire state is the sliding window of the
+        last ``window_pairs`` pairs, so enough trailing blocks to cover
+        that many pairs reproduce it bit-for-bit (``block_pairs`` —
+        per-block pair counts — sizes that tail; without it the full
+        prefix is the safe fallback).  The lossy sketch accumulates over
+        the whole history, so it always warms from block 0.
+        """
+        if scored_start < 1:
+            raise ValueError("scored_start must be >= 1 (block 0 only warms)")
+        if self.backend != "exact" or block_pairs is None:
+            return range(0, scored_start)
+        start, covered = scored_start, 0
+        while start > 0 and covered < self.window_pairs:
+            start -= 1
+            covered += int(block_pairs[start])
+        return range(start, scored_start)
+
+    def run_partition(
+        self, blocks: Iterable[PairBlock], scored_start: int
+    ) -> StrategyRun:
+        """Run over warm-up + scored blocks, keeping only scored trials.
+
+        Warm-up blocks past the first are scored and discarded (scoring
+        never mutates the counts, so the final state matches push-only
+        warm-up).  ``n_generations`` stays 0 — streaming maintenance has
+        no batch generations to attribute, in partials or merged runs.
+        """
+        if scored_start < 1:
+            raise ValueError("scored_start must be >= 1 (block 0 only warms)")
+        run = self.run(blocks)
+        kept = tuple(t for t in run.trials if t.block_index >= scored_start)
+        return StrategyRun(self.name, kept, n_generations=0)
 
     def run(self, blocks: Iterable[PairBlock]) -> StrategyRun:
         """Prequentially process ``blocks`` (any iterable, e.g. a store

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 __all__ = [
     "AttachedTraceStore",
+    "BlockShard",
     "CachingTraceProvider",
     "EngineRun",
     "ExperimentTask",
@@ -25,10 +26,14 @@ __all__ = [
     "cached_generate_ruleset",
     "configure_ruleset_cache",
     "disable_ruleset_cache",
+    "evaluate_store",
+    "evaluate_store_partitioned",
     "get_ruleset_cache",
+    "plan_shards",
     "provide_pair_columns",
     "ruleset_cache",
     "run_experiments",
+    "run_shard",
     "trace_key",
 ]
 
@@ -54,6 +59,13 @@ _ENGINE_NAMES = {
     "TaskOutcome",
     "run_experiments",
 }
+_PARTITION_NAMES = {
+    "BlockShard",
+    "evaluate_store",
+    "evaluate_store_partitioned",
+    "plan_shards",
+    "run_shard",
+}
 
 
 def __getattr__(name: str):
@@ -65,6 +77,8 @@ def __getattr__(name: str):
         from repro.parallel import provider as module
     elif name in _ENGINE_NAMES:
         from repro.parallel import engine as module
+    elif name in _PARTITION_NAMES:
+        from repro.parallel import partition as module
     else:
         raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
     return getattr(module, name)

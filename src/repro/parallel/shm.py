@@ -71,12 +71,11 @@ def _views(buf, n_pairs: int) -> tuple[np.ndarray, np.ndarray]:
     return sources, repliers
 
 
-def _spill_arrays(path: str) -> tuple[np.ndarray, np.ndarray]:
-    """Memmap (sources, repliers) from a single-block spill store file."""
+def _open_spill(path: str):
+    """Open a single-block spill store file for column memmaps."""
     from repro.trace.store import TraceStoreReader
 
-    reader = TraceStoreReader(path)
-    return reader.columns(0)
+    return TraceStoreReader(path)
 
 
 class SharedTraceStore:
@@ -97,6 +96,7 @@ class SharedTraceStore:
         self._segments: dict[object, shared_memory.SharedMemory] = {}
         self._handles: dict[object, TraceHandle] = {}
         self._spill_paths: dict[object, str] = {}
+        self._spill_readers: dict[object, object] = {}
         self._spill_dir = os.fspath(spill_dir) if spill_dir is not None else None
         self._spill_threshold = int(spill_threshold_bytes)
         self._spill_counter = 0
@@ -151,7 +151,14 @@ class SharedTraceStore:
         """Zero-copy views of a stored trace (parent-side reuse)."""
         handle = self._handles[key]
         if handle.path is not None:
-            return _spill_arrays(handle.path)
+            # One cached reader per spilled trace: repeated lookups reuse
+            # its mappings instead of leaking a fresh fd pair per call,
+            # and close() can release them deterministically.
+            reader = self._spill_readers.get(key)
+            if reader is None:
+                reader = _open_spill(handle.path)
+                self._spill_readers[key] = reader
+            return reader.columns(0)
         shm = self._segments[key]
         return _views(shm.buf, handle.n_pairs)
 
@@ -163,19 +170,27 @@ class SharedTraceStore:
         return len(self._handles)
 
     def close(self) -> None:
-        """Release and unlink every owned segment and spill file."""
+        """Release and unlink every owned segment and spill file.
+
+        Idempotent: a second close finds everything already cleared.
+        Spill readers close *before* their files are unlinked so the
+        deletes succeed even on platforms that lock mapped files.
+        """
         for shm in self._segments.values():
             try:
                 shm.close()
                 shm.unlink()
             except FileNotFoundError:  # already unlinked (double close)
                 pass
+        for reader in self._spill_readers.values():
+            reader.close()
         for path in self._spill_paths.values():
             try:
                 os.unlink(path)
             except FileNotFoundError:
                 pass
         self._segments.clear()
+        self._spill_readers.clear()
         self._spill_paths.clear()
         self._handles.clear()
 
@@ -187,11 +202,17 @@ class SharedTraceStore:
 
 
 class AttachedTraceStore:
-    """Worker-side view of the parent's shared trace segments."""
+    """Worker-side view of the parent's shared trace segments.
+
+    Attachments (shm segments, spill-store readers) are cached per trace
+    key and released by :meth:`close` — idempotent, and usable as a
+    context manager for workers with bounded lifetimes.
+    """
 
     def __init__(self, handles: dict[object, TraceHandle]) -> None:
         self._handles = dict(handles)
         self._attached: dict[object, shared_memory.SharedMemory] = {}
+        self._spill_readers: dict[object, object] = {}
 
     def keys(self):
         return self._handles.keys()
@@ -205,7 +226,13 @@ class AttachedTraceStore:
         if handle.path is not None:
             # Spilled trace: memmap the column segments straight off the
             # parent's store file — no shm segment exists for this key.
-            return _spill_arrays(handle.path)
+            # The reader is cached so every lookup reuses one fd + two
+            # mappings instead of accreting new ones over a long run.
+            reader = self._spill_readers.get(key)
+            if reader is None:
+                reader = _open_spill(handle.path)
+                self._spill_readers[key] = reader
+            return reader.columns(0)
         shm = self._attached.get(key)
         if shm is None:
             shm = shared_memory.SharedMemory(name=handle.shm_name)
@@ -224,6 +251,16 @@ class AttachedTraceStore:
         return _views(shm.buf, handle.n_pairs)
 
     def close(self) -> None:
+        """Detach every cached segment and spill reader (double-close safe)."""
         for shm in self._attached.values():
             shm.close()
+        for reader in self._spill_readers.values():
+            reader.close()
         self._attached.clear()
+        self._spill_readers.clear()
+
+    def __enter__(self) -> "AttachedTraceStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

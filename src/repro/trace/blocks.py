@@ -226,10 +226,19 @@ def blocks_from_store(path_or_reader) -> Iterator[PairBlock]:
     is a zero-copy ``np.memmap`` view with packed keys and fingerprint
     pre-seeded, so evaluation over a disk-resident trace keeps O(block)
     memory.  See :mod:`repro.trace.store`.
+
+    When given a *path* this function opens its own reader and closes it
+    once the stream is exhausted (or the generator is closed); a caller
+    that passes an open reader keeps ownership of its lifetime.
     """
     from repro.trace.store import TraceStoreReader
 
     reader = path_or_reader
-    if not hasattr(reader, "iter_blocks"):
-        reader = TraceStoreReader(reader)
-    return reader.iter_blocks()
+    if hasattr(reader, "iter_blocks"):
+        yield from reader.iter_blocks()
+        return
+    reader = TraceStoreReader(reader)
+    try:
+        yield from reader.iter_blocks()
+    finally:
+        reader.close()

@@ -1,40 +1,93 @@
-"""Binary caching of generated pair arrays.
+"""Binary caching of generated pair arrays and trace stores.
 
 Full-scale runs use 3.65M-pair traces; regenerating one for every
 experiment wastes minutes.  :func:`save_pairs` / :func:`load_pairs`
 persist :class:`~repro.workload.tracegen.PairArrays` as compressed
 ``.npz`` (the paper kept its 2.6 GB trace in a database for the same
 reason), and :func:`cached_pairs` is the memoizing wrapper the full-scale
-harness can use.
+harness can use.  :func:`cached_trace_store` is the out-of-core twin:
+it memoizes a generated trace as an on-disk ``.rptrace`` columnar store
+(:mod:`repro.trace.store`) so experiment configs can point straight at a
+store file and stream it with O(block) memory.
+
+Both caches are keyed by *provenance*, not just length: the generating
+``(config, seed)`` pair is hashed (:func:`trace_fingerprint`) and
+stamped into the cache file — an ``npz`` side array, the store header's
+metadata word.  A cache hit requires the stamp to match, so a file left
+behind by an experiment with different knobs is regenerated instead of
+silently reused.  Files written before stamping existed carry no
+fingerprint and are treated as misses with a warning.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
 import os
+import warnings
 
 import numpy as np
 
 from repro.workload.tracegen import MonitorTraceConfig, MonitorTraceGenerator, PairArrays
 
-__all__ = ["save_pairs", "load_pairs", "cached_pairs"]
+__all__ = [
+    "trace_fingerprint",
+    "save_pairs",
+    "load_pairs",
+    "cached_pairs",
+    "cached_trace_store",
+]
 
 _FIELDS = ("time", "source", "replier", "category", "host")
 
+#: npz side-array holding the 64-bit provenance fingerprint.
+_FINGERPRINT_KEY = "__trace_fingerprint__"
 
-def save_pairs(path: str | os.PathLike, arrays: PairArrays) -> None:
-    """Write pair arrays as compressed npz."""
-    np.savez_compressed(
-        path, **{name: getattr(arrays, name) for name in _FIELDS}
+
+def trace_fingerprint(config: MonitorTraceConfig | None, seed: int) -> int:
+    """64-bit provenance hash of a trace's generating parameters.
+
+    Defined over the config's field values (via a canonical JSON
+    encoding) plus the seed, so two configs that compare equal always
+    fingerprint equal, and any knob or seed change produces a different
+    stamp.  ``config=None`` hashes the defaults it stands for.
+    """
+    config = config or MonitorTraceConfig()
+    payload = json.dumps(
+        {"config": dataclasses.asdict(config), "seed": int(seed)},
+        sort_keys=True,
+        default=repr,
     )
+    digest = hashlib.blake2b(payload.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+def save_pairs(
+    path: str | os.PathLike, arrays: PairArrays, *, fingerprint: int | None = None
+) -> None:
+    """Write pair arrays as compressed npz, optionally provenance-stamped."""
+    columns = {name: getattr(arrays, name) for name in _FIELDS}
+    if fingerprint is not None:
+        columns[_FINGERPRINT_KEY] = np.array([fingerprint], dtype=np.uint64)
+    np.savez_compressed(path, **columns)
 
 
 def load_pairs(path: str | os.PathLike) -> PairArrays:
     """Read pair arrays written by :func:`save_pairs`."""
+    arrays, _fingerprint = _load_pairs_stamped(path)
+    return arrays
+
+
+def _load_pairs_stamped(path: str | os.PathLike) -> tuple[PairArrays, int | None]:
     with np.load(path) as data:
         missing = [name for name in _FIELDS if name not in data]
         if missing:
             raise ValueError(f"not a pair-array file: missing {missing}")
-        return PairArrays(**{name: data[name] for name in _FIELDS})
+        fingerprint = None
+        if _FINGERPRINT_KEY in data:
+            fingerprint = int(data[_FINGERPRINT_KEY][0])
+        return PairArrays(**{name: data[name] for name in _FIELDS}), fingerprint
 
 
 def cached_pairs(
@@ -44,23 +97,118 @@ def cached_pairs(
     config: MonitorTraceConfig | None = None,
     seed: int = 0,
 ) -> PairArrays:
-    """Load ``path`` if present and long enough, else generate and save.
+    """Load ``path`` if it matches, else generate, stamp, and save.
 
-    A cached trace longer than requested is sliced to ``n_pairs`` (the
-    prefix of a trace is a valid shorter trace); a shorter one is
-    regenerated from scratch so the cache never silently truncates an
-    experiment.
+    A hit requires the cached file's provenance fingerprint to equal
+    ``trace_fingerprint(config, seed)`` *and* the cached trace to be at
+    least ``n_pairs`` long; a longer trace is sliced to ``n_pairs`` (the
+    prefix of a trace is a valid shorter trace).  A length or
+    fingerprint mismatch regenerates from scratch — the cache never
+    silently hands one experiment another experiment's trace.  Files
+    predating fingerprint stamping are regenerated too (miss with a
+    warning), which upgrades them in place.
     """
     if n_pairs < 0:
         raise ValueError("n_pairs must be non-negative")
     path = os.fspath(path)
+    expected = trace_fingerprint(config, seed)
     if os.path.exists(path):
-        arrays = load_pairs(path)
-        if len(arrays) >= n_pairs:
+        arrays, stamped = _load_pairs_stamped(path)
+        if stamped is None:
+            warnings.warn(
+                f"{path}: cached trace has no provenance fingerprint "
+                "(written by an older release); regenerating",
+                stacklevel=2,
+            )
+        elif stamped == expected and len(arrays) >= n_pairs:
             return PairArrays(
                 **{name: getattr(arrays, name)[:n_pairs] for name in _FIELDS}
             )
     generator = MonitorTraceGenerator(config or MonitorTraceConfig(), seed=seed)
     arrays = generator.generate_pair_arrays(n_pairs)
-    save_pairs(path, arrays)
+    save_pairs(path, arrays, fingerprint=expected)
     return arrays
+
+
+def cached_trace_store(
+    path: str | os.PathLike,
+    n_pairs: int,
+    *,
+    config: MonitorTraceConfig | None = None,
+    seed: int = 0,
+    block_size: int | None = None,
+    codec: str | None = None,
+    compress_level: int = 6,
+):
+    """Open ``path`` as a trace store if it matches, else generate one.
+
+    The out-of-core counterpart of :func:`cached_pairs`: the cache file
+    is a ``.rptrace`` columnar store whose header metadata word carries
+    the provenance fingerprint.  Returns an open
+    :class:`~repro.trace.store.TraceStoreReader` (the caller owns its
+    lifetime — use ``with``); evaluation streams it block by block
+    rather than materializing arrays.
+
+    A hit requires a matching fingerprint, a cleanly-footered store (a
+    torn file is rebuilt), at least ``n_pairs`` stored pairs, and the
+    requested ``block_size`` (stores cannot be cheaply re-blocked).  On
+    a miss the trace is regenerated chunk-by-chunk into a fresh store
+    written with ``codec`` (e.g. ``"zlib"`` for compressed cold
+    segments).
+    """
+    from repro.trace.store import (
+        TraceStoreError,
+        TraceStoreReader,
+        TraceStoreWriter,
+    )
+
+    if n_pairs < 0:
+        raise ValueError("n_pairs must be non-negative")
+    path = os.fspath(path)
+    effective_config = config or MonitorTraceConfig()
+    if block_size is None:
+        block_size = effective_config.block_size
+    expected = trace_fingerprint(config, seed)
+    if os.path.exists(path):
+        reader = None
+        try:
+            reader = TraceStoreReader(path)
+            if reader.meta_fingerprint == 0:
+                warnings.warn(
+                    f"{path}: cached store has no provenance fingerprint "
+                    "(written by an older release); regenerating",
+                    stacklevel=2,
+                )
+            elif (
+                reader.meta_fingerprint == expected
+                and not reader.recovered
+                and reader.block_size == block_size
+                and reader.n_pairs >= n_pairs
+            ):
+                return reader
+        except TraceStoreError:
+            pass  # not a store / torn beyond use: rebuild below
+        if reader is not None:
+            reader.close()
+    generator = MonitorTraceGenerator(effective_config, seed=seed)
+    writer = TraceStoreWriter(
+        path,
+        block_size=block_size,
+        codec=codec,
+        compress_level=compress_level,
+        meta_fingerprint=expected,
+    )
+    try:
+        remaining = n_pairs
+        while remaining > 0:
+            chunk = min(remaining, max(block_size, 1) * 8)
+            arrays = generator.generate_pair_arrays(chunk)
+            writer.append(arrays.source, arrays.replier)
+            remaining -= chunk
+    except BaseException:
+        writer.abandon()
+        raise
+    # Keep the partial tail block: the cache must hold every requested
+    # pair, not just whole blocks.
+    writer.close(drop_partial=False)
+    return TraceStoreReader(path)

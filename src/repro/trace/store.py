@@ -14,18 +14,32 @@ append-only file of fixed little-endian columnar segments, so that
 File layout (all integers little-endian)::
 
     header   (32 B)  magic "RPTRACE1" | version u32 | flags u32
-                     | block_size u64 | reserved u64
-    block*           block header (32 B): magic "RPTB" | pad u32
+                     | block_size u64 | meta fingerprint u64
+    block*           block header (32 B): magic "RPTB" | codecs u32
                      | n_pairs u64 | blake2b-128 fingerprint (16 B)
+                     version 2 only: one u64 stored length per segment
                      followed by the column segments:
-                     sources  int64[n]   (raw LE)
-                     repliers int64[n]   (raw LE)
+                     sources  int64[n]
+                     repliers int64[n]
                      packed   int64[n]   (only when flags bit 0 is set)
     footer   index:  one 32 B entry per block
                      (block_offset u64 | n_pairs u64 | fingerprint 16 B)
              trailer (40 B): magic "RPTFOOT1" | index_offset u64
                      | n_blocks u64 | total_pairs u64
                      | index crc32 u32 | version u32
+
+Version 1 stores every segment raw (and writes byte-identical files to
+earlier releases: the codecs field is the old zero pad, the meta
+fingerprint the old reserved word).  Version 2 — written when the writer
+is given a ``codec`` — may compress cold column segments: each segment
+carries its own codec byte (packed into the block header's ``codecs``
+u32; 0 = raw, 1 = zlib), and a segment is stored compressed only when
+that actually shrinks it.  Compression is transparent on read, and block
+fingerprints are always computed over the *uncompressed* column bytes,
+so bit-identity checks, the content-addressed ruleset cache, and
+torn-tail recovery are unchanged.  Raw segments are served as zero-copy
+memmaps in both versions; compressed segments decompress into ordinary
+arrays (the space/zero-copy trade-off is per segment).
 
 The per-block fingerprint is byte-identical to
 :meth:`PairBlock.fingerprint` (blake2b-128 over the source column bytes
@@ -39,6 +53,12 @@ scanning block headers from the top of the file — verifying each block's
 fingerprint — and recovers everything up to the last complete, intact
 block.  A mid-write crash therefore loses at most the block being
 written, never the store.
+
+Readers own OS resources (a header file handle plus per-block mmaps) and
+support ``close()`` / ``with``: closing releases every still-live block
+mapping, which unblocks file deletion on platforms that lock mapped
+files and keeps fd usage flat over long partitioned runs.  Block views
+handed out before ``close()`` must not be used afterwards.
 """
 
 from __future__ import annotations
@@ -46,6 +66,7 @@ from __future__ import annotations
 import hashlib
 import os
 import struct
+import weakref
 import zlib
 from dataclasses import dataclass
 from typing import Iterator
@@ -71,10 +92,18 @@ _TRAILER = struct.Struct("<8sQQQII")
 _MAGIC = b"RPTRACE1"
 _BLOCK_MAGIC = b"RPTB"
 _FOOTER_MAGIC = b"RPTFOOT1"
-_VERSION = 1
+#: version 1 — raw segments only; version 2 — per-segment codecs.
+_VERSION_RAW = 1
+_VERSION_CODECS = 2
+_VERSIONS = (_VERSION_RAW, _VERSION_CODECS)
 
 #: flags bit 0 — packed-key segments are present after each replier segment.
 _FLAG_PACKED = 1
+
+#: per-segment codec ids (one byte each inside the block header's u32).
+_CODEC_RAW = 0
+_CODEC_ZLIB = 1
+_CODEC_NAMES = {None: None, "zlib": _CODEC_ZLIB}
 
 _I8 = np.dtype("<i8")
 _ITEMSIZE = _I8.itemsize
@@ -119,6 +148,13 @@ class TraceStoreWriter:
     packed keys and fingerprint (each block's keys are packed exactly
     once, at write time — readers hand the stored segment back).
 
+    ``codec="zlib"`` writes a version-2 store whose column segments are
+    individually deflate-compressed when that shrinks them (cold-segment
+    compression for archival traces); fingerprints stay over the
+    uncompressed bytes.  ``meta_fingerprint`` stamps a caller-chosen
+    64-bit provenance tag (e.g. a config+seed hash — see
+    :func:`repro.trace.cache.cached_trace_store`) into the file header.
+
     The footer index lands only in :meth:`close`; a crash (or an
     exception inside the ``with`` block) leaves an append-only prefix
     that :class:`TraceStoreReader` recovers up to the last complete
@@ -131,19 +167,36 @@ class TraceStoreWriter:
         *,
         block_size: int = 10_000,
         include_packed: bool = True,
+        codec: str | None = None,
+        compress_level: int = 6,
+        meta_fingerprint: int = 0,
     ) -> None:
         if block_size < 1:
             raise ValueError("block_size must be >= 1")
+        if codec not in _CODEC_NAMES:
+            raise ValueError(
+                f"unknown codec {codec!r} (supported: {sorted(k for k in _CODEC_NAMES if k)})"
+            )
+        if not 0 <= int(meta_fingerprint) < 1 << 64:
+            raise ValueError("meta_fingerprint must fit an unsigned 64-bit field")
         self.path = os.fspath(path)
         self.block_size = int(block_size)
         self.include_packed = bool(include_packed)
+        self.codec = codec
+        self.compress_level = int(compress_level)
+        self.meta_fingerprint = int(meta_fingerprint)
+        self.version = _VERSION_CODECS if codec is not None else _VERSION_RAW
         self._entries: list[_BlockEntry] = []
         self._pending: list[np.ndarray] = []  # interleaved (src, rep) chunks
         self._pending_pairs = 0
         self._closed = False
         self._fh = open(self.path, "wb")
         flags = _FLAG_PACKED if self.include_packed else 0
-        self._fh.write(_HEADER.pack(_MAGIC, _VERSION, flags, self.block_size, 0))
+        self._fh.write(
+            _HEADER.pack(
+                _MAGIC, self.version, flags, self.block_size, self.meta_fingerprint
+            )
+        )
 
     # -- appending ----------------------------------------------------------
     def append(self, sources: np.ndarray, repliers: np.ndarray) -> int:
@@ -205,15 +258,35 @@ class TraceStoreWriter:
     def _write_block(self, block: PairBlock) -> None:
         offset = self._fh.tell()
         fingerprint = bytes.fromhex(block.fingerprint())
-        self._fh.write(
-            _BLOCK_HEADER.pack(_BLOCK_MAGIC, 0, len(block), fingerprint)
-        )
-        self._fh.write(_column_bytes(block.sources))
-        self._fh.write(_column_bytes(block.repliers))
+        # packed_keys() is memoized on the block: built blocks pack
+        # exactly once here; buffered blocks pack on first use.
+        segments = [_column_bytes(block.sources), _column_bytes(block.repliers)]
         if self.include_packed:
-            # packed_keys() is memoized on the block: built blocks pack
-            # exactly once here; buffered blocks pack on first use.
-            self._fh.write(_column_bytes(block.packed_keys()))
+            segments.append(_column_bytes(block.packed_keys()))
+        if self.version == _VERSION_RAW:
+            self._fh.write(
+                _BLOCK_HEADER.pack(_BLOCK_MAGIC, 0, len(block), fingerprint)
+            )
+            for segment in segments:
+                self._fh.write(segment)
+        else:
+            codecs = 0
+            payloads = []
+            for k, raw in enumerate(segments):
+                compressed = zlib.compress(raw, self.compress_level)
+                if len(compressed) < len(raw):
+                    payloads.append(compressed)
+                    codecs |= _CODEC_ZLIB << (8 * k)
+                else:
+                    payloads.append(raw)  # incompressible: keep raw + memmap
+            self._fh.write(
+                _BLOCK_HEADER.pack(_BLOCK_MAGIC, codecs, len(block), fingerprint)
+            )
+            self._fh.write(
+                struct.pack(f"<{len(payloads)}Q", *(len(p) for p in payloads))
+            )
+            for payload in payloads:
+                self._fh.write(payload)
         self._entries.append(_BlockEntry(offset, len(block), fingerprint))
 
     # -- lifecycle ----------------------------------------------------------
@@ -256,7 +329,7 @@ class TraceStoreWriter:
                 len(self._entries),
                 self.n_pairs,
                 zlib.crc32(index),
-                _VERSION,
+                self.version,
             )
         )
         self._fh.flush()
@@ -294,7 +367,9 @@ class TraceStoreReader:
     Every :meth:`block` call maps only that block's byte range
     (``np.memmap`` with an explicit offset), so iterating a 10GB store
     keeps O(block_size) pages resident: each yielded block's mappings
-    are released as soon as the consumer drops the block.
+    are released as soon as the consumer drops the block.  Compressed
+    (version 2) segments decompress into ordinary arrays instead —
+    identical contents, no mapping.
 
     Opening prefers the footer index (O(1), trusted after its CRC
     check).  A missing or corrupt footer triggers a header scan that
@@ -302,40 +377,102 @@ class TraceStoreReader:
     corrupt block (``recovered`` is then True).  ``verify=True`` forces
     the fingerprint sweep even when the footer is intact, truncating the
     visible store at the first mismatching block.
+
+    Readers are context managers: :meth:`close` (idempotent) drops the
+    header file handle and every still-live block mapping the reader
+    created, so long partitioned runs do not accumulate fds and the file
+    can be deleted immediately on platforms that lock mapped files.
+    Blocks obtained from a reader are invalidated by its ``close()``.
     """
 
     def __init__(self, path: str | os.PathLike, *, verify: bool = False) -> None:
+        # Lifetime fields first: __del__ must be safe even when opening
+        # fails before the file handle exists.
+        self._closed = False
+        self._fh = None
+        self._live_maps: "weakref.WeakSet" = weakref.WeakSet()
+        self._layouts: dict[int, tuple[tuple[int, ...], tuple[int, ...], int]] = {}
         self.path = os.fspath(path)
         self._size = os.path.getsize(self.path)
         self.recovered = False
-        with open(self.path, "rb") as fh:
-            header = fh.read(_HEADER.size)
-            if len(header) < _HEADER.size:
-                raise TraceStoreError(f"{self.path}: too short for a trace store")
-            magic, version, flags, block_size, _ = _HEADER.unpack(header)
-            if magic != _MAGIC:
-                raise TraceStoreError(f"{self.path}: bad magic {magic!r}")
-            if version != _VERSION:
-                raise TraceStoreError(f"{self.path}: unsupported version {version}")
-            self.block_size = int(block_size)
-            self.has_packed = bool(flags & _FLAG_PACKED)
-            self._entries = self._load_footer(fh)
-            if self._entries is None:
-                self._entries = self._scan_blocks(fh)
-                self.recovered = True
-            elif verify:
-                self._entries = self._verified_prefix(fh, self._entries)
+        self._fh = open(self.path, "rb")
+        header = self._fh.read(_HEADER.size)
+        if len(header) < _HEADER.size:
+            self.close()
+            raise TraceStoreError(f"{self.path}: too short for a trace store")
+        magic, version, flags, block_size, meta = _HEADER.unpack(header)
+        if magic != _MAGIC:
+            self.close()
+            raise TraceStoreError(f"{self.path}: bad magic {magic!r}")
+        if version not in _VERSIONS:
+            self.close()
+            raise TraceStoreError(f"{self.path}: unsupported version {version}")
+        self.version = int(version)
+        self.block_size = int(block_size)
+        self.has_packed = bool(flags & _FLAG_PACKED)
+        self.meta_fingerprint = int(meta)
+        self._n_segments = 3 if self.has_packed else 2
+        self._entries = self._load_footer()
+        if self._entries is None:
+            self._entries = self._scan_blocks()
+            self.recovered = True
+        elif verify:
+            self._entries = self._verified_prefix(self._entries)
+
+    # -- lifecycle ----------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Release the header handle and every live block mapping.
+
+        Idempotent (double close is a no-op).  Any block views this
+        reader handed out become invalid; using them afterwards is
+        undefined, exactly as reading from a closed file would be.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for mapping in list(self._live_maps):
+            try:
+                mapping.close()
+            except (BufferError, ValueError):  # still exported elsewhere
+                pass
+        self._live_maps = weakref.WeakSet()
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            finally:
+                self._fh = None
+
+    def __enter__(self) -> "TraceStoreReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise TraceStoreError(f"{self.path}: reader is closed")
 
     # -- opening ------------------------------------------------------------
-    def _load_footer(self, fh) -> list[_BlockEntry] | None:
+    def _load_footer(self) -> list[_BlockEntry] | None:
         """Parse the footer index; None when absent/torn/corrupt."""
         if self._size < _HEADER.size + _TRAILER.size:
             return None
+        fh = self._fh
         fh.seek(self._size - _TRAILER.size)
         magic, index_offset, n_blocks, total_pairs, crc, version = _TRAILER.unpack(
             fh.read(_TRAILER.size)
         )
-        if magic != _FOOTER_MAGIC or version != _VERSION:
+        if magic != _FOOTER_MAGIC or version != self.version:
             return None
         index_size = n_blocks * _INDEX_ENTRY.size
         if index_offset + index_size + _TRAILER.size != self._size:
@@ -350,16 +487,30 @@ class TraceStoreReader:
         ]
         if sum(e.n_pairs for e in entries) != total_pairs:
             return None
-        for entry in entries:
-            if entry.offset + self._block_extent(entry.n_pairs) > index_offset:
-                return None
+        if self.version == _VERSION_RAW:
+            for entry in entries:
+                if entry.offset + self._block_extent(entry.n_pairs) > index_offset:
+                    return None
+        else:
+            # Compressed blocks have data-dependent extents; bound-check
+            # the header area per block and rely on the index CRC plus
+            # per-block stored lengths for the rest.
+            previous = _HEADER.size
+            for entry in entries:
+                if entry.offset < previous:
+                    return None
+                header_end = (
+                    entry.offset + _BLOCK_HEADER.size + 8 * self._n_segments
+                )
+                if header_end > index_offset:
+                    return None
+                previous = entry.offset + _BLOCK_HEADER.size
         return entries
 
     def _block_extent(self, n_pairs: int) -> int:
-        columns = 3 if self.has_packed else 2
-        return _BLOCK_HEADER.size + columns * n_pairs * _ITEMSIZE
+        return _BLOCK_HEADER.size + self._n_segments * n_pairs * _ITEMSIZE
 
-    def _scan_blocks(self, fh) -> list[_BlockEntry]:
+    def _scan_blocks(self) -> list[_BlockEntry]:
         """Walk block headers from the top, keeping verified blocks.
 
         Mirrors WAL torn-tail recovery: the first header that is
@@ -367,29 +518,46 @@ class TraceStoreReader:
         fingerprint check ends the store.
         """
         entries: list[_BlockEntry] = []
+        fh = self._fh
         offset = _HEADER.size
         while True:
             fh.seek(offset)
             raw = fh.read(_BLOCK_HEADER.size)
             if len(raw) < _BLOCK_HEADER.size:
                 break
-            magic, _pad, n_pairs, fingerprint = _BLOCK_HEADER.unpack(raw)
+            magic, _codecs, n_pairs, fingerprint = _BLOCK_HEADER.unpack(raw)
             if magic != _BLOCK_MAGIC or n_pairs < 1:
                 break
-            extent = self._block_extent(n_pairs)
+            if self.version == _VERSION_RAW:
+                extent = self._block_extent(n_pairs)
+            else:
+                lengths_raw = fh.read(8 * self._n_segments)
+                if len(lengths_raw) < 8 * self._n_segments:
+                    break  # torn tail inside the length area
+                lengths = struct.unpack(f"<{self._n_segments}Q", lengths_raw)
+                if any(length < 1 or length > self._size for length in lengths):
+                    break
+                extent = _BLOCK_HEADER.size + 8 * self._n_segments + sum(lengths)
             if offset + extent > self._size:
                 break  # torn tail: the block's columns never fully landed
-            sources, repliers = self._column_views(offset, n_pairs)
+            entry = _BlockEntry(offset, n_pairs, fingerprint)
+            try:
+                sources, repliers = self._read_columns(entry)
+            except TraceStoreCorruption:
+                break  # garbage where a compressed segment should be
             if _block_digest(sources, repliers) != fingerprint:
                 break
-            entries.append(_BlockEntry(offset, n_pairs, fingerprint))
+            entries.append(entry)
             offset += extent
         return entries
 
-    def _verified_prefix(self, fh, entries: list[_BlockEntry]) -> list[_BlockEntry]:
+    def _verified_prefix(self, entries: list[_BlockEntry]) -> list[_BlockEntry]:
         good: list[_BlockEntry] = []
         for entry in entries:
-            sources, repliers = self._column_views(entry.offset, entry.n_pairs)
+            try:
+                sources, repliers = self._read_columns(entry)
+            except TraceStoreCorruption:
+                break
             if _block_digest(sources, repliers) != entry.fingerprint:
                 break
             good.append(entry)
@@ -407,16 +575,86 @@ class TraceStoreReader:
     def n_pairs(self) -> int:
         return sum(e.n_pairs for e in self._entries)
 
-    def _column_views(self, offset: int, n_pairs: int):
-        data = offset + _BLOCK_HEADER.size
-        nbytes = n_pairs * _ITEMSIZE
-        sources = np.memmap(
-            self.path, dtype=_I8, mode="r", offset=data, shape=(n_pairs,)
+    def block_pairs(self) -> list[int]:
+        """Per-block pair counts, in block order (feeds shard planning)."""
+        return [e.n_pairs for e in self._entries]
+
+    def _memmap(self, offset: int, n_items: int) -> np.ndarray:
+        """One tracked read-only memmap covering ``n_items`` int64s."""
+        mapped = np.memmap(
+            self.path, dtype=_I8, mode="r", offset=offset, shape=(n_items,)
         )
-        repliers = np.memmap(
-            self.path, dtype=_I8, mode="r", offset=data + nbytes, shape=(n_pairs,)
+        # np.memmap keeps the underlying mmap (and its dup'd fd) on the
+        # array; track it weakly so close() can release still-live
+        # mappings without pinning dropped blocks in memory.
+        self._live_maps.add(mapped._mmap)
+        return mapped
+
+    def _layout(
+        self, entry: _BlockEntry
+    ) -> tuple[tuple[int, ...], tuple[int, ...], int]:
+        """(per-segment codecs, stored lengths, payload offset) — v2 only."""
+        cached = self._layouts.get(entry.offset)
+        if cached is not None:
+            return cached
+        fh = self._fh
+        fh.seek(entry.offset)
+        raw = fh.read(_BLOCK_HEADER.size + 8 * self._n_segments)
+        if len(raw) < _BLOCK_HEADER.size + 8 * self._n_segments:
+            raise TraceStoreCorruption(f"{self.path}: truncated block header")
+        magic, codecs_word, n_pairs, _fingerprint = _BLOCK_HEADER.unpack_from(raw)
+        if magic != _BLOCK_MAGIC or n_pairs != entry.n_pairs:
+            raise TraceStoreCorruption(
+                f"{self.path}: block header at {entry.offset} disagrees with index"
+            )
+        lengths = struct.unpack_from(
+            f"<{self._n_segments}Q", raw, _BLOCK_HEADER.size
         )
-        return sources, repliers
+        codecs = tuple((codecs_word >> (8 * k)) & 0xFF for k in range(self._n_segments))
+        layout = (
+            codecs,
+            lengths,
+            entry.offset + _BLOCK_HEADER.size + 8 * self._n_segments,
+        )
+        self._layouts[entry.offset] = layout
+        return layout
+
+    def _read_segment(self, entry: _BlockEntry, segment: int) -> np.ndarray:
+        """One column segment of a block, decompressing when needed."""
+        nbytes = entry.n_pairs * _ITEMSIZE
+        if self.version == _VERSION_RAW:
+            data = entry.offset + _BLOCK_HEADER.size
+            return self._memmap(data + segment * nbytes, entry.n_pairs)
+        codecs, lengths, payload = self._layout(entry)
+        offset = payload + sum(lengths[:segment])
+        codec = codecs[segment]
+        if codec == _CODEC_RAW:
+            if lengths[segment] != nbytes:
+                raise TraceStoreCorruption(
+                    f"{self.path}: raw segment length {lengths[segment]} != {nbytes}"
+                )
+            return self._memmap(offset, entry.n_pairs)
+        if codec != _CODEC_ZLIB:
+            raise TraceStoreCorruption(
+                f"{self.path}: unknown segment codec {codec}"
+            )
+        self._fh.seek(offset)
+        compressed = self._fh.read(lengths[segment])
+        try:
+            raw = zlib.decompress(compressed)
+        except zlib.error as exc:
+            raise TraceStoreCorruption(
+                f"{self.path}: segment fails to decompress: {exc}"
+            ) from exc
+        if len(raw) != nbytes:
+            raise TraceStoreCorruption(
+                f"{self.path}: segment decompressed to {len(raw)} bytes, "
+                f"expected {nbytes}"
+            )
+        return np.frombuffer(raw, dtype=_I8)
+
+    def _read_columns(self, entry: _BlockEntry) -> tuple[np.ndarray, np.ndarray]:
+        return self._read_segment(entry, 0), self._read_segment(entry, 1)
 
     def block(self, i: int) -> PairBlock:
         """Zero-copy :class:`PairBlock` view of block ``i``.
@@ -426,27 +664,20 @@ class TraceStoreReader:
         testing it never re-packs or re-hashes — the write-side work is
         reused verbatim.
         """
+        self._check_open()
         entry = self._entries[i]
-        sources, repliers = self._column_views(entry.offset, entry.n_pairs)
+        sources, repliers = self._read_columns(entry)
         block = PairBlock(sources=sources, repliers=repliers, index=i)
         object.__setattr__(block, "_fingerprint", entry.fingerprint.hex())
         object.__setattr__(block, "_ids_validated", True)
         if self.has_packed:
-            data = entry.offset + _BLOCK_HEADER.size
-            packed = np.memmap(
-                self.path,
-                dtype=_I8,
-                mode="r",
-                offset=data + 2 * entry.n_pairs * _ITEMSIZE,
-                shape=(entry.n_pairs,),
-            )
-            object.__setattr__(block, "_packed_keys", packed)
+            object.__setattr__(block, "_packed_keys", self._read_segment(entry, 2))
         return block
 
     def columns(self, i: int) -> tuple[np.ndarray, np.ndarray]:
-        """Raw (sources, repliers) memmap views of block ``i``."""
-        entry = self._entries[i]
-        return self._column_views(entry.offset, entry.n_pairs)
+        """Raw (sources, repliers) views of block ``i``."""
+        self._check_open()
+        return self._read_columns(self._entries[i])
 
     def iter_blocks(self) -> Iterator[PairBlock]:
         """Yield blocks in trace order, mapping one block at a time."""
@@ -461,8 +692,8 @@ class TraceStoreReader:
         raises :class:`TraceStoreCorruption` instead of returning a
         short count.
         """
-        with open(self.path, "rb") as fh:
-            intact = len(self._verified_prefix(fh, self._entries))
+        self._check_open()
+        intact = len(self._verified_prefix(self._entries))
         if strict and intact != len(self._entries):
             raise TraceStoreCorruption(
                 f"{self.path}: block {intact} fails its fingerprint check "
@@ -479,10 +710,18 @@ def write_trace_store(
     block_size: int = 10_000,
     drop_partial: bool = True,
     include_packed: bool = True,
+    codec: str | None = None,
+    compress_level: int = 6,
+    meta_fingerprint: int = 0,
 ) -> TraceStoreReader:
     """Write in-memory columns as a store file and reopen it for reading."""
     writer = TraceStoreWriter(
-        path, block_size=block_size, include_packed=include_packed
+        path,
+        block_size=block_size,
+        include_packed=include_packed,
+        codec=codec,
+        compress_level=compress_level,
+        meta_fingerprint=meta_fingerprint,
     )
     try:
         writer.append(sources, repliers)
@@ -494,6 +733,13 @@ def write_trace_store(
 
 
 def iter_store_blocks(path: str | os.PathLike) -> Iterator[PairBlock]:
-    """Stream a store file's blocks (one-shot convenience wrapper)."""
+    """Stream a store file's blocks (one-shot convenience wrapper).
+
+    The reader is closed when the generator is exhausted or closed, so
+    a completed (or abandoned) iteration leaves no mappings behind.
+    """
     reader = TraceStoreReader(path)
-    yield from reader.iter_blocks()
+    try:
+        yield from reader.iter_blocks()
+    finally:
+        reader.close()

@@ -55,3 +55,105 @@ class TestCachedPairs:
     def test_negative_rejected(self, tmp_path):
         with pytest.raises(ValueError):
             cached_pairs(tmp_path / "x.npz", -1, config=CFG)
+
+
+class TestProvenanceFingerprint:
+    def test_seed_mismatch_regenerates(self, tmp_path):
+        # Regression: the cache used to return whatever file sat at the
+        # path as long as it was long enough — a different seed's trace.
+        path = tmp_path / "cache.npz"
+        first = cached_pairs(path, 400, config=CFG, seed=1)
+        other = cached_pairs(path, 400, config=CFG, seed=2)
+        assert not np.array_equal(first.source, other.source)
+        # And the file now belongs to seed 2: seed 1 regenerates again.
+        again = cached_pairs(path, 400, config=CFG, seed=1)
+        np.testing.assert_array_equal(again.source, first.source)
+
+    def test_config_mismatch_regenerates(self, tmp_path):
+        path = tmp_path / "cache.npz"
+        first = cached_pairs(path, 400, config=CFG, seed=1)
+        narrow = MonitorTraceConfig(block_size=300, n_neighbors=5, n_categories=12)
+        other = cached_pairs(path, 400, config=narrow, seed=1)
+        assert not np.array_equal(first.source, other.source)
+
+    def test_equal_config_objects_hit(self, tmp_path):
+        path = tmp_path / "cache.npz"
+        first = cached_pairs(path, 400, config=CFG, seed=1)
+        clone = MonitorTraceConfig(block_size=300, n_neighbors=15, n_categories=12)
+        mtime = path.stat().st_mtime_ns
+        second = cached_pairs(path, 400, config=clone, seed=1)
+        np.testing.assert_array_equal(first.source, second.source)
+        assert path.stat().st_mtime_ns == mtime  # true hit, no rewrite
+
+    def test_legacy_file_without_stamp_warns_and_regenerates(self, tmp_path):
+        import warnings
+
+        path = tmp_path / "cache.npz"
+        arrays = generate(400, seed=1)
+        # Simulate a pre-stamping cache file: plain columns, no stamp.
+        np.savez_compressed(
+            path,
+            **{
+                name: getattr(arrays, name)
+                for name in ("time", "source", "replier", "category", "host")
+            },
+        )
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            cached_pairs(path, 400, config=CFG, seed=1)
+        assert any("fingerprint" in str(w.message) for w in caught)
+        # The regenerated file is stamped: second call is a silent hit.
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            cached_pairs(path, 400, config=CFG, seed=1)
+        assert not caught
+
+    def test_fingerprint_deterministic(self):
+        from repro.trace.cache import trace_fingerprint
+
+        assert trace_fingerprint(CFG, 7) == trace_fingerprint(CFG, 7)
+        assert trace_fingerprint(CFG, 7) != trace_fingerprint(CFG, 8)
+        assert trace_fingerprint(CFG, 7) != trace_fingerprint(None, 7)
+
+
+class TestCachedTraceStore:
+    def test_generates_then_hits(self, tmp_path):
+        from repro.trace.cache import cached_trace_store
+
+        path = tmp_path / "trace.rptrace"
+        with cached_trace_store(path, 900, config=CFG, seed=1) as first:
+            blocks = [b.fingerprint() for b in first.iter_blocks()]
+            assert first.n_pairs == 900
+        mtime = path.stat().st_mtime_ns
+        with cached_trace_store(path, 900, config=CFG, seed=1) as second:
+            assert [b.fingerprint() for b in second.iter_blocks()] == blocks
+        assert path.stat().st_mtime_ns == mtime  # hit: not rewritten
+
+    def test_seed_mismatch_rebuilds(self, tmp_path):
+        from repro.trace.cache import cached_trace_store
+
+        path = tmp_path / "trace.rptrace"
+        with cached_trace_store(path, 600, config=CFG, seed=1) as first:
+            fp1 = first.meta_fingerprint
+        with cached_trace_store(path, 600, config=CFG, seed=2) as second:
+            assert second.meta_fingerprint != fp1
+
+    def test_matches_cached_pairs_columns(self, tmp_path):
+        from repro.trace.cache import cached_trace_store
+
+        arrays = cached_pairs(tmp_path / "a.npz", 600, config=CFG, seed=3)
+        with cached_trace_store(
+            tmp_path / "a.rptrace", 600, config=CFG, seed=3
+        ) as reader:
+            sources = np.concatenate([b.sources for b in reader.iter_blocks()])
+            repliers = np.concatenate([b.repliers for b in reader.iter_blocks()])
+        np.testing.assert_array_equal(sources, arrays.source)
+        np.testing.assert_array_equal(repliers, arrays.replier)
+
+    def test_compressed_store_cache(self, tmp_path):
+        from repro.trace.cache import cached_trace_store
+
+        path = tmp_path / "z.rptrace"
+        with cached_trace_store(path, 600, config=CFG, seed=4, codec="zlib") as r:
+            assert r.version == 2
+            assert r.n_pairs == 600

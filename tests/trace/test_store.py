@@ -246,3 +246,161 @@ class TestValidation:
         w.close()
         w.close()
         assert TraceStoreReader(path).n_blocks == 1
+
+
+class TestCompression:
+    def test_zlib_round_trip_matches_raw(self, tmp_path):
+        raw, sources, repliers = make_store(
+            tmp_path / "raw.rptrace", n=500, block_size=100
+        )
+        zl, _, _ = make_store(
+            tmp_path / "z.rptrace", n=500, block_size=100, codec="zlib"
+        )
+        assert raw.version == 1
+        assert zl.version == 2
+        assert zl.n_blocks == raw.n_blocks
+        for i in range(raw.n_blocks):
+            a, b = raw.block(i), zl.block(i)
+            np.testing.assert_array_equal(a.sources, b.sources)
+            np.testing.assert_array_equal(a.repliers, b.repliers)
+            assert a.fingerprint() == b.fingerprint()
+            np.testing.assert_array_equal(a.packed_keys(), b.packed_keys())
+        raw.close()
+        zl.close()
+
+    def test_zlib_shrinks_compressible_trace(self, tmp_path):
+        # Low-cardinality columns compress well below the raw encoding.
+        n = 2000
+        sources = np.repeat(np.arange(4, dtype=np.int64), n // 4)
+        repliers = np.full(n, 7, dtype=np.int64)
+        write_trace_store(
+            tmp_path / "raw.rptrace", sources, repliers, block_size=500
+        ).close()
+        write_trace_store(
+            tmp_path / "z.rptrace", sources, repliers, block_size=500, codec="zlib"
+        ).close()
+        raw_bytes = (tmp_path / "raw.rptrace").stat().st_size
+        zl_bytes = (tmp_path / "z.rptrace").stat().st_size
+        assert zl_bytes < raw_bytes / 2
+
+    def test_incompressible_segments_stay_raw(self, tmp_path):
+        # High-entropy ids barely deflate; blocks where zlib does not
+        # win must keep their segments raw (codec 0) and still read back.
+        rng = np.random.default_rng(5)
+        sources = rng.integers(0, 2**31 - 1, size=300).astype(np.int64)
+        repliers = rng.integers(0, 2**31 - 1, size=300).astype(np.int64)
+        reader = write_trace_store(
+            tmp_path / "z.rptrace", sources, repliers, block_size=100, codec="zlib"
+        )
+        for i in range(reader.n_blocks):
+            block = reader.block(i)
+            np.testing.assert_array_equal(block.sources, sources[i * 100 : (i + 1) * 100])
+        reader.close()
+
+    def test_no_codec_is_byte_stable_v1(self, tmp_path):
+        # codec=None must keep writing version-1 files (old readers and
+        # fingerprint-based tooling rely on the stable layout).
+        _, sources, repliers = make_store(tmp_path / "a.rptrace", n=200, seed=3)
+        write_trace_store(tmp_path / "b.rptrace", sources, repliers, block_size=100).close()
+        assert (tmp_path / "a.rptrace").read_bytes() == (tmp_path / "b.rptrace").read_bytes()
+
+    def test_unknown_codec_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="codec"):
+            TraceStoreWriter(tmp_path / "t.rptrace", codec="lz9")
+
+    def test_compressed_torn_tail_recovers(self, tmp_path):
+        sources, repliers = columns(500, seed=9)
+        path = tmp_path / "z.rptrace"
+        w = TraceStoreWriter(path, block_size=100, codec="zlib")
+        w.append(sources, repliers)
+        w.abandon()  # crash: no footer
+        size = path.stat().st_size
+        with open(path, "r+b") as fh:
+            fh.truncate(size - 11)  # tear into the last block's payload
+        reader = TraceStoreReader(path)
+        assert reader.recovered
+        assert reader.n_blocks == 4  # last block torn away
+        for i, block in enumerate(reader.iter_blocks()):
+            np.testing.assert_array_equal(
+                block.sources, sources[i * 100 : (i + 1) * 100]
+            )
+        reader.close()
+
+    def test_compressed_footer_store_with_corrupt_segment(self, tmp_path):
+        # Flipping bytes inside a compressed payload of a footered store:
+        # verify=True truncates at the corrupt block instead of serving
+        # garbage.
+        zl, _, _ = make_store(
+            tmp_path / "z.rptrace", n=500, block_size=100, codec="zlib"
+        )
+        n_blocks = zl.n_blocks
+        entry = zl._entries[-1]
+        zl.close()
+        path = tmp_path / "z.rptrace"
+        data = bytearray(path.read_bytes())
+        payload = entry.offset + 32 + 3 * 8
+        data[payload + 5] ^= 0xFF
+        data[payload + 6] ^= 0xFF
+        path.write_bytes(bytes(data))
+        reader = TraceStoreReader(path, verify=True)
+        assert reader.n_blocks == n_blocks - 1
+        reader.close()
+
+
+class TestReaderLifetime:
+    def test_close_is_idempotent(self, tmp_path):
+        reader, _, _ = make_store(tmp_path / "t.rptrace")
+        reader.close()
+        reader.close()  # double close: no-op
+        assert reader.closed
+
+    def test_context_manager_closes(self, tmp_path):
+        path = tmp_path / "t.rptrace"
+        make_store(path)[0].close()
+        with TraceStoreReader(path) as reader:
+            assert not reader.closed
+            reader.block(0)
+        assert reader.closed
+
+    def test_closed_reader_refuses_reads(self, tmp_path):
+        reader, _, _ = make_store(tmp_path / "t.rptrace")
+        reader.close()
+        with pytest.raises(TraceStoreError, match="closed"):
+            reader.block(0)
+        with pytest.raises(TraceStoreError, match="closed"):
+            reader.columns(0)
+        with pytest.raises(TraceStoreError, match="closed"):
+            reader.verify_blocks()
+
+    def test_close_releases_block_mappings(self, tmp_path):
+        reader, _, _ = make_store(tmp_path / "t.rptrace")
+        block = reader.block(0)
+        mappings = list(reader._live_maps)
+        assert mappings  # block() created tracked memmaps
+        del block
+        reader.close()
+        assert all(m.closed for m in mappings)
+
+    def test_blocks_from_store_path_closes_reader(self, tmp_path):
+        # Streaming by path must not leave an open reader behind once the
+        # generator is exhausted (fd hygiene over long partitioned runs).
+        path = tmp_path / "t.rptrace"
+        make_store(path)[0].close()
+        blocks = list(blocks_from_store(str(path)))
+        assert len(blocks) == 2
+
+    def test_blocks_from_store_reader_ownership_kept(self, tmp_path):
+        path = tmp_path / "t.rptrace"
+        make_store(path)[0].close()
+        with TraceStoreReader(path) as reader:
+            list(blocks_from_store(reader))
+            assert not reader.closed  # caller-owned reader stays open
+
+    def test_meta_fingerprint_round_trips(self, tmp_path):
+        path = tmp_path / "t.rptrace"
+        sources, repliers = columns(100)
+        write_trace_store(
+            path, sources, repliers, block_size=100, meta_fingerprint=0xDEADBEEF
+        ).close()
+        with TraceStoreReader(path) as reader:
+            assert reader.meta_fingerprint == 0xDEADBEEF
