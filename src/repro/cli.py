@@ -15,6 +15,10 @@ Commands
     ``docs/performance.md``).
 ``trace``
     Print the descriptive profile of a freshly generated trace prefix.
+``hier``
+    Compare the two-tier routing arms (flood vs per-node rules vs
+    super-peer rules vs hybrid) on one seeded workload and print
+    traffic/α/ρ per arm (see ``docs/hierarchy.md``).
 ``live-node``
     Run one live asyncio servent daemon on a TCP port (optionally
     dialing peers), printing its counters on exit.
@@ -183,16 +187,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     tracegen.add_argument(
         "--codec",
-        choices=("none", "zlib"),
+        choices=("none", "zlib", "zstd"),
         default="none",
-        help="compress cold column segments (zlib writes a v2 store; "
+        help="compress cold column segments (zlib/zstd write a v2 store; "
+        "zstd needs a zstd binding in the interpreter; "
         "default: %(default)s)",
     )
     tracegen.add_argument(
         "--compress-level",
         type=int,
         default=6,
-        help="zlib level 1-9 when --codec zlib (default: %(default)s)",
+        help="compression level for --codec zlib/zstd (default: %(default)s)",
     )
 
     trace_eval = sub.add_parser(
@@ -218,6 +223,46 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also run serially and verify the merged partitioned run "
         "is bit-identical",
+    )
+
+    hier = sub.add_parser(
+        "hier",
+        help="compare two-tier routing arms (flood vs per-node rules vs "
+        "super-peer rules vs hybrid) on one seeded workload",
+    )
+    hier.add_argument(
+        "--superpeers", type=int, default=60, help="super-peer count (default: 60)"
+    )
+    hier.add_argument(
+        "--leaves-per",
+        type=int,
+        default=20,
+        dest="leaves_per",
+        help="leaves attached to each super-peer (default: 20)",
+    )
+    hier.add_argument(
+        "--degree", type=int, default=4, help="super-peer overlay degree"
+    )
+    hier.add_argument(
+        "--ttl", type=int, default=4, help="tier-2 flood TTL (default: 4)"
+    )
+    hier.add_argument(
+        "--categories", type=int, default=40, help="content categories"
+    )
+    hier.add_argument(
+        "--queries", type=int, default=2000, help="measured queries per arm"
+    )
+    hier.add_argument(
+        "--warmup",
+        type=int,
+        default=2000,
+        help="unrecorded warm-up queries per arm (rule tables learn here)",
+    )
+    hier.add_argument(
+        "--mode",
+        choices=("flood", "leaf-rules", "superpeer-rules", "hybrid"),
+        default=None,
+        help="run a single HierNetwork arm instead of the full comparison",
     )
 
     live_node = sub.add_parser(
@@ -1263,6 +1308,57 @@ def main(argv: list[str] | None = None) -> int:
             _log.error("no such state dir", extra={"path": args.state_dir})
             return 2
         print(json.dumps(inspect_state_dir(args.state_dir), indent=2))
+        return 0
+
+    if args.command == "hier":
+        from repro.experiments.hier import (
+            amortized_messages_per_query,
+            hier_arm_stats,
+        )
+        from repro.network.hier import HierConfig, HierNetwork
+
+        seed = args.seed if args.seed is not None else 20060814
+        substrate = dict(
+            n_superpeers=args.superpeers,
+            leaves_per_superpeer=args.leaves_per,
+            superpeer_degree=args.degree,
+            n_categories=args.categories,
+            files_per_category=250,
+            library_size=60,
+            interests_per_peer=4,
+            superpeer_ttl=args.ttl,
+        )
+        n_leaves = args.superpeers * args.leaves_per
+        print(
+            f"{args.superpeers} super-peers x {args.leaves_per} leaves "
+            f"= {n_leaves + args.superpeers} nodes, "
+            f"{args.queries} queries after {args.warmup} warm-up, seed {seed}"
+        )
+        if args.mode is not None:
+            net = HierNetwork(HierConfig(mode=args.mode, **substrate), seed=seed)
+            stats = net.run_workload(args.queries, warmup=args.warmup)
+            arms = {args.mode: (stats, net.control_messages)}
+        else:
+            arms = hier_arm_stats(
+                n_superpeers=args.superpeers,
+                n_queries=args.queries,
+                warmup=args.warmup,
+                seed=seed,
+                substrate=substrate,
+            )
+        header = (
+            f"{'arm':<16s} {'msgs/query':>10s} {'+control':>10s} "
+            f"{'success':>8s} {'alpha':>7s} {'rho':>7s} {'hops':>6s}"
+        )
+        print(header)
+        print("-" * len(header))
+        for arm, (stats, control) in arms.items():
+            print(
+                f"{arm:<16s} {stats.messages_per_query:>10.2f} "
+                f"{amortized_messages_per_query(stats, control):>10.2f} "
+                f"{stats.success_rate:>8.3f} {stats.coverage_alpha:>7.3f} "
+                f"{stats.success_rho:>7.3f} {stats.mean_first_hit_hops:>6.2f}"
+            )
         return 0
 
     if args.command == "trace":

@@ -9,6 +9,9 @@ bit-exact numbers — our substrate is a synthetic trace).
 
 from __future__ import annotations
 
+import os
+import warnings
+
 import numpy as np
 
 from repro.core.strategies import (
@@ -45,18 +48,48 @@ def generate_trace_blocks(
     seed: int = DEFAULT_SEED,
     config: MonitorTraceConfig | None = None,
 ):
-    """Generate ``n_blocks`` blocks of the calibrated synthetic trace.
+    """``n_blocks`` blocks of the calibrated synthetic trace.
 
-    Goes through :func:`repro.parallel.provider.provide_pair_columns`, so
-    when the experiment engine has installed a trace provider (in-process
-    memo or shared-memory view) the identical arrays are served instead
-    of regenerated; with no provider this is plain generation.
+    Resolution order, every tier bit-identical to the next:
+
+    1. an installed trace provider (in-process memo or shared-memory
+       view — see :mod:`repro.parallel.provider`), when the experiment
+       engine has set one up;
+    2. the on-disk trace-store cache
+       (:func:`repro.trace.cache.store_backed_blocks`): the first run
+       writes the trace as a columnar store, every later run — across
+       processes — streams zero-copy memmap blocks back instead of
+       regenerating.  ``REPRO_TRACE_CACHE_DIR`` moves the cache;
+       ``REPRO_TRACE_STORE_CACHE=0`` disables this tier;
+    3. direct generation (also the fallback if the cache directory is
+       unusable).
     """
-    from repro.parallel.provider import provide_pair_columns
+    from repro.parallel.provider import current_trace_provider, provide_pair_columns
 
     cfg = config or MonitorTraceConfig()
-    sources, repliers = provide_pair_columns(cfg, seed, n_blocks * cfg.block_size)
+    n_pairs = n_blocks * cfg.block_size
+    if current_trace_provider() is None and _store_cache_enabled():
+        from repro.trace.cache import store_backed_blocks
+        from repro.trace.store import TraceStoreError
+
+        try:
+            return store_backed_blocks(n_pairs, config=cfg, seed=seed)
+        except (OSError, TraceStoreError) as exc:
+            warnings.warn(
+                f"trace-store cache unusable ({exc}); generating in memory",
+                stacklevel=2,
+            )
+    sources, repliers = provide_pair_columns(cfg, seed, n_pairs)
     return blocks_from_arrays(sources, repliers, block_size=cfg.block_size)
+
+
+def _store_cache_enabled() -> bool:
+    return os.environ.get("REPRO_TRACE_STORE_CACHE", "1").strip().lower() not in (
+        "0",
+        "off",
+        "no",
+        "false",
+    )
 
 
 # ---------------------------------------------------------------------------

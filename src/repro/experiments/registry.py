@@ -24,6 +24,7 @@ from repro.experiments.extensions import (
     run_superpeer,
     run_topology_adaptation,
 )
+from repro.experiments.hier import run_hier
 from repro.experiments.results import ExperimentResult
 from repro.experiments.traffic import run_traffic_comparison
 
@@ -45,6 +46,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., ExperimentResult]]] = {
     "topology-adaptation": ("Rule-driven overlay rewiring (§VI)", run_topology_adaptation),
     "hybrid": ("Shortcuts + rules hybrid (§VI)", run_hybrid),
     "superpeer": ("Super-peer two-tier baseline (§II)", run_superpeer),
+    "hier": ("Two-tier super-peer rule routing (ISSUE 10)", run_hier),
     "topk-ablation": ("Top-k consequent forwarding ablation (§III-B.1)", run_topk_ablation),
     "churn-sensitivity": ("Association routing under churn (robustness)", run_churn_sensitivity),
     "adoption": ("Incremental deployment sweep (§III-B)", run_adoption_sweep),

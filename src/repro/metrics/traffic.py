@@ -4,6 +4,17 @@ The motivation of the paper is reducing the number of query messages
 flooded through the network while still finding content.  These counters
 capture exactly that trade-off per routing strategy: messages sent,
 duplicate deliveries, hit rate, and hop counts of first hits.
+
+They also carry the paper's two rule-quality measures, generalized to
+online routing so every network variant (flat association routing, the
+seed super-peer flooding baseline, the two-tier rule tier) reports them
+identically:
+
+* coverage ``alpha`` — fraction of queries whose antecedent was covered
+  by a rule at routing time (a flooding baseline covers nothing, so its
+  alpha is 0 by construction — which is what makes it comparable);
+* success ``rho`` — fraction of *covered* queries that the rule-routed
+  attempt actually resolved (before any flooding fallback).
 """
 
 from __future__ import annotations
@@ -24,6 +35,10 @@ class QueryOutcome:
     hits: int  # number of distinct providers found
     first_hit_hops: int | None  # hops to the first hit (None if no hit)
     duplicates: int  # deliveries suppressed as duplicates
+    #: a rule covered this query's antecedent at routing time.
+    rule_covered: bool = False
+    #: the rule-routed attempt itself found a hit (no fallback needed).
+    rule_succeeded: bool = False
 
     @property
     def succeeded(self) -> bool:
@@ -39,6 +54,8 @@ class TrafficStats:
     total_messages: int = 0
     total_duplicates: int = 0
     total_hits: int = 0
+    n_rule_covered: int = 0
+    n_rule_succeeded: int = 0
     hop_stats: RunningStats = field(default_factory=RunningStats)
     message_stats: RunningStats = field(default_factory=RunningStats)
 
@@ -48,6 +65,10 @@ class TrafficStats:
         self.total_duplicates += outcome.duplicates
         self.total_hits += outcome.hits
         self.message_stats.push(outcome.messages)
+        if outcome.rule_covered:
+            self.n_rule_covered += 1
+            if outcome.rule_succeeded:
+                self.n_rule_succeeded += 1
         if outcome.succeeded:
             self.n_succeeded += 1
             if outcome.first_hit_hops is not None:
@@ -65,6 +86,20 @@ class TrafficStats:
     @property
     def mean_first_hit_hops(self) -> float:
         return self.hop_stats.mean
+
+    @property
+    def coverage_alpha(self) -> float:
+        """Paper's alpha: fraction of queries covered by a rule."""
+        return self.n_rule_covered / self.n_queries if self.n_queries else 0.0
+
+    @property
+    def success_rho(self) -> float:
+        """Paper's rho: fraction of covered queries the rules resolved."""
+        return (
+            self.n_rule_succeeded / self.n_rule_covered
+            if self.n_rule_covered
+            else 0.0
+        )
 
     def __str__(self) -> str:  # pragma: no cover - display convenience
         return (

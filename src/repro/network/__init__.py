@@ -27,6 +27,7 @@ from repro.network.discrete_event import (
 )
 from repro.network.dynamic import DynamicTopology
 from repro.network.engine import QueryEngine
+from repro.network.hier import HIER_MODES, HierConfig, HierNetwork
 from repro.network.messages import Query
 from repro.network.node import PeerNode
 from repro.network.overlay import Overlay, OverlayConfig
@@ -49,6 +50,9 @@ __all__ = [
     "DiscreteEventConfig",
     "DiscreteEventNetwork",
     "DynamicTopology",
+    "HIER_MODES",
+    "HierConfig",
+    "HierNetwork",
     "LatencyReport",
     "MonitorServent",
     "Overlay",

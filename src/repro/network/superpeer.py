@@ -133,21 +133,34 @@ class SuperPeerNetwork:
             self._next_guid, messages, hits, first_hit_hops, duplicates
         )
 
-    def run_workload(self, n_queries: int) -> TrafficStats:
-        """Issue interest-driven queries from random leaves."""
+    def run_workload(self, n_queries: int, *, warmup: int = 0) -> TrafficStats:
+        """Issue interest-driven queries from random leaves.
+
+        The first ``warmup`` queries run but are not recorded.  Flooding
+        has nothing to warm up, but learning tiers do — accepting the
+        parameter here keeps the rng draw sequence identical across
+        arms, so this baseline's TrafficStats are directly comparable
+        to :class:`~repro.network.hier.HierNetwork` at equal seeds
+        (same α/ρ accounting: nothing is rule-covered, so α is 0 by
+        construction).
+        """
         if n_queries < 0:
             raise ValueError("n_queries must be non-negative")
+        if warmup < 0:
+            raise ValueError("warmup must be non-negative")
         cfg = self.config
         stats = TrafficStats()
         from repro.workload.zipf import ZipfSampler
 
         rank_sampler = ZipfSampler(cfg.files_per_category, 1.0)
-        for _ in range(n_queries):
+        for i in range(warmup + n_queries):
             leaf = int(self._rng.integers(0, cfg.n_leaves))
             category = self._leaf_profile[leaf].sample_category(self._rng)
             rank = rank_sampler.sample(self._rng)
             file_id = category * cfg.files_per_category + rank
-            stats.record(self.query(leaf, file_id))
+            outcome = self.query(leaf, file_id)
+            if i >= warmup:
+                stats.record(outcome)
         return stats
 
     # -- introspection (tests) -------------------------------------------

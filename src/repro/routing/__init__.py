@@ -31,6 +31,7 @@ from repro.routing.hybrid import HybridShortcutAssociationPolicy
 from repro.routing.random_walk import KRandomWalkPolicy
 from repro.routing.routing_indices import RoutingIndicesPolicy, build_routing_indices
 from repro.routing.shortcuts import InterestShortcutsPolicy
+from repro.routing.superpeer_rules import SuperPeerRules
 from repro.routing.topology_adaptation import TopologyAdaptingPolicy
 
 __all__ = [
@@ -43,6 +44,7 @@ __all__ = [
     "NeighborRuleTable",
     "RoutingIndicesPolicy",
     "RoutingPolicy",
+    "SuperPeerRules",
     "TopologyAdaptingPolicy",
     "build_routing_indices",
     "dispatch_select",

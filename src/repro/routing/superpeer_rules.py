@@ -1,0 +1,120 @@
+"""Super-peer community rule tables — tier-2 association routing.
+
+The paper's flat design mines ``{upstream} -> {downstream}`` rules from
+one node's reply history (:class:`~repro.routing.association.NeighborRuleTable`).
+At the super-peer tier the same machinery sees far more evidence: a
+super-peer observes every query its community issues and every reply
+that comes back, so it mines ``{query category} -> {replying
+super-peer}`` rules over 20–50 leaves' worth of traffic instead of
+one node's.
+
+:class:`SuperPeerRules` is that table.  It counts (category,
+replier-super-peer) pairs with the lossy-counting sketch
+(:class:`~repro.mining.streaming.StreamingPairCounter`, the paper's
+future-work streaming miner), answers routing lookups with the top-k
+consequent super-peers per category, and periodically *publishes* a
+compact, epoch-versioned digest of its strongest rules for neighbor
+super-peers to merge (:mod:`repro.network.hier.digest`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.mining.streaming import StreamingPairCounter
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.network.hier.digest import RuleDigest
+
+__all__ = ["SuperPeerRules"]
+
+
+class SuperPeerRules:
+    """One super-peer's mined ``{category} -> {super-peer}`` rule table."""
+
+    name = "superpeer-rules"
+
+    def __init__(
+        self,
+        superpeer_id: int,
+        *,
+        epsilon: float = 0.005,
+        top_k: int = 3,
+        min_support_count: int = 2,
+    ) -> None:
+        if top_k < 1:
+            raise ValueError("top_k must be >= 1")
+        if min_support_count < 1:
+            raise ValueError("min_support_count must be >= 1")
+        self.superpeer_id = int(superpeer_id)
+        self.top_k = top_k
+        self.min_support_count = min_support_count
+        self.epsilon = epsilon
+        self._counter = StreamingPairCounter(epsilon)
+        #: bumped on every publish; receivers keep the highest per origin.
+        self.epoch = 0
+
+    @property
+    def n_observations(self) -> int:
+        return self._counter.n_seen
+
+    # -- learning -------------------------------------------------------------
+    def observe(self, category: int, replier_superpeer: int) -> None:
+        """Record one resolved query: its category and who answered."""
+        self._counter.push(int(category), int(replier_superpeer))
+
+    # -- routing lookup ---------------------------------------------------------
+    def consequents(self, category: int, k: int | None = None) -> list[int]:
+        """Super-peers the rules point at for ``category``, best first.
+
+        Only pairs at or above the support floor qualify as rules —
+        the same pruning semantics as the offline GENERATE-RULESET and
+        the per-node online table.
+        """
+        limit = self.top_k if k is None else k
+        return [
+            int(replier)
+            for replier, count in self._counter.top_repliers(int(category), limit)
+            if count >= self.min_support_count
+        ]
+
+    def rule_stats(self, category: int, consequent: int) -> tuple[int, float]:
+        """``(support, confidence)`` of one rule from the sketch."""
+        support = self._counter.estimate(int(category), int(consequent))
+        if not support:
+            return 0, 0.0
+        return support, support / self._counter.n_seen
+
+    # -- digest exchange -----------------------------------------------------
+    def publish(self, top_k: int | None = None) -> "RuleDigest":
+        """Snapshot the strongest rules as a new-epoch digest.
+
+        Per category, the ``top_k`` consequents by support (ties to the
+        smaller super-peer id) that clear the support floor.  The digest
+        carries the raw counts plus the observation total, so receivers
+        recompute confidence exactly.
+        """
+        # Imported lazily: repro.network.hier.network imports this module,
+        # so a module-level import would be circular.
+        from repro.network.hier.digest import DigestEntry, RuleDigest
+
+        limit = self.top_k if top_k is None else top_k
+        per_category: dict[int, list[tuple[int, int]]] = {}
+        for (category, replier), count in self._counter.pairs_over_count(
+            self.min_support_count
+        ).items():
+            per_category.setdefault(category, []).append((int(replier), count))
+        entries = []
+        for category, repliers in per_category.items():
+            repliers.sort(key=lambda rc: (-rc[1], rc[0]))
+            entries.extend(
+                DigestEntry(int(category), replier, count)
+                for replier, count in repliers[:limit]
+            )
+        self.epoch += 1
+        return RuleDigest(
+            self.superpeer_id, self.epoch, self._counter.n_seen, entries
+        )
+
+    def reset(self) -> None:
+        self._counter = StreamingPairCounter(self.epsilon)

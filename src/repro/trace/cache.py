@@ -37,6 +37,8 @@ __all__ = [
     "load_pairs",
     "cached_pairs",
     "cached_trace_store",
+    "default_trace_cache_dir",
+    "store_backed_blocks",
 ]
 
 _FIELDS = ("time", "source", "replier", "category", "host")
@@ -45,20 +47,32 @@ _FIELDS = ("time", "source", "replier", "category", "host")
 _FINGERPRINT_KEY = "__trace_fingerprint__"
 
 
-def trace_fingerprint(config: MonitorTraceConfig | None, seed: int) -> int:
+def trace_fingerprint(
+    config: MonitorTraceConfig | None,
+    seed: int,
+    *,
+    exact_n_pairs: int | None = None,
+) -> int:
     """64-bit provenance hash of a trace's generating parameters.
 
     Defined over the config's field values (via a canonical JSON
     encoding) plus the seed, so two configs that compare equal always
     fingerprint equal, and any knob or seed change produces a different
     stamp.  ``config=None`` hashes the defaults it stands for.
+
+    ``exact_n_pairs`` mixes the trace length into the stamp.  Chunked
+    and single-shot generation of the same ``(config, seed)`` differ
+    bit-wise (:meth:`MonitorTraceGenerator.generate_pair_arrays`
+    pre-draws its inter-arrival gaps per call), so caches of
+    exact single-shot traces must never hit on a chunk-written file of
+    the same provenance — the length-mixed stamp keeps the two cache
+    populations disjoint.
     """
     config = config or MonitorTraceConfig()
-    payload = json.dumps(
-        {"config": dataclasses.asdict(config), "seed": int(seed)},
-        sort_keys=True,
-        default=repr,
-    )
+    payload_fields = {"config": dataclasses.asdict(config), "seed": int(seed)}
+    if exact_n_pairs is not None:
+        payload_fields["exact_n_pairs"] = int(exact_n_pairs)
+    payload = json.dumps(payload_fields, sort_keys=True, default=repr)
     digest = hashlib.blake2b(payload.encode("utf-8"), digest_size=8).digest()
     return int.from_bytes(digest, "little")
 
@@ -139,6 +153,7 @@ def cached_trace_store(
     block_size: int | None = None,
     codec: str | None = None,
     compress_level: int = 6,
+    exact: bool = False,
 ):
     """Open ``path`` as a trace store if it matches, else generate one.
 
@@ -155,6 +170,14 @@ def cached_trace_store(
     a miss the trace is regenerated chunk-by-chunk into a fresh store
     written with ``codec`` (e.g. ``"zlib"`` for compressed cold
     segments).
+
+    ``exact=True`` caches the *single-shot* trace instead: generation
+    happens in one ``generate_pair_arrays(n_pairs)`` call (bit-identical
+    to the serial in-memory path used by the figure runners, at the cost
+    of materializing the arrays once at write time), a hit requires the
+    store to hold *exactly* ``n_pairs`` pairs, and the provenance stamp
+    mixes the length in (see :func:`trace_fingerprint`) so chunk-written
+    caches of the same ``(config, seed)`` never hit.
     """
     from repro.trace.store import (
         TraceStoreError,
@@ -168,7 +191,9 @@ def cached_trace_store(
     effective_config = config or MonitorTraceConfig()
     if block_size is None:
         block_size = effective_config.block_size
-    expected = trace_fingerprint(config, seed)
+    expected = trace_fingerprint(
+        config, seed, exact_n_pairs=n_pairs if exact else None
+    )
     if os.path.exists(path):
         reader = None
         try:
@@ -183,7 +208,11 @@ def cached_trace_store(
                 reader.meta_fingerprint == expected
                 and not reader.recovered
                 and reader.block_size == block_size
-                and reader.n_pairs >= n_pairs
+                and (
+                    reader.n_pairs == n_pairs
+                    if exact
+                    else reader.n_pairs >= n_pairs
+                )
             ):
                 return reader
         except TraceStoreError:
@@ -199,12 +228,16 @@ def cached_trace_store(
         meta_fingerprint=expected,
     )
     try:
-        remaining = n_pairs
-        while remaining > 0:
-            chunk = min(remaining, max(block_size, 1) * 8)
-            arrays = generator.generate_pair_arrays(chunk)
+        if exact:
+            arrays = generator.generate_pair_arrays(n_pairs)
             writer.append(arrays.source, arrays.replier)
-            remaining -= chunk
+        else:
+            remaining = n_pairs
+            while remaining > 0:
+                chunk = min(remaining, max(block_size, 1) * 8)
+                arrays = generator.generate_pair_arrays(chunk)
+                writer.append(arrays.source, arrays.replier)
+                remaining -= chunk
     except BaseException:
         writer.abandon()
         raise
@@ -212,3 +245,67 @@ def cached_trace_store(
     # pair, not just whole blocks.
     writer.close(drop_partial=False)
     return TraceStoreReader(path)
+
+
+def default_trace_cache_dir() -> str:
+    """Directory holding process-shared trace-store caches.
+
+    ``$REPRO_TRACE_CACHE_DIR`` when set, else ``~/.cache/repro/traces``.
+    """
+    override = os.environ.get("REPRO_TRACE_CACHE_DIR")
+    if override:
+        return override
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro", "traces")
+
+
+#: open readers backing blocks handed out by :func:`store_backed_blocks`,
+#: keyed by store path.  Readers stay open for the process lifetime so
+#: the zero-copy memmap views inside returned blocks remain valid, and a
+#: store opened once is never re-opened (or torn down under a live view)
+#: by a later call.
+_OPEN_READERS: dict = {}
+
+
+def store_backed_blocks(
+    n_pairs: int,
+    *,
+    config: MonitorTraceConfig | None = None,
+    seed: int = 0,
+    cache_dir: str | os.PathLike | None = None,
+) -> list:
+    """Full blocks of the exact ``(config, seed, n_pairs)`` trace, served
+    from an on-disk store cache.
+
+    The first call for a spec generates the trace single-shot (so the
+    blocks are bit-identical to the in-memory
+    :func:`~repro.trace.blocks.blocks_from_arrays` path) and writes it
+    as a raw v1 store under ``cache_dir`` (default:
+    :func:`default_trace_cache_dir`); every later call — including in
+    other processes — streams it back as zero-copy memmap views.  Only
+    whole blocks are returned, matching ``blocks_from_arrays``'s
+    ``drop_partial`` default.  The backing reader is kept open in a
+    module registry so returned views stay valid for the process
+    lifetime.
+    """
+    if n_pairs < 0:
+        raise ValueError("n_pairs must be non-negative")
+    effective_config = config or MonitorTraceConfig()
+    directory = (
+        os.fspath(cache_dir) if cache_dir is not None else default_trace_cache_dir()
+    )
+    stamp = trace_fingerprint(config, seed, exact_n_pairs=n_pairs)
+    path = os.path.join(directory, f"trace-{stamp:016x}.rptrace")
+    reader = _OPEN_READERS.get(path)
+    if reader is None:
+        os.makedirs(directory, exist_ok=True)
+        reader = cached_trace_store(
+            path,
+            n_pairs,
+            config=config,
+            seed=seed,
+            block_size=effective_config.block_size,
+            exact=True,
+        )
+        _OPEN_READERS[path] = reader
+    n_full = n_pairs // effective_config.block_size
+    return [reader.block(i) for i in range(n_full)]

@@ -23,6 +23,7 @@ class TestRegistry:
             "topology-adaptation",
             "hybrid",
             "superpeer",
+            "hier",
             "topk-ablation",
             "churn-sensitivity",
             "adoption",

@@ -1,0 +1,73 @@
+"""Tests for repro.network.hier.community."""
+
+import pytest
+
+from repro.network.hier.community import CommunityIndex
+
+
+def _index(n=4):
+    idx = CommunityIndex(n)
+    idx.attach(0, 0, frozenset({10, 11}))
+    idx.attach(1, 0, frozenset({11, 12}))
+    idx.attach(2, 1, frozenset({20}))
+    return idx
+
+
+class TestMembership:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CommunityIndex(0)
+
+    def test_attach_and_lookup(self):
+        idx = _index()
+        assert idx.superpeer_of(0) == 0
+        assert idx.members(0) == [0, 1]
+        assert idx.load(0) == 2
+        assert sorted(idx.lookup(0, 11)) == [0, 1]
+        assert idx.lookup(0, 20) == []
+        assert idx.lookup(1, 20) == [2]
+        assert idx.index_size(0) == 4
+
+    def test_double_attach_rejected(self):
+        idx = _index()
+        with pytest.raises(ValueError):
+            idx.attach(0, 1, frozenset())
+
+    def test_attach_to_dead_superpeer_rejected(self):
+        idx = _index()
+        idx.kill(1)
+        with pytest.raises(ValueError):
+            idx.attach(9, 1, frozenset())
+
+
+class TestFailure:
+    def test_kill_orphans_and_drops_index(self):
+        idx = _index()
+        assert idx.kill(0) == [0, 1]
+        assert not idx.is_live(0)
+        assert idx.members(0) == []
+        assert idx.lookup(0, 11) == []
+        assert idx.live_superpeers() == [1, 2, 3]
+        assert idx.kill(0) == []  # already dead
+
+    def test_reattach_least_loaded_deterministic(self):
+        idx = _index()
+        orphans = idx.kill(0)
+        placement = idx.reattach(orphans)
+        # Loads before: sp1=1, sp2=0, sp3=0.  Leaf 0 -> sp2 (ties by
+        # lowest id), leaf 1 -> sp3 (loads update as orphans land).
+        assert placement == {0: 2, 1: 3}
+        assert idx.superpeer_of(0) == 2
+        assert idx.lookup(2, 11) == [0]
+        assert idx.lookup(3, 12) == [1]
+
+    def test_reattach_requires_live_superpeer(self):
+        idx = CommunityIndex(1)
+        idx.attach(0, 0, frozenset({1}))
+        orphans = idx.kill(0)
+        with pytest.raises(ValueError):
+            idx.reattach(orphans)
+
+    def test_reattach_replayable(self):
+        a, b = _index(), _index()
+        assert a.reattach(a.kill(0)) == b.reattach(b.kill(0))

@@ -1,0 +1,130 @@
+"""Tests for repro.network.hier.keyspace."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.network.hier.keyspace import (
+    KEY_BITS,
+    KBucketTable,
+    category_key,
+    node_key,
+    xor_distance,
+)
+
+key_ints = st.integers(0, (1 << KEY_BITS) - 1)
+
+
+class TestKeys:
+    def test_deterministic(self):
+        assert node_key(7) == node_key(7)
+        assert category_key(7) == category_key(7)
+
+    def test_node_and_category_spaces_disjoint(self):
+        # Same integer id, different kind prefix -> different key.
+        for value in range(50):
+            assert node_key(value) != category_key(value)
+
+    def test_fits_keyspace(self):
+        for value in range(200):
+            assert 0 <= node_key(value) < 1 << KEY_BITS
+
+    @given(key_ints, key_ints)
+    def test_xor_metric(self, a, b):
+        assert xor_distance(a, b) == xor_distance(b, a)
+        assert xor_distance(a, a) == 0
+        assert (xor_distance(a, b) == 0) == (a == b)
+
+    @given(key_ints, key_ints, key_ints)
+    def test_xor_triangle(self, a, b, c):
+        assert xor_distance(a, c) <= xor_distance(a, b) + xor_distance(b, c)
+
+
+class TestKBucketTable:
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            KBucketTable(0, k=0)
+
+    def test_insert_and_contains(self):
+        table = KBucketTable(0)
+        assert table.insert(1)
+        assert 1 in table
+        assert 0 not in table  # never buckets its owner
+        assert len(table) == 1
+
+    def test_insert_owner_noop(self):
+        table = KBucketTable(3)
+        assert not table.insert(3)
+        assert len(table) == 0
+
+    def test_reinsert_is_idempotent(self):
+        table = KBucketTable(0)
+        table.insert(1)
+        assert table.insert(1)  # already known -> True, no duplicate
+        assert len(table) == 1
+
+    def test_bucket_capacity(self):
+        # With k=1 and enough peers, some bucket must refuse an insert.
+        table = KBucketTable(0, k=1)
+        results = [table.insert(peer) for peer in range(1, 200)]
+        assert not all(results)
+        assert len(table) < 199
+
+    def test_remove(self):
+        table = KBucketTable(0)
+        table.insert(1)
+        table.remove(1)
+        assert 1 not in table
+        table.remove(42)  # unknown: no-op
+
+    def test_closest_ordering(self):
+        table = KBucketTable(0)
+        for peer in range(1, 30):
+            table.insert(peer)
+        target = category_key(5)
+        ranked = table.closest(target, n=5)
+        distances = [xor_distance(node_key(p), target) for p in ranked]
+        assert distances == sorted(distances)
+        # Global minimum over the known set.
+        best = min(range(1, 30), key=lambda p: xor_distance(node_key(p), target))
+        assert ranked[0] == best
+
+    def test_closest_n_validation(self):
+        with pytest.raises(ValueError):
+            KBucketTable(0).closest(0, n=0)
+
+    def test_closer_than_strictly_improves(self):
+        table = KBucketTable(0)
+        for peer in range(1, 30):
+            table.insert(peer)
+        target = category_key(9)
+        distance = xor_distance(node_key(0), target)
+        nxt = table.closer_than(target, distance)
+        assert nxt is not None
+        assert xor_distance(node_key(nxt), target) < distance
+        assert table.closer_than(target, 0) is None
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(3, 40), st.integers(0, 1000))
+    def test_greedy_walk_converges_to_one_steward(self, n_peers, category):
+        """Full tables: every starting point reaches the globally
+        closest node — publishers and readers agree on the steward."""
+        tables = [KBucketTable(sp, k=64) for sp in range(n_peers)]
+        for table in tables:
+            for peer in range(n_peers):
+                table.insert(peer)
+        target = category_key(category)
+
+        def walk(start):
+            current = start
+            distance = xor_distance(node_key(current), target)
+            while True:
+                nxt = tables[current].closer_than(target, distance)
+                if nxt is None:
+                    return current
+                current = nxt
+                distance = xor_distance(node_key(current), target)
+
+        expected = min(
+            range(n_peers), key=lambda sp: xor_distance(node_key(sp), target)
+        )
+        assert all(walk(start) == expected for start in range(n_peers))

@@ -1,0 +1,167 @@
+"""Tests for repro.network.hier.network — modes, identity, and churn."""
+
+import pytest
+
+from repro.faults.plan import CRASH, FaultEvent, FaultPlan
+from repro.network.hier import HIER_MODES, HierConfig, HierNetwork
+from repro.network.superpeer import SuperPeerConfig, SuperPeerNetwork
+from repro.utils.rng import as_generator
+
+SMALL = dict(
+    n_superpeers=8,
+    leaves_per_superpeer=6,
+    superpeer_degree=3,
+    n_categories=8,
+    files_per_category=40,
+    library_size=15,
+    interests_per_peer=3,
+    superpeer_ttl=4,
+)
+
+
+def superpeer_crash_plan(n_superpeers: int, *, crashes: int, seed: int) -> FaultPlan:
+    """Seeded crash schedule over distinct super-peers (no restarts —
+    the two-tier simulator models permanent departure)."""
+    rng = as_generator(seed)
+    order = [int(sp) for sp in rng.permutation(n_superpeers)][:crashes]
+    events = tuple(
+        FaultEvent(time=round(0.1 * (i + 1), 3), kind=CRASH, node=sp)
+        for i, sp in enumerate(order)
+    )
+    return FaultPlan(events=events, duration=1.0, label="sp-crash", seed=seed)
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"mode": "bogus"},
+            {"rule_top_k": 0},
+            {"digest_every": 0},
+            {"digest_top_k": 0},
+            {"lookup_contacts": 0},
+            {"n_superpeers": 2},  # substrate validation still applies
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            HierConfig(**kwargs)
+
+    def test_modes_registry(self):
+        assert HIER_MODES == ("flood", "leaf-rules", "superpeer-rules", "hybrid")
+
+
+class TestFloodIdentity:
+    def test_flood_mode_matches_seed_baseline(self):
+        """The acceptance gate's identity check, at test scale: flood
+        mode is the seed SuperPeerNetwork bit for bit."""
+        baseline = SuperPeerNetwork(SuperPeerConfig(**SMALL), seed=11)
+        flood = HierNetwork(HierConfig(mode="flood", **SMALL), seed=11)
+        b = baseline.run_workload(400, warmup=100)
+        f = flood.run_workload(400, warmup=100)
+        assert f.total_messages == b.total_messages
+        assert f.n_succeeded == b.n_succeeded
+        assert f.total_hits == b.total_hits
+        assert f.total_duplicates == b.total_duplicates
+        assert f.coverage_alpha == 0.0
+
+
+class TestModes:
+    @pytest.mark.parametrize("mode", HIER_MODES)
+    def test_success_never_below_baseline(self, mode):
+        """The flood fallback is charged on top of failed attempts, so
+        every mode answers at least what the baseline answers."""
+        baseline = SuperPeerNetwork(SuperPeerConfig(**SMALL), seed=5)
+        net = HierNetwork(HierConfig(mode=mode, **SMALL), seed=5)
+        b = baseline.run_workload(300, warmup=200)
+        m = net.run_workload(300, warmup=200)
+        assert m.n_queries == b.n_queries == 300
+        assert m.success_rate >= b.success_rate
+
+    @pytest.mark.parametrize("mode", ["leaf-rules", "superpeer-rules", "hybrid"])
+    def test_rules_cover_queries_after_warmup(self, mode):
+        net = HierNetwork(HierConfig(mode=mode, **SMALL), seed=5)
+        stats = net.run_workload(300, warmup=600)
+        assert stats.coverage_alpha > 0.0
+
+    def test_digest_exchange_charged_as_control(self):
+        net = HierNetwork(
+            HierConfig(mode="superpeer-rules", digest_every=2, **SMALL), seed=5
+        )
+        net.run_workload(400, warmup=0)
+        assert net.control_messages > 0
+        # Neighbors hold the publisher's digests (some origin merged).
+        assert any(len(table) > 0 for table in net.merged)
+
+    def test_directory_publish_charged_in_hybrid(self):
+        net = HierNetwork(HierConfig(mode="hybrid", **SMALL), seed=5)
+        assert net.control_messages > 0  # initial directory build
+        assert net.directory  # every community registered its categories
+
+    def test_leaf_query_own_library_is_free(self):
+        net = HierNetwork(HierConfig(mode="superpeer-rules", **SMALL), seed=3)
+        leaf = 0
+        file_id = next(iter(net._leaf_library[leaf]))
+        outcome = net.query(leaf, file_id)
+        assert outcome.messages == 0
+        assert outcome.hits == 1
+
+
+class TestChurn:
+    @pytest.mark.parametrize("mode", ["superpeer-rules", "hybrid"])
+    def test_leaves_reattach_under_seeded_fault_plan(self, mode):
+        cfg = HierConfig(mode=mode, digest_every=2, **SMALL)
+        net = HierNetwork(cfg, seed=9)
+        net.run_workload(200, warmup=400)  # learn rules, publish digests
+        plan = superpeer_crash_plan(cfg.n_superpeers, crashes=3, seed=9)
+        killed = []
+        for event in plan.events:
+            assert event.kind == CRASH
+            placement = net.kill_superpeer(event.node)
+            killed.append(event.node)
+            # Every orphan re-homed onto a live super-peer...
+            assert len(placement) >= cfg.leaves_per_superpeer
+            for leaf, home in placement.items():
+                assert net.superpeer_of(leaf) == home
+                assert net.community.is_live(home)
+                assert home not in killed
+            # ... with its library re-indexed at the new home.
+            for leaf, home in placement.items():
+                file_id = next(iter(net._leaf_library[leaf]))
+                assert leaf in net.community.lookup(home, file_id)
+            # Digest invalidation: no live table still carries the dead
+            # origin's rules.
+            for sp in net.community.live_superpeers():
+                assert net.merged[sp].epoch_of(event.node) is None
+                if net.kbuckets:
+                    assert event.node not in net.kbuckets[sp]
+        # All leaves live somewhere; no index entries were lost.
+        total_indexed = sum(
+            net.index_size(sp) for sp in net.community.live_superpeers()
+        )
+        assert total_indexed == sum(len(lib) for lib in net._leaf_library)
+        # The overlay still answers queries.
+        stats = net.run_workload(200, warmup=0)
+        assert stats.success_rate > 0.5
+
+    def test_churn_is_replayable(self):
+        """Equal seed + equal plan -> identical placements and traffic."""
+        plan = superpeer_crash_plan(SMALL["n_superpeers"], crashes=2, seed=4)
+
+        def run():
+            net = HierNetwork(
+                HierConfig(mode="superpeer-rules", **SMALL), seed=21
+            )
+            net.run_workload(100, warmup=200)
+            placements = [
+                net.kill_superpeer(event.node) for event in plan.events
+            ]
+            stats = net.run_workload(200, warmup=0)
+            return placements, stats.total_messages, stats.n_succeeded
+
+        assert run() == run()
+
+    def test_kill_dead_superpeer_is_noop(self):
+        net = HierNetwork(HierConfig(mode="superpeer-rules", **SMALL), seed=2)
+        assert net.kill_superpeer(3)
+        assert net.kill_superpeer(3) == {}

@@ -1,0 +1,79 @@
+"""Tests for repro.routing.superpeer_rules."""
+
+import pytest
+
+from repro.network.hier.digest import DigestEntry
+from repro.routing.superpeer_rules import SuperPeerRules
+
+
+def _table(**kwargs):
+    return SuperPeerRules(0, **kwargs)
+
+
+class TestValidation:
+    def test_top_k(self):
+        with pytest.raises(ValueError):
+            _table(top_k=0)
+
+    def test_min_support(self):
+        with pytest.raises(ValueError):
+            _table(min_support_count=0)
+
+
+class TestLearning:
+    def test_consequents_ranked_by_support(self):
+        table = _table(min_support_count=2)
+        for _ in range(5):
+            table.observe(3, 7)
+        for _ in range(3):
+            table.observe(3, 9)
+        table.observe(3, 11)  # below the support floor
+        assert table.consequents(3) == [7, 9]
+        assert table.consequents(3, k=1) == [7]
+        assert table.consequents(99) == []
+        assert table.n_observations == 9
+
+    def test_rule_stats(self):
+        table = _table()
+        for _ in range(4):
+            table.observe(1, 5)
+        support, confidence = table.rule_stats(1, 5)
+        assert support == 4
+        assert confidence == pytest.approx(1.0)
+        assert table.rule_stats(1, 6) == (0, 0.0)
+
+    def test_reset(self):
+        table = _table()
+        table.observe(1, 5)
+        table.reset()
+        assert table.n_observations == 0
+        assert table.consequents(1) == []
+
+
+class TestPublish:
+    def test_epoch_bumps_per_publish(self):
+        table = _table()
+        assert table.publish().epoch == 1
+        assert table.publish().epoch == 2
+        assert table.epoch == 2
+
+    def test_digest_content(self):
+        table = _table(min_support_count=2)
+        for _ in range(5):
+            table.observe(0, 7)
+        for _ in range(2):
+            table.observe(0, 9)
+        table.observe(0, 11)  # pruned: below the floor
+        digest = table.publish(top_k=2)
+        assert digest.origin == 0
+        assert digest.total == 8
+        assert digest.entries == (DigestEntry(0, 7, 5), DigestEntry(0, 9, 2))
+
+    def test_top_k_caps_per_category(self):
+        table = _table(min_support_count=1)
+        for replier in range(5):
+            for _ in range(replier + 1):
+                table.observe(0, replier)
+        digest = table.publish(top_k=2)
+        assert len(digest.entries) == 2
+        assert {e.consequent for e in digest.entries} == {3, 4}

@@ -1,0 +1,164 @@
+"""Tests for the exact-mode store cache and the store-backed figure path."""
+
+import numpy as np
+import pytest
+
+import repro.trace.cache as cache_module
+from repro.trace.blocks import blocks_from_arrays
+from repro.trace.cache import (
+    cached_trace_store,
+    default_trace_cache_dir,
+    store_backed_blocks,
+    trace_fingerprint,
+)
+from repro.workload.tracegen import MonitorTraceConfig, MonitorTraceGenerator
+
+CFG = MonitorTraceConfig(block_size=500)
+
+
+class TestExactFingerprint:
+    def test_length_mixed_stamp_differs(self):
+        plain = trace_fingerprint(CFG, 3)
+        exact = trace_fingerprint(CFG, 3, exact_n_pairs=1000)
+        other = trace_fingerprint(CFG, 3, exact_n_pairs=1500)
+        assert len({plain, exact, other}) == 3
+
+    def test_deterministic(self):
+        assert trace_fingerprint(CFG, 3, exact_n_pairs=10) == trace_fingerprint(
+            MonitorTraceConfig(block_size=500), 3, exact_n_pairs=10
+        )
+
+
+class TestExactMode:
+    def test_single_shot_identity(self, tmp_path):
+        """Exact-mode stores hold the bit-identical single-shot trace."""
+        n = 1600
+        with cached_trace_store(
+            tmp_path / "t.rptrace", n, config=CFG, seed=9, exact=True
+        ) as reader:
+            assert reader.n_pairs == n
+            got = np.concatenate(
+                [reader.columns(i)[0] for i in range(reader.n_blocks)]
+            )
+        arrays = MonitorTraceGenerator(CFG, seed=9).generate_pair_arrays(n)
+        np.testing.assert_array_equal(got, arrays.source)
+
+    def test_exact_hit(self, tmp_path):
+        path = tmp_path / "t.rptrace"
+        with cached_trace_store(path, 1000, config=CFG, seed=1, exact=True) as r:
+            stamp = r.meta_fingerprint
+        mtime = path.stat().st_mtime_ns
+        with cached_trace_store(path, 1000, config=CFG, seed=1, exact=True) as r:
+            assert r.meta_fingerprint == stamp
+        assert path.stat().st_mtime_ns == mtime  # served, not rewritten
+
+    def test_longer_store_is_a_miss(self, tmp_path):
+        """A longer single-shot trace is not a superset of a shorter
+        one, so exact mode must rebuild instead of slicing a prefix."""
+        path = tmp_path / "t.rptrace"
+        with cached_trace_store(path, 2000, config=CFG, seed=1, exact=True):
+            pass
+        with cached_trace_store(
+            path, 1000, config=CFG, seed=1, exact=True
+        ) as reader:
+            assert reader.n_pairs == 1000
+        arrays = MonitorTraceGenerator(CFG, seed=1).generate_pair_arrays(1000)
+        with cached_trace_store(
+            path, 1000, config=CFG, seed=1, exact=True
+        ) as reader:
+            got = np.concatenate(
+                [reader.columns(i)[0] for i in range(reader.n_blocks)]
+            )
+        np.testing.assert_array_equal(got, arrays.source)
+
+    def test_chunked_cache_never_hits_exact(self, tmp_path):
+        """The two cache populations are disjoint by fingerprint."""
+        path = tmp_path / "t.rptrace"
+        with cached_trace_store(path, 1000, config=CFG, seed=1) as reader:
+            chunked_stamp = reader.meta_fingerprint
+        with cached_trace_store(
+            path, 1000, config=CFG, seed=1, exact=True
+        ) as reader:
+            assert reader.meta_fingerprint != chunked_stamp
+
+
+class TestStoreBackedBlocks:
+    def test_matches_in_memory_blocks(self, tmp_path):
+        n_blocks = 3
+        n_pairs = n_blocks * CFG.block_size
+        blocks = store_backed_blocks(
+            n_pairs, config=CFG, seed=4, cache_dir=tmp_path
+        )
+        arrays = MonitorTraceGenerator(CFG, seed=4).generate_pair_arrays(n_pairs)
+        reference = blocks_from_arrays(
+            arrays.source, arrays.replier, block_size=CFG.block_size
+        )
+        assert len(blocks) == len(reference) == n_blocks
+        for got, want in zip(blocks, reference):
+            np.testing.assert_array_equal(got.sources, want.sources)
+            np.testing.assert_array_equal(got.repliers, want.repliers)
+            assert got.fingerprint() == want.fingerprint()
+            np.testing.assert_array_equal(got.packed_keys(), want.packed_keys())
+            assert got.index == want.index
+
+    def test_reader_reused_across_calls(self, tmp_path):
+        n_pairs = 2 * CFG.block_size
+        store_backed_blocks(n_pairs, config=CFG, seed=5, cache_dir=tmp_path)
+        before = dict(cache_module._OPEN_READERS)
+        again = store_backed_blocks(n_pairs, config=CFG, seed=5, cache_dir=tmp_path)
+        assert dict(cache_module._OPEN_READERS) == before
+        assert len(again) == 2
+
+    def test_negative_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            store_backed_blocks(-1, config=CFG, seed=0, cache_dir=tmp_path)
+
+    def test_cache_dir_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE_DIR", str(tmp_path / "custom"))
+        assert default_trace_cache_dir() == str(tmp_path / "custom")
+        monkeypatch.delenv("REPRO_TRACE_CACHE_DIR")
+        assert default_trace_cache_dir().endswith("repro/traces")
+
+
+class TestFigureWiring:
+    def test_generate_trace_blocks_uses_store_cache(self, tmp_path, monkeypatch):
+        from repro.experiments.figures import generate_trace_blocks
+        from repro.parallel.provider import provide_pair_columns
+
+        monkeypatch.setenv("REPRO_TRACE_CACHE_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_TRACE_STORE_CACHE", raising=False)
+        cfg = MonitorTraceConfig()
+        cold = generate_trace_blocks(2, seed=33, config=cfg)
+        assert list(tmp_path.glob("*.rptrace"))  # store written
+        warm = generate_trace_blocks(2, seed=33, config=cfg)
+        src, rep = provide_pair_columns(cfg, 33, 2 * cfg.block_size)
+        reference = blocks_from_arrays(src, rep, block_size=cfg.block_size)
+        for got in (cold, warm):
+            assert len(got) == 2
+            for block, want in zip(got, reference):
+                np.testing.assert_array_equal(block.sources, want.sources)
+                np.testing.assert_array_equal(block.repliers, want.repliers)
+
+    def test_kill_switch_disables_store_tier(self, tmp_path, monkeypatch):
+        from repro.experiments.figures import generate_trace_blocks
+
+        monkeypatch.setenv("REPRO_TRACE_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_TRACE_STORE_CACHE", "0")
+        blocks = generate_trace_blocks(1, seed=34)
+        assert len(blocks) == 1
+        assert not list(tmp_path.glob("*.rptrace"))
+
+    def test_unusable_cache_dir_falls_back_with_warning(
+        self, tmp_path, monkeypatch
+    ):
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("occupied")
+        monkeypatch.setenv(
+            "REPRO_TRACE_CACHE_DIR", str(blocker / "child")
+        )
+        monkeypatch.delenv("REPRO_TRACE_STORE_CACHE", raising=False)
+        from repro.experiments.figures import generate_trace_blocks
+
+        with pytest.warns(UserWarning, match="trace-store cache unusable"):
+            blocks = generate_trace_blocks(1, seed=35)
+        assert len(blocks) == 1
